@@ -1,0 +1,111 @@
+//! One Criterion bench per paper figure/table harness, at `--quick` scale.
+//!
+//! These measure the wall time of regenerating each figure's data series
+//! (simulation included), so regressions in simulator or policy performance
+//! show up immediately. The *contents* of the figures are validated by the
+//! test suite and printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dagon_cache::{table1, PolicyKind};
+use dagon_core::experiments::{self, ExpConfig};
+use dagon_core::optmodel;
+use dagon_core::tiny_exec::{self, Mode};
+use dagon_dag::examples::fig1;
+use dagon_workloads::Workload;
+
+fn quick() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+fn bench_fig2_and_table3(c: &mut Criterion) {
+    let dag = fig1();
+    c.bench_function("fig2_tiny_exec_both_modes", |b| {
+        b.iter(|| {
+            let a = tiny_exec::run_tiny(&dag, 16, Mode::Fifo);
+            let d = tiny_exec::run_tiny(&dag, 16, Mode::DagAware);
+            assert_eq!((a.makespan, d.makespan), (16, 12));
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_grid_three_policies", |b| {
+        b.iter(|| {
+            let grid =
+                table1::table1_grid(&[PolicyKind::Lru, PolicyKind::Mrd, PolicyKind::Lrp]);
+            assert_eq!(grid.len(), 6);
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (q, d) = optmodel::fig5_profile();
+    c.bench_function("fig5_profile_check", |b| {
+        b.iter(|| optmodel::profile_check(&q, d, 0.5, 2))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut cfg = quick();
+    cfg.cluster.hdfs_replication = 1;
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_locality_wait_sweep_quick", |b| {
+        b.iter(|| experiments::fig3(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_one_workload_quick", |b| {
+        b.iter(|| experiments::fig8(&cfg, &[Workload::ConnectedComponent]))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_ordering_quick", |b| {
+        b.iter(|| experiments::fig9(&cfg, &[Workload::DecisionTree]))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_placement_quick", |b| {
+        b.iter(|| experiments::fig10(&cfg, &[Workload::KMeans]))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_cache_quick", |b| {
+        b.iter(|| experiments::fig11(&cfg, &[Workload::PageRank]))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_and_table3,
+    bench_table1,
+    bench_fig5,
+    bench_fig3,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11
+);
+criterion_main!(figures);

@@ -1,0 +1,76 @@
+//! Scheduling-decision overhead: the costs that must stay small for an
+//! online scheduler (the paper's reason for a heuristic over the exact
+//! optimization — we quantify both sides).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dagon_core::optmodel;
+use dagon_dag::generate::{random_dag, GenParams};
+use dagon_dag::graph::Closure;
+use dagon_dag::{PriorityTracker, StageEstimates, StageId, TaskId, MIN_MS};
+use dagon_sched::graphene::GraphenePlan;
+
+fn big_dag_params(stages: usize) -> GenParams {
+    GenParams { stages, tasks: (8, 64), ..Default::default() }
+}
+
+fn bench_priority_tracker(c: &mut Criterion) {
+    let dag = random_dag(&big_dag_params(100), 7);
+    c.bench_function("priority_tracker_build_100_stages", |b| {
+        b.iter(|| PriorityTracker::from_dag(&dag))
+    });
+    let tracker = PriorityTracker::from_dag(&dag);
+    c.bench_function("priority_update_per_launch_100_stages", |b| {
+        b.iter_batched(
+            || tracker.clone(),
+            |mut t| t.on_task_launched(TaskId::new(StageId(50), 0), 10_000),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_closures(c: &mut Criterion) {
+    let dag = random_dag(&big_dag_params(200), 11);
+    c.bench_function("successor_closure_200_stages", |b| {
+        b.iter(|| Closure::successors(&dag))
+    });
+}
+
+fn bench_graphene_plan(c: &mut Criterion) {
+    let dag = random_dag(&big_dag_params(100), 13);
+    let est = StageEstimates::exact(&dag);
+    c.bench_function("graphene_offline_plan_100_stages", |b| {
+        b.iter(|| GraphenePlan::build(&dag, &est))
+    });
+}
+
+fn bench_exact_vs_heuristic(c: &mut Criterion) {
+    // The paper's point: exact RCPSP solving is unusable online. Quantify
+    // the gap on a small instance where the exact solver still terminates.
+    let p = GenParams {
+        stages: 4,
+        tasks: (1, 3),
+        demand_cpus: (1, 4),
+        cpu_ms: (MIN_MS, 4 * MIN_MS),
+        ..Default::default()
+    };
+    let dag = optmodel::snap_to_minutes(&random_dag(&p, 3));
+    let mut g = c.benchmark_group("exact_vs_heuristic");
+    g.sample_size(10);
+    g.bench_function("exact_bb_4_stages", |b| {
+        b.iter(|| optmodel::optimal_makespan(&dag, 8, 500_000))
+    });
+    g.bench_function("alg1_heuristic_4_stages", |b| {
+        b.iter(|| optmodel::heuristic_makespan(&dag, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    overhead,
+    bench_priority_tracker,
+    bench_closures,
+    bench_graphene_plan,
+    bench_exact_vs_heuristic
+);
+criterion_main!(overhead);

@@ -1,0 +1,52 @@
+//! End-to-end simulator throughput: full runs of representative workloads
+//! under the headline systems. The absolute numbers double as the cost of
+//! one what-if experiment (the simulator's raison d'être vs a testbed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dagon_core::experiments::ExpConfig;
+use dagon_core::{run_system, System};
+use dagon_workloads::{Scale, Workload};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    for w in [Workload::KMeans, Workload::ConnectedComponent] {
+        let dag = w.build(&cfg.scale);
+        for sys in [System::stock_spark(), System::dagon()] {
+            g.bench_function(format!("run_{}_{}", w.abbrev(), sys), |b| {
+                b.iter(|| run_system(&dag, &cfg.cluster, &sys))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_paper_scale_run(c: &mut Criterion) {
+    // One paper-scale CC run under full Dagon: the heaviest single
+    // experiment in the repro harness.
+    let cfg = ExpConfig::paper();
+    let dag = Workload::ConnectedComponent.build(&cfg.scale);
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("run_CC_paper_scale_dagon", |b| {
+        b.iter(|| run_system(&dag, &cfg.cluster, &System::dagon()))
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let scale = Scale::paper();
+    c.bench_function("build_all_eight_workload_dags", |b| {
+        b.iter(|| {
+            for w in Workload::PAPER_SEVEN.into_iter().chain([Workload::PageRank]) {
+                let dag = w.build(&scale);
+                assert!(dag.num_stages() > 0);
+            }
+        })
+    });
+}
+
+criterion_group!(sim, bench_full_runs, bench_paper_scale_run, bench_workload_generation);
+criterion_main!(sim);

@@ -1,0 +1,115 @@
+//! `calib` — calibration probe: decompose one workload's JCT into
+//! per-stage durations and locality mixes under chosen system variants.
+//! Development tool for matching the paper's shapes.
+
+use dagon_bench::{f, markdown_table, pct};
+use dagon_cache::PolicyKind;
+use dagon_core::experiments::ExpConfig;
+use dagon_core::run_system;
+use dagon_core::system::{PlaceKind, SchedKind, System};
+use dagon_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("grid") {
+        grid();
+        return;
+    }
+    let wname = args.first().map(|s| s.as_str()).unwrap_or("LinearRegression");
+    let workload = [
+        Workload::LinearRegression,
+        Workload::LogisticRegression,
+        Workload::DecisionTree,
+        Workload::KMeans,
+        Workload::TriangleCount,
+        Workload::ConnectedComponent,
+        Workload::PregelOperation,
+        Workload::PageRank,
+    ]
+    .into_iter()
+    .find(|w| w.name().eq_ignore_ascii_case(wname) || w.abbrev().eq_ignore_ascii_case(wname))
+    .expect("unknown workload");
+
+    let cfg = ExpConfig::paper();
+    let dag = workload.build(&cfg.scale);
+    let variants: Vec<(String, System)> = vec![
+        ("FIFO+delay+LRU".into(), System::stock_spark()),
+        ("FIFO+sens+LRU".into(), System::new(SchedKind::Fifo, PlaceKind::Sensitivity, PolicyKind::Lru)),
+        ("Dagon+delay+LRU".into(), System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru)),
+        ("Dagon+sens+LRU".into(), System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru)),
+        ("Dagon+sens+LRP".into(), System::dagon()),
+        ("Graphene+delay+MRD".into(), System::graphene_mrd()),
+    ];
+
+    println!("workload {} — {} stages, {} tasks", workload, dag.num_stages(),
+        dag.stages().iter().map(|s| s.num_tasks).sum::<u32>());
+    let mut summary = Vec::new();
+    for (label, sys) in &variants {
+        let out = run_system(&dag, &cfg.cluster, sys);
+        let r = &out.result;
+        let c = &r.metrics.cache;
+        summary.push(vec![
+            label.clone(),
+            f(out.jct_s(), 1),
+            pct(r.cpu_utilization()),
+            pct(c.hit_ratio()),
+            format!("{}", c.prefetches),
+            format!("{}", c.prefetch_used),
+            format!("{}", c.evictions),
+            format!("{}", c.proactive_evictions),
+        ]);
+        // Per-stage table.
+        println!("\n### {label}: JCT {:.1}s", out.jct_s());
+        let mut rows = Vec::new();
+        for s in dag.stage_ids() {
+            let sm = &r.metrics.per_stage[s.index()];
+            let lc = sm.launches_by_locality;
+            rows.push(vec![
+                format!("{s} {}", dag.stage(s).name),
+                format!("{}", sm.first_launch.unwrap_or(0) / 100),
+                format!("{}", sm.completed_at.unwrap_or(0) / 100),
+                f(sm.duration().unwrap_or(0) as f64 / 1000.0, 2),
+                format!("{}/{}/{}/{}", lc[0], lc[1], lc[2], lc[3]),
+                f(sm.avg_duration().unwrap_or(0.0) / 1000.0, 2),
+            ]);
+        }
+        println!(
+            "{}",
+            markdown_table(
+                &["stage", "start(ds)", "end(ds)", "dur s", "P/N/R/A", "avg task s"],
+                &rows
+            )
+        );
+    }
+    println!("\n{}", markdown_table(&["variant", "JCT", "util", "hits", "pf", "pf_used", "evict", "proact"], &summary));
+}
+
+
+/// Compact JCT grid over all workloads × key variants.
+fn grid() {
+    let cfg = ExpConfig::paper();
+    let variants: Vec<(&str, System)> = vec![
+        ("F/d/LRU", System::stock_spark()),
+        ("G/d/LRU", System::graphene_lru()),
+        ("G/d/MRD", System::graphene_mrd()),
+        ("D/d/LRU", System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru)),
+        ("D/s/LRU", System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru)),
+        ("D/d/LRP", System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lrp)),
+        ("D/s/LRP", System::dagon()),
+    ];
+    let mut rows = Vec::new();
+    for w in Workload::PAPER_SEVEN {
+        let dag = w.build(&cfg.scale);
+        let mut row = vec![w.abbrev().to_string()];
+        for (_, sys) in &variants {
+            let jct = dagon_core::experiments::mean_jct_s(&dag, &cfg.cluster, sys, 3);
+            row.push(format!("{jct:.1}"));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["wl"];
+    for (n, _) in &variants {
+        headers.push(n);
+    }
+    println!("{}", markdown_table(&headers, &rows));
+}

@@ -1,0 +1,147 @@
+//! # dagon-bench — reproduction harness utilities
+//!
+//! Table formatting and series down-sampling shared by the `repro` binary
+//! (which regenerates every figure and table of the paper) and the
+//! Criterion benches.
+
+use dagon_cluster::TimePoint;
+
+/// Render rows as a GitHub-flavoured markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let ncol = headers.len();
+    let mut width = vec![0usize; ncol];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for r in rows {
+        for (i, c) in r.iter().enumerate().take(ncol) {
+            width[i] = width[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = write!(out, "|");
+    for (h, w) in headers.iter().zip(&width) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|");
+    for w in &width {
+        let _ = write!(out, "{}|", "-".repeat(w + 2));
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "|");
+        for (c, w) in r.iter().zip(&width) {
+            let _ = write!(out, " {c:<w$} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Format a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Down-sample a step timeline to at most `n` evenly spaced time buckets
+/// (mean value per bucket) for terminal sparkline plots.
+pub fn downsample(points: &[TimePoint], end_t: u64, n: usize) -> Vec<f64> {
+    if n == 0 || end_t == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0f64; n];
+    // Walk the step function, accumulating area per bucket, then divide.
+    let mut level = 0.0;
+    let mut idx = 0;
+    let bucket_ms = end_t as f64 / n as f64;
+    let mut areas = vec![0.0f64; n];
+    let mut t = 0u64;
+    while t < end_t {
+        while idx < points.len() && points[idx].t <= t {
+            level = points[idx].v;
+            idx += 1;
+        }
+        let next_change = points.get(idx).map(|p| p.t).unwrap_or(end_t).min(end_t);
+        let mut seg_start = t;
+        while seg_start < next_change {
+            let b = ((seg_start as f64 / bucket_ms) as usize).min(n - 1);
+            let bucket_end = (((b + 1) as f64 * bucket_ms) as u64).max(seg_start + 1);
+            let seg_end = bucket_end.min(next_change);
+            areas[b] += level * (seg_end - seg_start) as f64;
+            seg_start = seg_end;
+        }
+        t = next_change.max(t + 1);
+    }
+    for (i, a) in areas.iter().enumerate() {
+        out[i] = a / bucket_ms;
+    }
+    out
+}
+
+/// Render a numeric series as a unicode sparkline.
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+                BARS[idx]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_aligns_columns() {
+        let t = markdown_table(
+            &["name", "v"],
+            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|--"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn downsample_constant_function() {
+        let pts = vec![TimePoint { t: 0, v: 4.0 }];
+        let d = downsample(&pts, 100, 4);
+        assert_eq!(d.len(), 4);
+        for v in d {
+            assert!((v - 4.0).abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn downsample_step_function_splits_buckets() {
+        // 0..50 at 2.0, 50..100 at 6.0 → bucket means [2, 6].
+        let pts = vec![TimePoint { t: 0, v: 2.0 }, TimePoint { t: 50, v: 6.0 }];
+        let d = downsample(&pts, 100, 2);
+        assert!((d[0] - 2.0).abs() < 0.2, "{d:?}");
+        assert!((d[1] - 6.0).abs() < 0.2, "{d:?}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0.0, 4.0, 8.0], 8.0);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -1,0 +1,74 @@
+//! # dagon-cache — cache eviction & prefetch policies
+//!
+//! All four policies the paper evaluates, implemented against
+//! [`dagon_cluster::CachePolicy`] and fed by the BlockManagerMaster's
+//! [`dagon_cluster::RefProfile`]:
+//!
+//! | Policy | Metric | Evicts | Prefetches |
+//! |---|---|---|---|
+//! | [`Lru`] | recency | least-recently used | — |
+//! | [`Lrc`] | remaining reference count [INFOCOM'17] | smallest count | — |
+//! | [`Mrd`] | FIFO stage reference distance [ICPP'18] | largest distance | smallest distance |
+//! | [`Lrp`] | stage priority value (Def. 1, Eq. 6) | smallest priority | largest priority |
+//!
+//! LRP additionally drops zero-reference-priority blocks proactively
+//! (§III-C: "proactively delete inactive data").
+//!
+//! [`table1`] replays the paper's Table I worked example.
+
+pub mod belady;
+pub mod lrc;
+pub mod lrp;
+pub mod lru;
+pub mod mrd;
+pub mod table1;
+
+pub use lrc::Lrc;
+pub use lrp::Lrp;
+pub use lru::Lru;
+pub use mrd::Mrd;
+
+use dagon_cluster::CachePolicy;
+
+/// Every policy this crate offers, by name — handy for config parsing and
+/// sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    None,
+    Lru,
+    Lrc,
+    Mrd,
+    Lrp,
+}
+
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 5] =
+        [PolicyKind::None, PolicyKind::Lru, PolicyKind::Lrc, PolicyKind::Mrd, PolicyKind::Lrp];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::None => "none",
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lrc => "LRC",
+            PolicyKind::Mrd => "MRD",
+            PolicyKind::Lrp => "LRP",
+        }
+    }
+
+    /// Instantiate one policy object (one per executor).
+    pub fn build(self) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::None => Box::new(dagon_cluster::NoCache),
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Lrc => Box::new(Lrc::new()),
+            PolicyKind::Mrd => Box::new(Mrd::new()),
+            PolicyKind::Lrp => Box::new(Lrp::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}

@@ -1,0 +1,103 @@
+//! LRU — stock Spark's BlockManager policy. DAG-oblivious: evicts the
+//! least-recently inserted/accessed block, never prefetches.
+
+use std::collections::HashMap;
+
+use dagon_cluster::{CachePolicy, RefProfile};
+use dagon_dag::{BlockId, SimTime};
+
+/// Least-recently-used eviction.
+pub struct Lru {
+    /// Logical clock per block: updated on insert and access.
+    stamp: HashMap<BlockId, u64>,
+    clock: u64,
+}
+
+impl Lru {
+    pub fn new() -> Self {
+        Self { stamp: HashMap::new(), clock: 0 }
+    }
+
+    fn touch(&mut self, b: BlockId) {
+        self.clock += 1;
+        self.stamp.insert(b, self.clock);
+    }
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for Lru {
+    fn policy_name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_access(&mut self, b: BlockId, _now: SimTime) {
+        self.touch(b);
+    }
+
+    fn on_insert(&mut self, b: BlockId, _now: SimTime) {
+        self.touch(b);
+    }
+
+    fn on_evict(&mut self, b: BlockId) {
+        self.stamp.remove(&b);
+    }
+
+    fn victim(
+        &mut self,
+        candidates: &[BlockId],
+        _incoming: Option<BlockId>,
+        _profile: &RefProfile,
+    ) -> Option<BlockId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|b| (self.stamp.get(b).copied().unwrap_or(0), *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::RddId;
+
+    fn blk(p: u32) -> BlockId {
+        BlockId::new(RddId(0), p)
+    }
+
+    #[test]
+    fn evicts_least_recently_touched() {
+        let mut lru = Lru::new();
+        let p = RefProfile::default();
+        lru.on_insert(blk(0), 0);
+        lru.on_insert(blk(1), 1);
+        lru.on_insert(blk(2), 2);
+        // Touch block 0: block 1 becomes LRU.
+        lru.on_access(blk(0), 3);
+        let cands = [blk(0), blk(1), blk(2)];
+        assert_eq!(lru.victim(&cands, None, &p), Some(blk(1)));
+        lru.on_evict(blk(1));
+        assert_eq!(lru.victim(&[blk(0), blk(2)], None, &p), Some(blk(2)));
+    }
+
+    #[test]
+    fn unknown_blocks_evict_first() {
+        let mut lru = Lru::new();
+        let p = RefProfile::default();
+        lru.on_insert(blk(1), 5);
+        // blk(9) never touched → stamp 0 → chosen.
+        assert_eq!(lru.victim(&[blk(1), blk(9)], None, &p), Some(blk(9)));
+    }
+
+    #[test]
+    fn never_prefetches() {
+        let mut lru = Lru::new();
+        let p = RefProfile::default();
+        assert_eq!(lru.prefetch_pick(&[blk(0)], &p), None);
+        assert!(lru.proactive_victims(&[blk(0)], &p).is_empty());
+    }
+}

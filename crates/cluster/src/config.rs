@@ -1,0 +1,319 @@
+//! Cluster and cost-model configuration.
+
+use dagon_dag::{Resources, SimTime, SEC_MS};
+
+/// Delay-scheduling wait budgets, one per locality downgrade — Spark's
+/// `spark.locality.wait.{process,node,rack}`. The default (3 s each)
+/// matches Spark 2.2 and the paper's case study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalityWait {
+    /// How long to insist on PROCESS_LOCAL before allowing NODE_LOCAL.
+    pub process_ms: SimTime,
+    /// How long to allow NODE_LOCAL before allowing RACK_LOCAL.
+    pub node_ms: SimTime,
+    /// How long to allow RACK_LOCAL before allowing ANY.
+    pub rack_ms: SimTime,
+}
+
+impl LocalityWait {
+    /// Spark's default: 3 s at every level.
+    pub fn spark_default() -> Self {
+        Self::uniform(3 * SEC_MS)
+    }
+
+    /// The same wait at every level (the paper sweeps 0 / 1.5 / 3 / 5 s).
+    pub fn uniform(ms: SimTime) -> Self {
+        Self { process_ms: ms, node_ms: ms, rack_ms: ms }
+    }
+
+    /// Delay scheduling disabled (`spark.locality.wait = 0`).
+    pub fn disabled() -> Self {
+        Self::uniform(0)
+    }
+
+    /// Wait budget for holding at the given level-index (0 = Process).
+    pub fn for_level(&self, level_index: usize) -> SimTime {
+        match level_index {
+            0 => self.process_ms,
+            1 => self.node_ms,
+            _ => self.rack_ms,
+        }
+    }
+}
+
+/// Speculative-execution knobs (§IV: "for a long tail task, it launches a
+/// speculative task to an executor that has free resource close to the
+/// input data"). Mirrors `spark.speculation.{multiplier,quantile}`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationConfig {
+    /// A running task is a straggler once its elapsed time exceeds
+    /// `multiplier ×` the median duration of finished tasks in its stage.
+    pub multiplier: f64,
+    /// Fraction of the stage's tasks that must have finished before
+    /// speculation is considered.
+    pub quantile: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self { multiplier: 1.5, quantile: 0.75 }
+    }
+}
+
+/// I/O cost model. Reads are priced by where the block is relative to the
+/// reading executor:
+///
+/// * cache hit in this executor → free;
+/// * this node's disk → `mb / disk_mbps`;
+/// * same rack → source-disk read + rack network + latency;
+/// * cross rack → source-disk read + core network + latency.
+///
+/// With disk ≈ 100–200 MB/s and 10 GbE, remote reads are only modestly
+/// slower than node-local disk reads (both disk-bound) while cache hits are
+/// free — reproducing the paper's observation that HDFS scan stages are
+/// locality-*insensitive* while cached-RDD iteration stages are highly
+/// sensitive.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Node-local disk bandwidth, MiB/s.
+    pub disk_mbps: f64,
+    /// Intra-rack network bandwidth, MiB/s.
+    pub rack_mbps: f64,
+    /// Cross-rack network bandwidth, MiB/s.
+    pub xrack_mbps: f64,
+    /// Per-remote-read fixed latency, ms.
+    pub net_latency_ms: f64,
+    /// Reading from another executor's cache on the same node, MiB/s
+    /// (memory-to-memory over loopback; fast but not free).
+    pub node_cache_mbps: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            disk_mbps: 120.0,
+            rack_mbps: 1100.0,
+            xrack_mbps: 600.0,
+            net_latency_ms: 2.0,
+            node_cache_mbps: 2200.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Milliseconds to read `mb` MiB at `tier` (see [`ReadTier`]).
+    pub fn read_ms(&self, mb: f64, tier: ReadTier) -> f64 {
+        match tier {
+            ReadTier::ProcessCache => 0.0,
+            ReadTier::NodeCache => mb / self.node_cache_mbps * 1000.0,
+            ReadTier::NodeDisk => mb / self.disk_mbps * 1000.0,
+            ReadTier::RackRemote => {
+                mb / self.disk_mbps * 1000.0 + mb / self.rack_mbps * 1000.0 + self.net_latency_ms
+            }
+            ReadTier::CrossRack => {
+                mb / self.disk_mbps * 1000.0 + mb / self.xrack_mbps * 1000.0 + self.net_latency_ms
+            }
+        }
+    }
+}
+
+/// The concrete channel a single block read goes through (finer-grained
+/// than [`crate::Locality`], which labels whole tasks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReadTier {
+    ProcessCache,
+    NodeCache,
+    NodeDisk,
+    RackRemote,
+    CrossRack,
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Nodes per rack.
+    pub racks: Vec<u32>,
+    /// Executors hosted on each node.
+    pub execs_per_node: u32,
+    /// Resource capacity of one executor (the paper: 4 cores, 8 GB).
+    pub exec_capacity: Resources,
+    /// BlockManager storage-memory per executor, MiB.
+    pub exec_cache_mb: f64,
+    /// HDFS replication factor (the paper's case study sets 1).
+    pub hdfs_replication: u32,
+    /// I/O cost model.
+    pub cost: CostModel,
+    /// Delay-scheduling waits (consumed by placement policies).
+    pub locality_wait: LocalityWait,
+    /// Scheduler wake-up period, ms — how often the task scheduler revisits
+    /// pending work even when no task finished.
+    pub sched_tick_ms: SimTime,
+    /// Prefetch when an executor's free cache fraction is at least this
+    /// (paper: "when the available cache space exceeds a certain
+    /// threshold"). `None` disables prefetching globally.
+    pub prefetch_free_frac: Option<f64>,
+    /// Speculative execution; `None` disables it.
+    pub speculation: Option<SpeculationConfig>,
+    /// Multiplicative runtime noise on task durations: each attempt runs
+    /// for `(cpu+io) × (1 ± U(0, jitter))`. Real-cluster variance (GC,
+    /// contention) is what lets fast executors finish early and steal
+    /// non-local tasks when delay scheduling is off — without it the
+    /// locality experiments degenerate. 0 = deterministic durations.
+    pub duration_jitter: f64,
+    /// Seed for HDFS placement, duration jitter, and any stochastic
+    /// tie-breaks.
+    pub seed: u64,
+    /// Probability that a task *attempt* is struck by a machine-side
+    /// hiccup (cgroup throttling, JVM pause, slow disk) multiplying its
+    /// compute phase by `straggler_factor`. Attempt-level, so a speculative
+    /// copy re-rolls — the failure mode speculation exists for.
+    pub straggler_prob: f64,
+    /// Compute-time multiplier for a struck attempt.
+    pub straggler_factor: f64,
+    /// Record per-executor busy/pending traces (Fig. 4); costs memory.
+    pub trace_executors: bool,
+    /// Record the (executor, block) cache-access trace for offline
+    /// (clairvoyant) cache analysis; costs memory.
+    pub trace_accesses: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's evaluation testbed (§V-A): 18 worker nodes in two racks,
+    /// 4 executors per 16-core node, each executor 4 cores / 8 GB.
+    pub fn paper_testbed() -> Self {
+        Self {
+            racks: vec![9, 9],
+            execs_per_node: 4,
+            exec_capacity: Resources::new(4, 8 * 1024),
+            exec_cache_mb: 4.0 * 1024.0,
+            hdfs_replication: 3,
+            cost: CostModel::default(),
+            locality_wait: LocalityWait::spark_default(),
+            sched_tick_ms: 100,
+            prefetch_free_frac: Some(0.05),
+            speculation: Some(SpeculationConfig::default()),
+            duration_jitter: 0.15,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+            seed: 1,
+            trace_executors: false,
+            trace_accesses: false,
+        }
+    }
+
+    /// The §II-A case-study cluster: 7 nodes, one rack... the paper uses 7
+    /// machines with 16-core CPUs and 4-core/32 GB executors, HDFS
+    /// replication 1.
+    pub fn case_study() -> Self {
+        Self {
+            racks: vec![4, 3],
+            execs_per_node: 4,
+            exec_capacity: Resources::new(4, 32 * 1024),
+            exec_cache_mb: 16.0 * 1024.0,
+            hdfs_replication: 1,
+            cost: CostModel::default(),
+            locality_wait: LocalityWait::spark_default(),
+            sched_tick_ms: 100,
+            prefetch_free_frac: None,
+            speculation: None,
+            duration_jitter: 0.15,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+            seed: 1,
+            trace_executors: true,
+            trace_accesses: false,
+        }
+    }
+
+    /// A small deterministic cluster for unit tests: `nodes` single-rack
+    /// nodes, one executor each with `cores` cores.
+    pub fn tiny(nodes: u32, cores: u32) -> Self {
+        Self {
+            racks: vec![nodes],
+            execs_per_node: 1,
+            exec_capacity: Resources::new(cores, 64 * 1024),
+            exec_cache_mb: 1024.0,
+            hdfs_replication: 1,
+            cost: CostModel::default(),
+            locality_wait: LocalityWait::disabled(),
+            sched_tick_ms: 100,
+            prefetch_free_frac: None,
+            speculation: None,
+            duration_jitter: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+            seed: 1,
+            trace_executors: false,
+            trace_accesses: false,
+        }
+    }
+
+    pub fn total_nodes(&self) -> u32 {
+        self.racks.iter().sum()
+    }
+
+    pub fn total_execs(&self) -> u32 {
+        self.total_nodes() * self.execs_per_node
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.total_execs() * self.exec_capacity.cpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_tiers_are_monotonically_slower() {
+        let c = CostModel::default();
+        let mb = 128.0;
+        let t = [
+            c.read_ms(mb, ReadTier::ProcessCache),
+            c.read_ms(mb, ReadTier::NodeCache),
+            c.read_ms(mb, ReadTier::NodeDisk),
+            c.read_ms(mb, ReadTier::RackRemote),
+            c.read_ms(mb, ReadTier::CrossRack),
+        ];
+        for w in t.windows(2) {
+            assert!(w[0] <= w[1], "{t:?}");
+        }
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn remote_read_is_disk_bound_not_network_bound() {
+        // The key ratio behind "scan stages are locality-insensitive":
+        // rack-remote ≲ 1.3 × node-disk for a large block.
+        let c = CostModel::default();
+        let node = c.read_ms(128.0, ReadTier::NodeDisk);
+        let rack = c.read_ms(128.0, ReadTier::RackRemote);
+        assert!(rack < node * 1.35, "rack {rack} vs node {node}");
+        assert!(rack > node);
+    }
+
+    #[test]
+    fn locality_wait_levels() {
+        let w = LocalityWait::spark_default();
+        assert_eq!(w.for_level(0), 3000);
+        assert_eq!(w.for_level(1), 3000);
+        assert_eq!(w.for_level(2), 3000);
+        assert_eq!(LocalityWait::disabled().for_level(1), 0);
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterConfig::paper_testbed();
+        assert_eq!(c.total_nodes(), 18);
+        assert_eq!(c.total_execs(), 72);
+        assert_eq!(c.total_cores(), 288);
+    }
+
+    #[test]
+    fn tiny_shape() {
+        let c = ClusterConfig::tiny(1, 16);
+        assert_eq!(c.total_execs(), 1);
+        assert_eq!(c.total_cores(), 16);
+    }
+}

@@ -1,0 +1,129 @@
+//! The discrete-event core: a deterministic time-ordered queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dagon_dag::{BlockId, SimTime, TaskId};
+
+use crate::topology::ExecId;
+
+/// Events the simulator reacts to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A task attempt completes on an executor. `attempt` distinguishes
+    /// speculative copies; a stale finish (task already completed by another
+    /// attempt) is ignored.
+    TaskFinish { task: TaskId, exec: ExecId, attempt: u32 },
+    /// A task attempt finished its input I/O phase and starts burning CPU
+    /// (the boundary the utilization metric is measured around — cgroup CPU
+    /// accounting sees I/O wait as idle).
+    IoDone { task: TaskId, exec: ExecId, attempt: u32 },
+    /// A prefetched block arrives in an executor's cache.
+    PrefetchArrive { block: BlockId, exec: ExecId },
+    /// A stage's release time (job arrival in multi-tenant runs) passed:
+    /// re-examine its readiness.
+    StageRelease { stage: dagon_dag::StageId },
+    /// Periodic scheduler wake-up (delay-scheduling timeouts, speculation
+    /// checks, prefetch scans).
+    Tick,
+}
+
+/// Min-heap of `(time, seq, event)`. The monotonically increasing `seq`
+/// makes same-time ordering deterministic (insertion order).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Event` a total order for the heap (ordering among
+/// same-time events is decided by `seq`, so this order is never observed —
+/// it only satisfies `Ord`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct EventBox(Event);
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, EventBox(ev))));
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((t, _, EventBox(e)))| (t, e))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::StageId;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Tick);
+        q.push(10, Event::Tick);
+        q.push(20, Event::Tick);
+        let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t0 = TaskId::new(StageId(0), 0);
+        let t1 = TaskId::new(StageId(0), 1);
+        q.push(5, Event::TaskFinish { task: t0, exec: ExecId(0), attempt: 0 });
+        q.push(5, Event::TaskFinish { task: t1, exec: ExecId(1), attempt: 0 });
+        match q.pop().unwrap().1 {
+            Event::TaskFinish { task, .. } => assert_eq!(task, t0),
+            _ => panic!(),
+        }
+        match q.pop().unwrap().1 {
+            Event::TaskFinish { task, .. } => assert_eq!(task, t1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.push(7, Event::Tick);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! Task locality levels, ordered best-to-worst exactly as Spark's
+//! `TaskLocality`: `PROCESS_LOCAL < NODE_LOCAL < RACK_LOCAL < ANY`.
+
+use std::fmt;
+
+/// Where a task runs relative to its input data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// Input cached in this executor's BlockManager.
+    Process = 0,
+    /// Input on this node (disk replica, shuffle output, or another
+    /// executor's cache on the same node).
+    Node = 1,
+    /// Input elsewhere in this rack.
+    Rack = 2,
+    /// Input in another rack (or the task has no locality preference).
+    Any = 3,
+}
+
+impl Locality {
+    pub const ALL: [Locality; 4] = [Locality::Process, Locality::Node, Locality::Rack, Locality::Any];
+
+    /// Numeric index, 0 = best.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn from_index(i: usize) -> Locality {
+        Self::ALL[i.min(3)]
+    }
+
+    /// Is `self` at least as good (as local) as `other`?
+    #[inline]
+    pub fn at_least(self, other: Locality) -> bool {
+        self <= other
+    }
+
+    /// Short uppercase name as Spark logs print it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Locality::Process => "PROCESS_LOCAL",
+            Locality::Node => "NODE_LOCAL",
+            Locality::Rack => "RACK_LOCAL",
+            Locality::Any => "ANY",
+        }
+    }
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_best_first() {
+        assert!(Locality::Process < Locality::Node);
+        assert!(Locality::Node < Locality::Rack);
+        assert!(Locality::Rack < Locality::Any);
+        assert!(Locality::Process.at_least(Locality::Any));
+        assert!(!Locality::Any.at_least(Locality::Rack));
+        assert!(Locality::Node.at_least(Locality::Node));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for l in Locality::ALL {
+            assert_eq!(Locality::from_index(l.index()), l);
+        }
+        assert_eq!(Locality::from_index(99), Locality::Any);
+    }
+}

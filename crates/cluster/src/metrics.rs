@@ -1,0 +1,307 @@
+//! Run metrics: everything the paper's figures plot.
+
+use dagon_dag::{SimTime, StageId, TaskId};
+
+use crate::locality::Locality;
+use crate::topology::ExecId;
+
+/// A `(time, value)` sample for stepwise timelines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimePoint {
+    pub t: SimTime,
+    pub v: f64,
+}
+
+/// One completed task attempt (Gantt row).
+#[derive(Clone, Copy, Debug)]
+pub struct TaskRun {
+    pub task: TaskId,
+    pub exec: ExecId,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub locality: Locality,
+    pub speculative: bool,
+    /// Did this attempt's result count (first finisher)?
+    pub winner: bool,
+}
+
+/// Aggregated cache behaviour across all executors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads of cache-eligible blocks found in the reading executor.
+    pub hits: u64,
+    /// Reads of cache-eligible blocks not found there.
+    pub misses: u64,
+    /// MiB served from cache (×1024, stored as integer for Eq).
+    pub hit_kb: u64,
+    /// MiB of cache-eligible reads that went to disk/network.
+    pub miss_kb: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Blocks proactively dropped (zero reference priority).
+    pub proactive_evictions: u64,
+    pub prefetches: u64,
+    /// Prefetched blocks that later produced at least one hit.
+    pub prefetch_used: u64,
+}
+
+impl CacheStats {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Byte-weighted hit ratio — what actually determines I/O time saved
+    /// (a 192 MiB edge-block hit matters more than a 16 MiB message hit).
+    pub fn byte_hit_ratio(&self) -> f64 {
+        let total = self.hit_kb + self.miss_kb;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_kb as f64 / total as f64
+        }
+    }
+}
+
+/// Per-stage accounting.
+#[derive(Clone, Debug, Default)]
+pub struct StageMetrics {
+    pub first_launch: Option<SimTime>,
+    pub completed_at: Option<SimTime>,
+    /// Launch counts per locality level (winning + speculative attempts).
+    pub launches_by_locality: [u32; 4],
+    /// Count and total duration of finished attempts per locality level —
+    /// Alg. 2's estimator ("the finish time of a pending task is estimated
+    /// as the average duration of the finished tasks with the same locality
+    /// level").
+    pub finished_by_locality: [(u32, u64); 4],
+}
+
+impl StageMetrics {
+    /// Wall-clock duration of the stage (first launch → completion).
+    pub fn duration(&self) -> Option<SimTime> {
+        Some(self.completed_at?.saturating_sub(self.first_launch?))
+    }
+
+    /// Mean finished-attempt duration at the given locality.
+    pub fn avg_duration_at(&self, l: Locality) -> Option<f64> {
+        let (n, sum) = self.finished_by_locality[l.index()];
+        if n == 0 {
+            None
+        } else {
+            Some(sum as f64 / n as f64)
+        }
+    }
+
+    /// Mean finished-attempt duration across all localities.
+    pub fn avg_duration(&self) -> Option<f64> {
+        let (n, sum) = self
+            .finished_by_locality
+            .iter()
+            .fold((0u32, 0u64), |(an, asum), (n, s)| (an + n, asum + s));
+        if n == 0 {
+            None
+        } else {
+            Some(sum as f64 / n as f64)
+        }
+    }
+}
+
+/// Exact integral of a step function: accumulate `value × Δt` between
+/// change points, and optionally keep the change points for plotting.
+#[derive(Clone, Debug)]
+pub struct StepIntegrator {
+    last_t: SimTime,
+    current: f64,
+    pub area: f64,
+    pub timeline: Option<Vec<TimePoint>>,
+}
+
+impl StepIntegrator {
+    pub fn new(keep_timeline: bool) -> Self {
+        Self {
+            last_t: 0,
+            current: 0.0,
+            area: 0.0,
+            timeline: keep_timeline.then(Vec::new),
+        }
+    }
+
+    /// Set a new value at time `t` (must be ≥ the previous change time).
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t);
+        self.area += self.current * (t - self.last_t) as f64;
+        self.last_t = t;
+        if self.current != v {
+            if let Some(tl) = &mut self.timeline {
+                tl.push(TimePoint { t, v });
+            }
+        }
+        self.current = v;
+    }
+
+    /// Add `dv` at time `t`.
+    pub fn add(&mut self, t: SimTime, dv: f64) {
+        let v = self.current + dv;
+        self.set(t, v);
+    }
+
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Close the integral at `t` and return the accumulated area.
+    pub fn finish(&mut self, t: SimTime) -> f64 {
+        self.set(t, self.current);
+        self.area
+    }
+}
+
+/// Optional per-executor traces for the Fig. 4 study.
+#[derive(Clone, Debug, Default)]
+pub struct ExecTrace {
+    /// Busy-core samples (change points).
+    pub busy: Vec<TimePoint>,
+    /// `(t, pending NODE_LOCAL tasks for this executor)` samples, taken each
+    /// tick.
+    pub pending_node_local: Vec<TimePoint>,
+}
+
+/// Everything measured during one run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    pub per_stage: Vec<StageMetrics>,
+    pub cache: CacheStats,
+    pub task_runs: Vec<TaskRun>,
+    /// `(executor, block)` cache-access sequence, recorded only when
+    /// `ClusterConfig::trace_accesses` is set (offline Belady analysis).
+    pub access_trace: Vec<(u32, dagon_dag::BlockId)>,
+    /// Cluster-wide busy cores over time.
+    pub busy_cores: StepIntegrator,
+    /// Running tasks over time (task parallelism, Fig. 9b).
+    pub running_tasks: StepIntegrator,
+    pub exec_traces: Vec<ExecTrace>,
+    pub speculative_launched: u32,
+    pub speculative_won: u32,
+}
+
+impl Metrics {
+    pub fn new(num_stages: usize, num_execs: usize, trace_execs: bool) -> Self {
+        Self {
+            per_stage: vec![StageMetrics::default(); num_stages],
+            cache: CacheStats::default(),
+            task_runs: Vec::new(),
+            access_trace: Vec::new(),
+            busy_cores: StepIntegrator::new(true),
+            running_tasks: StepIntegrator::new(true),
+            exec_traces: if trace_execs { vec![ExecTrace::default(); num_execs] } else { Vec::new() },
+            speculative_launched: 0,
+            speculative_won: 0,
+        }
+    }
+}
+
+/// Final outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Job completion time.
+    pub jct: SimTime,
+    pub metrics: Metrics,
+    /// Total cluster cores (for utilization).
+    pub total_cores: u32,
+}
+
+impl SimResult {
+    /// Mean CPU utilization over the job: busy-core-time / (cores × JCT).
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.jct == 0 {
+            return 0.0;
+        }
+        self.metrics.busy_cores.area / (self.total_cores as f64 * self.jct as f64)
+    }
+
+    /// Mean duration of winning task attempts.
+    pub fn avg_task_ms(&self) -> f64 {
+        let wins: Vec<_> = self.metrics.task_runs.iter().filter(|r| r.winner).collect();
+        if wins.is_empty() {
+            return 0.0;
+        }
+        wins.iter().map(|r| (r.end - r.start) as f64).sum::<f64>() / wins.len() as f64
+    }
+
+    /// Fraction of winning launches at PROCESS or NODE locality.
+    pub fn high_locality_fraction(&self) -> f64 {
+        let wins: Vec<_> = self.metrics.task_runs.iter().filter(|r| r.winner).collect();
+        if wins.is_empty() {
+            return 0.0;
+        }
+        let hi = wins.iter().filter(|r| r.locality <= Locality::Node).count();
+        hi as f64 / wins.len() as f64
+    }
+
+    /// Count of winning launches at or better than `l` for the given stages.
+    pub fn high_locality_count(&self, stages: &[StageId], l: Locality) -> usize {
+        self.metrics
+            .task_runs
+            .iter()
+            .filter(|r| r.winner && stages.contains(&r.task.stage) && r.locality <= l)
+            .count()
+    }
+
+    /// Wall-clock duration of one stage.
+    pub fn stage_duration(&self, s: StageId) -> Option<SimTime> {
+        self.metrics.per_stage[s.index()].duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_integrator_exact_area() {
+        let mut si = StepIntegrator::new(true);
+        si.set(0, 2.0);
+        si.set(10, 4.0);
+        si.set(15, 0.0);
+        let area = si.finish(20);
+        assert_eq!(area, 2.0 * 10.0 + 4.0 * 5.0);
+        let tl = si.timeline.as_ref().unwrap();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[1], TimePoint { t: 10, v: 4.0 });
+    }
+
+    #[test]
+    fn step_integrator_add_deltas() {
+        let mut si = StepIntegrator::new(false);
+        si.add(0, 3.0);
+        si.add(5, -1.0);
+        assert_eq!(si.current(), 2.0);
+        assert_eq!(si.finish(10), 3.0 * 5.0 + 2.0 * 5.0);
+        assert!(si.timeline.is_none());
+    }
+
+    #[test]
+    fn cache_hit_ratio_handles_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_ratio(), 0.75);
+    }
+
+    #[test]
+    fn stage_metrics_averages() {
+        let mut m = StageMetrics::default();
+        m.finished_by_locality[Locality::Process.index()] = (2, 400);
+        m.finished_by_locality[Locality::Node.index()] = (1, 1000);
+        assert_eq!(m.avg_duration_at(Locality::Process), Some(200.0));
+        assert_eq!(m.avg_duration_at(Locality::Rack), None);
+        let avg = m.avg_duration().unwrap();
+        assert!((avg - 1400.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.duration(), None);
+    }
+}

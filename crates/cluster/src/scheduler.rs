@@ -1,0 +1,89 @@
+//! The [`Scheduler`] trait every scheduling policy implements, plus a
+//! trivially greedy scheduler used by this crate's own tests.
+
+use dagon_dag::{Resources, SimTime, StageId, TaskId};
+
+use crate::locality::Locality;
+use crate::topology::ExecId;
+use crate::view::SimView;
+
+/// One task-launch decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    pub stage: StageId,
+    pub task_index: u32,
+    pub exec: ExecId,
+    /// The locality the scheduler believes it is launching at (recorded for
+    /// its own wait-clock bookkeeping; the simulator recomputes the
+    /// authoritative level at launch).
+    pub locality: Locality,
+}
+
+/// A task scheduling policy. The simulator calls [`Scheduler::schedule`]
+/// whenever resources free up, stages become ready, or the periodic tick
+/// fires; the scheduler returns a batch of assignments computed against the
+/// view (decrementing its own shadow of free resources within the batch).
+pub trait Scheduler {
+    fn name(&self) -> String;
+
+    /// Produce assignments for the current state. Called repeatedly until it
+    /// returns an empty batch. Must not assign more resources than the view
+    /// reports free, nor the same pending task twice in one batch.
+    fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment>;
+
+    /// A stage's parents all completed; its tasks are now pending.
+    fn on_stage_ready(&mut self, _s: StageId, _now: SimTime) {}
+
+    /// A stage fully completed.
+    fn on_stage_complete(&mut self, _s: StageId, _now: SimTime) {}
+
+    /// The simulator confirmed a (primary) launch. `work` is the ground-
+    /// truth vCPU-ms consumed from the stage's remaining workload.
+    fn on_task_launched(&mut self, _t: TaskId, _work: u64, _now: SimTime) {}
+
+    /// Current stage priority values, if this scheduler maintains Eq. (6)
+    /// (the Dagon scheduler does; others return `None` and the master falls
+    /// back to its own ground-truth tracker).
+    fn stage_priorities(&self) -> Option<Vec<(StageId, u64)>> {
+        None
+    }
+}
+
+/// Greedy locality-oblivious FIFO used in `dagon-cluster`'s unit tests:
+/// walk stages in id order, pack any pending task onto the first executor
+/// with room. (The real FIFO with delay scheduling lives in `dagon-sched`.)
+#[derive(Default)]
+pub struct GreedyFifo;
+
+impl Scheduler for GreedyFifo {
+    fn name(&self) -> String {
+        "greedy-fifo".into()
+    }
+
+    fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut free: Vec<Resources> = view.execs.iter().map(|e| e.free).collect();
+        let mut stages = view.schedulable_stages();
+        stages.sort_unstable();
+        for s in stages {
+            let demand = view.dag.stage(s).demand;
+            let mut pending: Vec<u32> = view.stage(s).pending.clone();
+            'next_task: while let Some(k) = pending.pop() {
+                for e in view.execs {
+                    if free[e.id.index()].fits(demand) {
+                        free[e.id.index()] = free[e.id.index()].minus(demand);
+                        out.push(Assignment {
+                            stage: s,
+                            task_index: k,
+                            exec: e.id,
+                            locality: view.task_locality(s, k, e.id),
+                        });
+                        continue 'next_task;
+                    }
+                }
+                break; // no executor fits this stage's demand now
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,885 @@
+//! The discrete-event simulation driver.
+//!
+//! One [`Simulation`] executes one job DAG on one cluster under one
+//! (scheduler, cache-policy) pair and returns a [`SimResult`]. The loop is
+//! strictly deterministic: events are ordered by `(time, insertion-seq)`,
+//! all randomness is seeded, and schedulers see a consistent [`SimView`]
+//! snapshot between event batches.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dagon_dag::{BlockId, JobDag, PriorityTracker, Resources, SimTime, StageId, TaskId};
+
+use crate::blockmanager::{BlockManager, CachePolicy, InsertOutcome};
+use crate::config::{ClusterConfig, ReadTier};
+use crate::event::{Event, EventQueue};
+use crate::hdfs::DataMap;
+use crate::locality::Locality;
+use crate::metrics::{Metrics, SimResult, TaskRun, TimePoint};
+use crate::refprofile::RefProfile;
+use crate::scheduler::{Assignment, Scheduler};
+use crate::topology::{ExecId, Topology};
+use crate::view::{ExecView, SimView, StageRuntime, TaskView};
+
+/// Hard ceiling on simulated time; reaching it means the configuration can
+/// never finish (e.g. a task demand exceeding every executor's capacity).
+const SIM_TIME_LIMIT: SimTime = 48 * 3600 * 1000;
+
+struct RunningAttempt {
+    exec: ExecId,
+    start: SimTime,
+    demand: Resources,
+    locality: Locality,
+    pinned: Vec<BlockId>,
+    speculative: bool,
+    /// Has the attempt passed its I/O phase (now consuming CPU)?
+    cpu_phase: bool,
+}
+
+/// One simulation run in progress.
+pub struct Simulation {
+    dag: JobDag,
+    cfg: ClusterConfig,
+    topo: Topology,
+    exec_free: Vec<Resources>,
+    exec_busy_cores: Vec<u32>,
+    bms: Vec<BlockManager>,
+    data: DataMap,
+    disk_by_node: Vec<Vec<BlockId>>,
+    stages: Vec<StageRuntime>,
+    /// stage → task → (block, MiB) inputs.
+    task_inputs: Vec<Vec<Vec<(BlockId, f64)>>>,
+    task_views: Vec<Vec<TaskView>>,
+    task_done: Vec<Vec<bool>>,
+    stage_durations: Vec<Vec<u64>>,
+    profile: RefProfile,
+    tracker: PriorityTracker,
+    queue: EventQueue,
+    metrics: Metrics,
+    now: SimTime,
+    running: HashMap<(TaskId, u32), RunningAttempt>,
+    cancelled: HashSet<(TaskId, u32)>,
+    spec_launched: HashSet<TaskId>,
+    prefetch_inflight: Vec<Option<(BlockId, f64)>>,
+    prefetched: Vec<HashSet<BlockId>>,
+    completed_count: usize,
+    rng: SmallRng,
+}
+
+impl Simulation {
+    /// Build a simulation. `cache` constructs one policy instance per
+    /// executor.
+    pub fn new(dag: JobDag, cfg: ClusterConfig, cache: impl Fn() -> Box<dyn CachePolicy>) -> Self {
+        let topo = Topology::build(&cfg.racks, cfg.execs_per_node);
+        let n_exec = topo.num_execs();
+        let data = DataMap::place_sources(&dag, &topo, cfg.hdfs_replication, cfg.seed);
+        let mut disk_by_node = vec![Vec::new(); topo.num_nodes()];
+        for rdd in dag.rdds().iter().filter(|r| r.is_source()) {
+            for b in rdd.blocks() {
+                for n in data.disk_nodes(b) {
+                    disk_by_node[n.index()].push(b);
+                }
+            }
+        }
+        let bms: Vec<BlockManager> =
+            (0..n_exec).map(|_| BlockManager::new(cfg.exec_cache_mb, cache())).collect();
+        let mut task_inputs = Vec::with_capacity(dag.num_stages());
+        let mut task_views = Vec::with_capacity(dag.num_stages());
+        for st in dag.stages() {
+            let mut per_task = Vec::with_capacity(st.num_tasks as usize);
+            let mut per_task_view = Vec::with_capacity(st.num_tasks as usize);
+            for k in 0..st.num_tasks {
+                let mut inputs = Vec::new();
+                let mut loc_blocks = Vec::new();
+                for input in &st.inputs {
+                    let rdd = dag.rdd(input.rdd);
+                    match input.kind {
+                        dagon_dag::DepKind::Narrow => {
+                            let b = BlockId::new(rdd.id, k);
+                            inputs.push((b, rdd.block_mb));
+                            loc_blocks.push(b);
+                        }
+                        dagon_dag::DepKind::Wide => {
+                            let mut j = k;
+                            while j < rdd.num_partitions {
+                                inputs.push((BlockId::new(rdd.id, j), rdd.block_mb));
+                                j += st.num_tasks;
+                            }
+                        }
+                    }
+                }
+                per_task.push(inputs);
+                per_task_view.push(TaskView { loc_blocks });
+            }
+            task_inputs.push(per_task);
+            task_views.push(per_task_view);
+        }
+        let stages: Vec<StageRuntime> = dag
+            .stages()
+            .iter()
+            .map(|st| StageRuntime {
+                id: st.id,
+                ready: st.parents.is_empty() && st.release_ms == 0,
+                completed: false,
+                pending: (0..st.num_tasks).collect(),
+                running: 0,
+                finished: 0,
+            })
+            .collect();
+        let task_done = dag.stages().iter().map(|s| vec![false; s.num_tasks as usize]).collect();
+        let stage_durations = vec![Vec::new(); dag.num_stages()];
+        let tracker = PriorityTracker::from_dag(&dag);
+        let mut profile = RefProfile::default();
+        profile.pv = dag.stage_ids().map(|s| tracker.pv(s)).collect();
+        profile.rebuild(&dag, &|_, _| false, &|_| false);
+        let metrics = Metrics::new(dag.num_stages(), n_exec, cfg.trace_executors);
+        Self {
+            dag,
+            exec_free: vec![cfg.exec_capacity; n_exec],
+            exec_busy_cores: vec![0; n_exec],
+            bms,
+            data,
+            disk_by_node,
+            stages,
+            task_inputs,
+            task_views,
+            task_done,
+            stage_durations,
+            profile,
+            tracker,
+            queue: EventQueue::new(),
+            metrics,
+            now: 0,
+            running: HashMap::new(),
+            cancelled: HashSet::new(),
+            spec_launched: HashSet::new(),
+            prefetch_inflight: vec![None; n_exec],
+            prefetched: vec![HashSet::new(); n_exec],
+            completed_count: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
+            topo,
+            cfg,
+        }
+    }
+
+    /// Run to completion under `sched`. Panics if the configuration can
+    /// never finish (a task demand no executor can satisfy).
+    pub fn run(mut self, sched: &mut dyn Scheduler) -> SimResult {
+        // Impossible-demand early diagnosis.
+        for st in self.dag.stages() {
+            assert!(
+                self.cfg.exec_capacity.fits(st.demand),
+                "stage {} demand {:?} exceeds executor capacity {:?}",
+                st.id,
+                st.demand,
+                self.cfg.exec_capacity
+            );
+        }
+        for s in self.dag.stage_ids() {
+            if self.stages[s.index()].ready {
+                sched.on_stage_ready(s, 0);
+            } else if self.dag.stage(s).release_ms > 0 && self.dag.parents(s).is_empty() {
+                // Job-arrival release: re-examine readiness at that time.
+                self.queue.push(self.dag.stage(s).release_ms, Event::StageRelease { stage: s });
+            }
+        }
+        self.queue.push(self.cfg.sched_tick_ms.max(1), Event::Tick);
+        self.do_schedule(sched);
+        while self.completed_count < self.dag.num_stages() {
+            let Some(t) = self.queue.peek_time() else {
+                panic!("event queue drained with {} stages incomplete",
+                       self.dag.num_stages() - self.completed_count);
+            };
+            assert!(t <= SIM_TIME_LIMIT, "simulation exceeded time limit; no progress possible");
+            self.now = t;
+            while self.queue.peek_time() == Some(t) {
+                let (_, ev) = self.queue.pop().unwrap();
+                self.handle(ev, sched);
+            }
+            if self.completed_count == self.dag.num_stages() {
+                break;
+            }
+            self.do_schedule(sched);
+        }
+        let jct = self.now;
+        self.metrics.busy_cores.finish(jct);
+        self.metrics.running_tasks.finish(jct);
+        SimResult { jct, metrics: self.metrics, total_cores: self.cfg.total_cores() }
+    }
+
+    fn handle(&mut self, ev: Event, sched: &mut dyn Scheduler) {
+        match ev {
+            Event::TaskFinish { task, exec, attempt } => {
+                if self.cancelled.remove(&(task, attempt)) {
+                    return; // loser attempt already torn down
+                }
+                if self.task_done[task.stage.index()][task.index as usize] {
+                    return; // stale (shouldn't occur; defensive)
+                }
+                self.finish_task(task, exec, attempt, sched);
+            }
+            Event::IoDone { task, exec, attempt } => {
+                if let Some(ra) = self.running.get_mut(&(task, attempt)) {
+                    if !ra.cpu_phase {
+                        ra.cpu_phase = true;
+                        let cpus = ra.demand.cpus;
+                        self.enter_cpu_phase(exec, cpus);
+                    }
+                }
+            }
+            Event::PrefetchArrive { block, exec } => self.prefetch_arrive(block, exec),
+            Event::StageRelease { stage } => {
+                let srt = &mut self.stages[stage.index()];
+                if !srt.ready
+                    && !srt.completed
+                    && self.dag.parents(stage).iter().all(|p| self.stages[p.index()].completed)
+                {
+                    self.stages[stage.index()].ready = true;
+                    sched.on_stage_ready(stage, self.now);
+                }
+            }
+            Event::Tick => {
+                if self.completed_count < self.dag.num_stages() {
+                    self.queue.push(self.now + self.cfg.sched_tick_ms.max(1), Event::Tick);
+                    if self.cfg.speculation.is_some() {
+                        self.speculation_check();
+                    }
+                    if self.cfg.prefetch_free_frac.is_some() {
+                        self.prefetch_scan();
+                    }
+                    self.proactive_sweeps();
+                    if self.cfg.trace_executors {
+                        self.sample_exec_traces();
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn make_exec_views(&self) -> Vec<ExecView> {
+        self.exec_free
+            .iter()
+            .enumerate()
+            .map(|(i, f)| ExecView {
+                id: ExecId(i as u32),
+                free: *f,
+                capacity: self.cfg.exec_capacity,
+            })
+            .collect()
+    }
+
+    fn do_schedule(&mut self, sched: &mut dyn Scheduler) {
+        loop {
+            let execs = self.make_exec_views();
+            let assignments = {
+                let view = SimView {
+                    now: self.now,
+                    dag: &self.dag,
+                    topo: &self.topo,
+                    cost: &self.cfg.cost,
+                    locality_wait: self.cfg.locality_wait,
+                    execs: &execs,
+                    stages: &self.stages,
+                    tasks: &self.task_views,
+                    data: &self.data,
+                    metrics: &self.metrics,
+                };
+                sched.schedule(&view)
+            };
+            if assignments.is_empty() {
+                return;
+            }
+            let mut applied = 0;
+            for a in assignments {
+                if self.validate(&a) {
+                    self.launch(a, false, sched);
+                    applied += 1;
+                }
+            }
+            if applied == 0 {
+                return;
+            }
+        }
+    }
+
+    fn validate(&self, a: &Assignment) -> bool {
+        let st = &self.stages[a.stage.index()];
+        st.ready
+            && !st.completed
+            && st.pending.contains(&a.task_index)
+            && self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
+    }
+
+    /// Physical read tier for one block from one executor.
+    fn read_tier(&self, b: BlockId, exec: ExecId) -> ReadTier {
+        if self.data.is_cached_in(b, exec) {
+            return ReadTier::ProcessCache;
+        }
+        let node = self.topo.node_of_exec(exec);
+        if self.data.cached_execs(b).iter().any(|e| self.topo.node_of_exec(*e) == node) {
+            return ReadTier::NodeCache;
+        }
+        if self.data.disk_nodes(b).contains(&node) {
+            return ReadTier::NodeDisk;
+        }
+        let rack = self.topo.rack_of_node(node);
+        let in_rack = self.data.disk_nodes(b).iter().any(|n| self.topo.rack_of_node(*n) == rack)
+            || self.data.cached_execs(b).iter().any(|e| self.topo.rack_of_exec(*e) == rack);
+        if in_rack {
+            ReadTier::RackRemote
+        } else {
+            debug_assert!(
+                !self.data.disk_nodes(b).is_empty() || !self.data.cached_execs(b).is_empty(),
+                "reading unmaterialized block {b}"
+            );
+            ReadTier::CrossRack
+        }
+    }
+
+    fn locality_of(&self, stage: StageId, k: u32, exec: ExecId) -> Locality {
+        let tv = &self.task_views[stage.index()][k as usize];
+        if tv.loc_blocks.is_empty() {
+            return Locality::Any;
+        }
+        let mut worst = Locality::Process;
+        for &b in &tv.loc_blocks {
+            let l = match self.read_tier(b, exec) {
+                ReadTier::ProcessCache => Locality::Process,
+                ReadTier::NodeCache | ReadTier::NodeDisk => Locality::Node,
+                ReadTier::RackRemote => Locality::Rack,
+                ReadTier::CrossRack => Locality::Any,
+            };
+            worst = worst.max(l);
+        }
+        worst
+    }
+
+    fn launch(&mut self, a: Assignment, speculative: bool, sched: &mut dyn Scheduler) {
+        let task = TaskId::new(a.stage, a.task_index);
+        let st = self.dag.stage(a.stage);
+        let demand = st.demand;
+        let task_cpu_ms = st.task_cpu_ms(a.task_index);
+        let task_work = st.task_work(a.task_index);
+        let exec = a.exec;
+        let locality = self.locality_of(a.stage, a.task_index, exec);
+
+        // Cache interactions + I/O time.
+        let mut io_ms = 0.0f64;
+        let mut pinned = Vec::new();
+        let inputs = self.task_inputs[a.stage.index()][a.task_index as usize].clone();
+        for (b, mb) in inputs {
+            let eligible = self.dag.rdd(b.rdd).cached;
+            if eligible && self.cfg.trace_accesses {
+                self.metrics.access_trace.push((exec.0, b));
+            }
+            let hit = eligible && self.bms[exec.index()].access(b, self.now);
+            if hit {
+                self.metrics.cache.hits += 1;
+                self.metrics.cache.hit_kb += (mb * 1024.0) as u64;
+                self.bms[exec.index()].pin(b);
+                pinned.push(b);
+                if self.prefetched[exec.index()].remove(&b) {
+                    self.metrics.cache.prefetch_used += 1;
+                }
+                continue;
+            }
+            let tier = self.read_tier(b, exec);
+            io_ms += self.cfg.cost.read_ms(mb, tier);
+            if eligible {
+                self.metrics.cache.misses += 1;
+                self.metrics.cache.miss_kb += (mb * 1024.0) as u64;
+                if self.bms[exec.index()].caches_on_miss() {
+                    match self.bms[exec.index()].try_insert(b, mb, self.now, &self.profile) {
+                        InsertOutcome::Inserted { evicted } => {
+                            self.metrics.cache.insertions += 1;
+                            self.metrics.cache.evictions += evicted.len() as u64;
+                            for e in evicted {
+                                self.data.remove_cached(e, exec);
+                                self.prefetched[exec.index()].remove(&e);
+                            }
+                            self.data.add_cached(b, exec);
+                            self.bms[exec.index()].pin(b);
+                            pinned.push(b);
+                        }
+                        InsertOutcome::AlreadyCached | InsertOutcome::Rejected => {}
+                    }
+                }
+            }
+        }
+        // Jitter models run-time variance (GC, contention); it applies to
+        // the CPU phase — I/O time is already location-determined.
+        let jitter = if self.cfg.duration_jitter > 0.0 {
+            1.0 + self.rng.gen_range(-self.cfg.duration_jitter..=self.cfg.duration_jitter)
+        } else {
+            1.0
+        };
+        let hiccup = if self.cfg.straggler_prob > 0.0
+            && self.rng.gen_bool(self.cfg.straggler_prob.clamp(0.0, 1.0))
+        {
+            self.cfg.straggler_factor.max(1.0)
+        } else {
+            1.0
+        };
+        let io_phase_ms = io_ms.round().max(0.0) as SimTime;
+        let cpu_phase_ms = (task_cpu_ms as f64 * jitter * hiccup).round().max(1.0) as SimTime;
+
+        let attempt = if speculative { 1 } else { 0 };
+        self.running.insert(
+            (task, attempt),
+            RunningAttempt {
+                exec,
+                start: self.now,
+                demand,
+                locality,
+                pinned,
+                speculative,
+                cpu_phase: io_phase_ms == 0,
+            },
+        );
+        self.exec_free[exec.index()] = self.exec_free[exec.index()].minus(demand);
+        self.metrics.running_tasks.add(self.now, 1.0);
+        if io_phase_ms == 0 {
+            self.enter_cpu_phase(exec, demand.cpus);
+        } else {
+            self.queue.push(self.now + io_phase_ms, Event::IoDone { task, exec, attempt });
+        }
+        let sm = &mut self.metrics.per_stage[a.stage.index()];
+        sm.first_launch.get_or_insert(self.now);
+        sm.launches_by_locality[locality.index()] += 1;
+
+        self.queue
+            .push(self.now + io_phase_ms + cpu_phase_ms, Event::TaskFinish { task, exec, attempt });
+
+        if !speculative {
+            let srt = &mut self.stages[a.stage.index()];
+            srt.pending.retain(|&k| k != a.task_index);
+            srt.running += 1;
+            let work = task_work;
+            self.tracker.on_task_launched(task, work);
+            sched.on_task_launched(task, work, self.now);
+            // The master's reference profile takes priority values from the
+            // scheduler when it maintains Eq. (6) (the paper's TaskScheduler
+            // feeds BlockManagerMaster); otherwise from the ground-truth
+            // tracker.
+            match sched.stage_priorities() {
+                Some(pvs) => {
+                    for (s, pv) in pvs {
+                        self.profile.pv[s.index()] = pv;
+                    }
+                }
+                None => {
+                    for s in self.dag.stage_ids() {
+                        self.profile.pv[s.index()] = self.tracker.pv(s);
+                    }
+                }
+            }
+        } else {
+            self.metrics.speculative_launched += 1;
+        }
+    }
+
+    fn finish_task(&mut self, task: TaskId, exec: ExecId, attempt: u32, sched: &mut dyn Scheduler) {
+        let ra = self
+            .running
+            .remove(&(task, attempt))
+            .expect("finish event for unknown attempt");
+        self.teardown_attempt(&ra, exec);
+        let dur = self.now - ra.start;
+        self.metrics.task_runs.push(TaskRun {
+            task,
+            exec,
+            start: ra.start,
+            end: self.now,
+            locality: ra.locality,
+            speculative: ra.speculative,
+            winner: true,
+        });
+        let sm = &mut self.metrics.per_stage[task.stage.index()];
+        let slot = &mut sm.finished_by_locality[ra.locality.index()];
+        slot.0 += 1;
+        slot.1 += dur;
+        self.stage_durations[task.stage.index()].push(dur);
+        if ra.speculative {
+            self.metrics.speculative_won += 1;
+        }
+
+        // Cancel the losing attempt, if any.
+        let other = if attempt == 0 { 1 } else { 0 };
+        if let Some(loser) = self.running.remove(&(task, other)) {
+            let lexec = loser.exec;
+            self.teardown_attempt(&loser, lexec);
+            self.cancelled.insert((task, other));
+            self.metrics.task_runs.push(TaskRun {
+                task,
+                exec: lexec,
+                start: loser.start,
+                end: self.now,
+                locality: loser.locality,
+                speculative: loser.speculative,
+                winner: false,
+            });
+        }
+
+        self.task_done[task.stage.index()][task.index as usize] = true;
+        let srt = &mut self.stages[task.stage.index()];
+        srt.running = srt.running.saturating_sub(1);
+        srt.finished += 1;
+        let stage_complete = srt.finished == self.dag.stage(task.stage).num_tasks;
+
+        // Remove this task's block references from the master profile.
+        for (b, _) in &self.task_inputs[task.stage.index()][task.index as usize] {
+            self.profile.remove_use(*b, task.stage);
+        }
+
+        // Materialize the output block.
+        let node = self.topo.node_of_exec(exec);
+        let out = BlockId::new(self.dag.stage(task.stage).output, task.index);
+        if !self.data.disk_nodes(out).contains(&node) {
+            self.data.add_disk(out, node);
+            self.disk_by_node[node.index()].push(out);
+        }
+        if self.dag.rdd(out.rdd).cached {
+            match self.bms[exec.index()].try_insert(out, self.dag.rdd(out.rdd).block_mb, self.now, &self.profile) {
+                InsertOutcome::Inserted { evicted } => {
+                    self.metrics.cache.insertions += 1;
+                    self.metrics.cache.evictions += evicted.len() as u64;
+                    for e in evicted {
+                        self.data.remove_cached(e, exec);
+                        self.prefetched[exec.index()].remove(&e);
+                    }
+                    self.data.add_cached(out, exec);
+                }
+                _ => {}
+            }
+        }
+
+        if stage_complete {
+            self.complete_stage(task.stage, sched);
+        }
+    }
+
+    fn teardown_attempt(&mut self, ra: &RunningAttempt, exec: ExecId) {
+        self.exec_free[exec.index()] = self.exec_free[exec.index()].plus(ra.demand);
+        if ra.cpu_phase {
+            self.exec_busy_cores[exec.index()] -= ra.demand.cpus;
+            self.metrics.busy_cores.add(self.now, -(ra.demand.cpus as f64));
+            self.trace_busy(exec);
+        }
+        self.metrics.running_tasks.add(self.now, -1.0);
+        for b in &ra.pinned {
+            self.bms[exec.index()].unpin(*b);
+        }
+    }
+
+    fn enter_cpu_phase(&mut self, exec: ExecId, cpus: u32) {
+        self.exec_busy_cores[exec.index()] += cpus;
+        self.metrics.busy_cores.add(self.now, cpus as f64);
+        self.trace_busy(exec);
+    }
+
+    fn complete_stage(&mut self, s: StageId, sched: &mut dyn Scheduler) {
+        self.stages[s.index()].completed = true;
+        self.metrics.per_stage[s.index()].completed_at = Some(self.now);
+        self.completed_count += 1;
+        // Advance the FIFO frontier for MRD.
+        self.profile.frontier = self
+            .dag
+            .stage_ids()
+            .find(|x| !self.stages[x.index()].completed)
+            .map(|x| x.0)
+            .unwrap_or(self.dag.num_stages() as u32);
+        sched.on_stage_complete(s, self.now);
+        // Children whose parents are now all complete become ready.
+        for &c in self.dag.children(s) {
+            if !self.stages[c.index()].ready
+                && self.dag.parents(c).iter().all(|p| self.stages[p.index()].completed)
+            {
+                if self.now < self.dag.stage(c).release_ms {
+                    self.queue
+                        .push(self.dag.stage(c).release_ms, Event::StageRelease { stage: c });
+                } else {
+                    self.stages[c.index()].ready = true;
+                    sched.on_stage_ready(c, self.now);
+                }
+            }
+        }
+        self.proactive_sweeps();
+    }
+
+    // ------------------------------------------------------------------
+    // Caching machinery
+    // ------------------------------------------------------------------
+
+    fn proactive_sweeps(&mut self) {
+        for i in 0..self.bms.len() {
+            let victims = self.bms[i].proactive_sweep(&self.profile);
+            self.metrics.cache.proactive_evictions += victims.len() as u64;
+            for v in victims {
+                self.data.remove_cached(v, ExecId(i as u32));
+                self.prefetched[i].remove(&v);
+            }
+        }
+    }
+
+    fn prefetch_scan(&mut self) {
+        let threshold = match self.cfg.prefetch_free_frac {
+            Some(f) => f,
+            None => return,
+        };
+        for i in 0..self.bms.len() {
+            if self.prefetch_inflight[i].is_some() {
+                continue;
+            }
+            if self.bms[i].free_frac() < threshold {
+                continue;
+            }
+            let exec = ExecId(i as u32);
+            let node = self.topo.node_of_exec(exec);
+            let free = self.bms[i].free_mb();
+            let candidates: Vec<BlockId> = self.disk_by_node[node.index()]
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    // "prefetches the in-disk data block": only blocks not
+                    // in memory anywhere — duplicating an already-cached
+                    // block concentrates process-locality instead of
+                    // widening it.
+                    self.dag.rdd(b.rdd).cached
+                        && self.profile.is_live(b)
+                        && self.data.cached_execs(b).is_empty()
+                        && self.dag.rdd(b.rdd).block_mb <= free
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            if let Some(b) = self.bms[i].prefetch_pick(&candidates, &self.profile) {
+                let mb = self.dag.rdd(b.rdd).block_mb;
+                self.prefetch_inflight[i] = Some((b, mb));
+                self.metrics.cache.prefetches += 1;
+                let dt = self.cfg.cost.read_ms(mb, ReadTier::NodeDisk).round().max(1.0) as SimTime;
+                self.queue.push(self.now + dt, Event::PrefetchArrive { block: b, exec });
+            }
+        }
+    }
+
+    fn prefetch_arrive(&mut self, block: BlockId, exec: ExecId) {
+        let i = exec.index();
+        let inflight = self.prefetch_inflight[i].take();
+        debug_assert_eq!(inflight.map(|(b, _)| b), Some(block));
+        let mb = self.dag.rdd(block.rdd).block_mb;
+        // Insert only into genuinely free space: prefetch never evicts.
+        if !self.bms[i].contains(block) && self.bms[i].free_mb() >= mb && self.profile.is_live(block)
+        {
+            if let InsertOutcome::Inserted { .. } =
+                self.bms[i].try_insert(block, mb, self.now, &self.profile)
+            {
+                self.metrics.cache.insertions += 1;
+                self.data.add_cached(block, exec);
+                self.prefetched[i].insert(block);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation (§IV)
+    // ------------------------------------------------------------------
+
+    fn speculation_check(&mut self) {
+        let spec = self.cfg.speculation.unwrap();
+        let mut to_launch: Vec<(TaskId, Assignment)> = Vec::new();
+        for s in self.dag.stage_ids() {
+            let st = self.dag.stage(s);
+            let srt = &self.stages[s.index()];
+            if srt.completed || srt.running == 0 {
+                continue;
+            }
+            let needed = (spec.quantile * st.num_tasks as f64).ceil() as u32;
+            if srt.finished < needed.max(1) {
+                continue;
+            }
+            let durs = &self.stage_durations[s.index()];
+            if durs.is_empty() {
+                continue;
+            }
+            let mut sorted = durs.clone();
+            sorted.sort_unstable();
+            let med = sorted[sorted.len() / 2] as f64;
+            let threshold = spec.multiplier * med;
+            for ((task, attempt), ra) in &self.running {
+                if *attempt != 0 || task.stage != s || ra.speculative {
+                    continue;
+                }
+                if self.spec_launched.contains(task)
+                    || self.task_done[s.index()][task.index as usize]
+                {
+                    continue;
+                }
+                if (self.now - ra.start) as f64 <= threshold {
+                    continue;
+                }
+                // Pick the best-locality executor with room, excluding the
+                // one already running the primary attempt.
+                let mut best: Option<(Locality, u32, ExecId)> = None;
+                for e in 0..self.exec_free.len() {
+                    let exec = ExecId(e as u32);
+                    if exec == ra.exec || !self.exec_free[e].fits(st.demand) {
+                        continue;
+                    }
+                    let l = self.locality_of(s, task.index, exec);
+                    let free = self.exec_free[e].cpus;
+                    if best.map_or(true, |(bl, bf, _)| l < bl || (l == bl && free > bf)) {
+                        best = Some((l, free, exec));
+                    }
+                }
+                if let Some((l, _, exec)) = best {
+                    to_launch.push((
+                        *task,
+                        Assignment { stage: s, task_index: task.index, exec, locality: l },
+                    ));
+                }
+            }
+        }
+        for (task, a) in to_launch {
+            self.spec_launched.insert(task);
+            // Speculative launches bypass the scheduler; a no-op scheduler
+            // reference is not available here, so use a tiny shim.
+            struct Nop;
+            impl Scheduler for Nop {
+                fn name(&self) -> String {
+                    "nop".into()
+                }
+                fn schedule(&mut self, _v: &SimView<'_>) -> Vec<Assignment> {
+                    Vec::new()
+                }
+            }
+            self.launch(a, true, &mut Nop);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (Fig. 4)
+    // ------------------------------------------------------------------
+
+    fn trace_busy(&mut self, exec: ExecId) {
+        if let Some(tr) = self.metrics.exec_traces.get_mut(exec.index()) {
+            tr.busy.push(TimePoint { t: self.now, v: self.exec_busy_cores[exec.index()] as f64 });
+        }
+    }
+
+    fn sample_exec_traces(&mut self) {
+        let n = self.metrics.exec_traces.len();
+        for e in 0..n {
+            let exec = ExecId(e as u32);
+            let mut count = 0u32;
+            for s in self.dag.stage_ids() {
+                let srt = &self.stages[s.index()];
+                if !srt.ready || srt.completed {
+                    continue;
+                }
+                for &k in &srt.pending {
+                    if self.locality_of(s, k, exec) == Locality::Node {
+                        count += 1;
+                    }
+                }
+            }
+            self.metrics.exec_traces[e]
+                .pending_node_local
+                .push(TimePoint { t: self.now, v: count as f64 });
+        }
+    }
+
+    /// Current simulated time (for tests driving the sim manually).
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockmanager::NoCache;
+    use crate::scheduler::GreedyFifo;
+    use dagon_dag::examples::{fig1, tiny_chain};
+    use dagon_dag::MIN_MS;
+
+    fn run_tiny(dag: JobDag, cfg: ClusterConfig) -> SimResult {
+        let sim = Simulation::new(dag, cfg, || Box::new(NoCache));
+        sim.run(&mut GreedyFifo)
+    }
+
+    #[test]
+    fn single_stage_completes_with_expected_makespan() {
+        // 4 tasks × 1 core × 1000 ms on one 2-core executor = 2 waves of 2
+        // (plus input disk I/O for the 64 MB scan blocks).
+        let dag = tiny_chain(4, 1000);
+        let res = run_tiny(dag, ClusterConfig::tiny(1, 2));
+        assert!(res.jct >= 2000, "jct {}", res.jct);
+        assert!(res.jct < 8000, "jct {}", res.jct);
+        // All runs recorded; all winners.
+        assert!(res.metrics.task_runs.iter().all(|r| r.winner));
+    }
+
+    #[test]
+    fn fig1_dag_completes_on_16core_executor() {
+        // Fig. 2's setting: one 16-vCPU executor. FIFO order. Makespan should
+        // be near 16 minutes (paper Fig. 2a) — I/O adds a little.
+        let mut cfg = ClusterConfig::tiny(1, 16);
+        cfg.exec_cache_mb = 0.0;
+        let res = run_tiny(fig1(), cfg);
+        assert!(res.jct >= 16 * MIN_MS, "jct {} < 16min", res.jct);
+        assert!(res.jct < 17 * MIN_MS, "jct {} ≥ 17min", res.jct);
+        // All four stages completed in dependency order.
+        for s in 0..4u32 {
+            assert!(res.metrics.per_stage[s as usize].completed_at.is_some());
+        }
+        let t1 = res.metrics.per_stage[0].completed_at.unwrap();
+        let t4 = res.metrics.per_stage[3].completed_at.unwrap();
+        assert!(t1 < t4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let cfg = ClusterConfig::tiny(3, 4);
+        let a = run_tiny(tiny_chain(12, 700), cfg.clone());
+        let b = run_tiny(tiny_chain(12, 700), cfg);
+        assert_eq!(a.jct, b.jct);
+        assert_eq!(a.metrics.task_runs.len(), b.metrics.task_runs.len());
+        for (x, y) in a.metrics.task_runs.iter().zip(&b.metrics.task_runs) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.exec, y.exec);
+        }
+    }
+
+    #[test]
+    fn busy_core_area_is_bounded_by_capacity() {
+        let cfg = ClusterConfig::tiny(2, 4);
+        let res = run_tiny(tiny_chain(8, 1000), cfg);
+        let util = res.cpu_utilization();
+        assert!(util > 0.0 && util <= 1.0, "util {util}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds executor capacity")]
+    fn impossible_demand_panics() {
+        let mut b = dagon_dag::DagBuilder::new("big");
+        let _ = b.stage("s").tasks(1).demand_cpus(64).cpu_ms(100).build();
+        let dag = b.build().unwrap();
+        let _ = run_tiny(dag, ClusterConfig::tiny(1, 4));
+    }
+
+    #[test]
+    fn stage_metrics_record_localities() {
+        let cfg = ClusterConfig::tiny(2, 8);
+        let res = run_tiny(tiny_chain(6, 500), cfg);
+        let total: u32 = res.metrics.per_stage[0].launches_by_locality.iter().sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cluster topology: racks contain nodes, nodes host executors.
+
+use std::fmt;
+
+/// A rack of nodes sharing a top-of-rack switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u16);
+
+/// A physical machine with a local disk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One executor (YARN container) pinned to a node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExecId(pub u32);
+
+impl fmt::Debug for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack{}", self.0)
+    }
+}
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+impl fmt::Debug for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exec{}", self.0)
+    }
+}
+impl fmt::Display for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exec{}", self.0)
+    }
+}
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl ExecId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Immutable cluster shape derived from [`crate::ClusterConfig`].
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// rack of each node.
+    pub node_rack: Vec<RackId>,
+    /// node of each executor.
+    pub exec_node: Vec<NodeId>,
+    /// executors hosted on each node.
+    pub node_execs: Vec<Vec<ExecId>>,
+    /// nodes in each rack.
+    pub rack_nodes: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// `racks` entries give the node count per rack; each node hosts
+    /// `execs_per_node` executors.
+    pub fn build(racks: &[u32], execs_per_node: u32) -> Topology {
+        let mut node_rack = Vec::new();
+        let mut rack_nodes = Vec::new();
+        for (r, &n) in racks.iter().enumerate() {
+            let mut nodes = Vec::new();
+            for _ in 0..n {
+                let id = NodeId(node_rack.len() as u32);
+                node_rack.push(RackId(r as u16));
+                nodes.push(id);
+            }
+            rack_nodes.push(nodes);
+        }
+        let mut exec_node = Vec::new();
+        let mut node_execs = vec![Vec::new(); node_rack.len()];
+        for node in 0..node_rack.len() {
+            for _ in 0..execs_per_node {
+                let e = ExecId(exec_node.len() as u32);
+                exec_node.push(NodeId(node as u32));
+                node_execs[node].push(e);
+            }
+        }
+        Topology { node_rack, exec_node, node_execs, rack_nodes }
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_rack.len()
+    }
+
+    #[inline]
+    pub fn num_execs(&self) -> usize {
+        self.exec_node.len()
+    }
+
+    #[inline]
+    pub fn rack_of_node(&self, n: NodeId) -> RackId {
+        self.node_rack[n.index()]
+    }
+
+    #[inline]
+    pub fn node_of_exec(&self, e: ExecId) -> NodeId {
+        self.exec_node[e.index()]
+    }
+
+    #[inline]
+    pub fn rack_of_exec(&self, e: ExecId) -> RackId {
+        self.rack_of_node(self.node_of_exec(e))
+    }
+
+    /// Are the two nodes in the same rack?
+    #[inline]
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of_node(a) == self.rack_of_node(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_assigns_dense_ids() {
+        let t = Topology::build(&[2, 3], 2);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_execs(), 10);
+        assert_eq!(t.rack_of_node(NodeId(0)), RackId(0));
+        assert_eq!(t.rack_of_node(NodeId(4)), RackId(1));
+        assert_eq!(t.node_of_exec(ExecId(0)), NodeId(0));
+        assert_eq!(t.node_of_exec(ExecId(9)), NodeId(4));
+        assert_eq!(t.node_execs[0], vec![ExecId(0), ExecId(1)]);
+    }
+
+    #[test]
+    fn same_rack_reflects_layout() {
+        let t = Topology::build(&[2, 2], 1);
+        assert!(t.same_rack(NodeId(0), NodeId(1)));
+        assert!(!t.same_rack(NodeId(1), NodeId(2)));
+        assert_eq!(t.rack_of_exec(ExecId(3)), RackId(1));
+    }
+
+    #[test]
+    fn single_rack_cluster() {
+        let t = Topology::build(&[4], 4);
+        assert_eq!(t.num_execs(), 16);
+        assert!(t.same_rack(NodeId(0), NodeId(3)));
+    }
+}

@@ -1,0 +1,411 @@
+//! [`SimView`]: the read-only window schedulers get into the running
+//! simulation — the analogue of what Spark's `TaskSchedulerImpl` sees:
+//! ready TaskSets, pending tasks and their locality per executor, free
+//! executor resources, and per-stage runtime statistics.
+
+use dagon_dag::{JobDag, Resources, SimTime, StageId};
+
+use crate::config::{CostModel, LocalityWait};
+use crate::hdfs::DataMap;
+use crate::locality::Locality;
+use crate::metrics::Metrics;
+use crate::topology::{ExecId, Topology};
+
+/// Per-executor snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecView {
+    pub id: ExecId,
+    pub free: Resources,
+    pub capacity: Resources,
+}
+
+/// Per-stage runtime snapshot.
+#[derive(Clone, Debug)]
+pub struct StageRuntime {
+    pub id: StageId,
+    /// Parents complete, stage not yet complete.
+    pub ready: bool,
+    pub completed: bool,
+    /// Task indices not yet launched (primary attempts).
+    pub pending: Vec<u32>,
+    /// Primary attempts currently running.
+    pub running: u32,
+    pub finished: u32,
+}
+
+/// Static per-task info the view exposes.
+#[derive(Clone, Debug)]
+pub struct TaskView {
+    /// Blocks that define the task's locality preference (narrow inputs).
+    pub loc_blocks: Vec<dagon_dag::BlockId>,
+}
+
+/// The scheduler's window into the simulation. Construct-by-borrow: cheap,
+/// created fresh for every `schedule` call.
+pub struct SimView<'a> {
+    pub now: SimTime,
+    pub dag: &'a JobDag,
+    pub topo: &'a Topology,
+    pub cost: &'a CostModel,
+    pub locality_wait: LocalityWait,
+    pub execs: &'a [ExecView],
+    pub stages: &'a [StageRuntime],
+    pub tasks: &'a [Vec<TaskView>],
+    pub data: &'a DataMap,
+    pub metrics: &'a Metrics,
+}
+
+impl<'a> SimView<'a> {
+    /// Stages that can launch tasks right now (ready with pending tasks).
+    pub fn schedulable_stages(&self) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .filter(|s| s.ready && !s.completed && !s.pending.is_empty())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Is any executor non-full?
+    pub fn any_free_resource(&self) -> bool {
+        self.execs.iter().any(|e| e.free.cpus > 0)
+    }
+
+    pub fn stage(&self, s: StageId) -> &StageRuntime {
+        &self.stages[s.index()]
+    }
+
+    pub fn exec(&self, e: ExecId) -> &ExecView {
+        &self.execs[e.index()]
+    }
+
+    /// The locality level task `(s, k)` would run at on executor `e`.
+    ///
+    /// Defined by the task's narrow input blocks (Spark's
+    /// `preferredLocations`); wide-only tasks have no preference → `Any`.
+    /// The level is the *worst* tier among the task's locality blocks.
+    pub fn task_locality(&self, s: StageId, k: u32, e: ExecId) -> Locality {
+        let tv = &self.tasks[s.index()][k as usize];
+        if tv.loc_blocks.is_empty() {
+            return Locality::Any;
+        }
+        let node = self.topo.node_of_exec(e);
+        let rack = self.topo.rack_of_node(node);
+        let mut worst = Locality::Process;
+        for &b in &tv.loc_blocks {
+            let l = if self.data.is_cached_in(b, e) {
+                Locality::Process
+            } else if self.data.disk_nodes(b).contains(&node)
+                || self
+                    .data
+                    .cached_execs(b)
+                    .iter()
+                    .any(|x| self.topo.node_of_exec(*x) == node)
+            {
+                Locality::Node
+            } else if self
+                .data
+                .disk_nodes(b)
+                .iter()
+                .any(|n| self.topo.rack_of_node(*n) == rack)
+                || self
+                    .data
+                    .cached_execs(b)
+                    .iter()
+                    .any(|x| self.topo.rack_of_exec(*x) == rack)
+            {
+                Locality::Rack
+            } else {
+                Locality::Any
+            };
+            worst = worst.max(l);
+            if worst == Locality::Any {
+                break;
+            }
+        }
+        worst
+    }
+
+    /// The best locality task `(s, k)` can achieve on *any* executor —
+    /// what the BlockManagerMaster's location registry tells the scheduler.
+    pub fn task_best_level(&self, s: StageId, k: u32) -> Locality {
+        let mut best = Locality::Any;
+        for e in self.execs {
+            let l = self.task_locality(s, k, e.id);
+            if l < best {
+                best = l;
+                if best == Locality::Process {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// First pending task of `s` achieving exactly `level` on `e` whose
+    /// best achievable level anywhere is no better than `level` — i.e. a
+    /// task that launching here does not rob of a better home.
+    pub fn pending_with_locality_strict(
+        &self,
+        s: StageId,
+        e: ExecId,
+        level: Locality,
+    ) -> Option<u32> {
+        self.stages[s.index()]
+            .pending
+            .iter()
+            .copied()
+            .find(|&k| {
+                self.task_locality(s, k, e) == level && self.task_best_level(s, k) >= level
+            })
+    }
+
+    /// First pending task of `s` achieving exactly `level` on `e`.
+    pub fn pending_with_locality(&self, s: StageId, e: ExecId, level: Locality) -> Option<u32> {
+        self.stages[s.index()]
+            .pending
+            .iter()
+            .copied()
+            .find(|&k| self.task_locality(s, k, e) == level)
+    }
+
+    /// Best (lowest-level) pending task of `s` on `e`, with its level.
+    pub fn best_pending(&self, s: StageId, e: ExecId) -> Option<(u32, Locality)> {
+        let mut best: Option<(u32, Locality)> = None;
+        for &k in &self.stages[s.index()].pending {
+            let l = self.task_locality(s, k, e);
+            match best {
+                Some((_, bl)) if bl <= l => {}
+                _ => best = Some((k, l)),
+            }
+            if matches!(best, Some((_, Locality::Process))) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Locality levels for which stage `s` has at least one pending task on
+    /// *some* executor — the "valid locality levels" of Alg. 2 / Spark's
+    /// `computeValidLocalityLevels`. Always includes `Any` if any task is
+    /// pending.
+    pub fn valid_levels(&self, s: StageId) -> Vec<Locality> {
+        let st = &self.stages[s.index()];
+        if st.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut present = [false; 4];
+        present[Locality::Any.index()] = true;
+        for &k in &st.pending {
+            for e in self.execs {
+                let l = self.task_locality(s, k, e.id);
+                present[l.index()] = true;
+                if l == Locality::Process {
+                    break;
+                }
+            }
+            if present[0] && present[1] && present[2] {
+                break;
+            }
+        }
+        Locality::ALL.into_iter().filter(|l| present[l.index()]).collect()
+    }
+
+    /// Average duration of finished attempts of `s` at locality `l`
+    /// (Alg. 2 line 6's estimator).
+    pub fn avg_duration_at(&self, s: StageId, l: Locality) -> Option<f64> {
+        self.metrics.per_stage[s.index()].avg_duration_at(l)
+    }
+
+    /// Average duration of finished attempts of `s` at any locality.
+    pub fn avg_duration(&self, s: StageId) -> Option<f64> {
+        self.metrics.per_stage[s.index()].avg_duration()
+    }
+
+    /// Eq. (7): earliest completion time of stage `s`,
+    /// `ect_i = ⌈ptn_i / tp_i⌉ × t̄d_i`, relative to now. `fallback_td` is
+    /// used before any task of the stage has finished (e.g. the profiler's
+    /// duration estimate).
+    ///
+    /// `tp_i` is the *achievable* task parallelism: at least the currently
+    /// running count, at most the stage's cluster-wide slot capacity — the
+    /// paper's "current task parallelism" read literally degenerates at
+    /// stage start (one running task would predict a 224-wave stage).
+    pub fn earliest_completion_ms(&self, s: StageId, fallback_td: f64) -> f64 {
+        let st = &self.stages[s.index()];
+        let ptn = st.pending.len() as f64;
+        let slots = self.stage_slots(s).max(1);
+        let tp = (st.running.max(1) as f64).max((ptn.min(slots as f64)).max(1.0));
+        let td = self.avg_duration(s).unwrap_or(fallback_td);
+        (ptn / tp).ceil() * td
+    }
+
+    /// Cluster-wide concurrent-task capacity for stage `s`'s demand.
+    pub fn stage_slots(&self, s: StageId) -> u32 {
+        let demand = self.dag.stage(s).demand;
+        self.execs.iter().map(|e| e.capacity.capacity_for(demand)).sum()
+    }
+
+    /// Total MiB of narrow input one task of `s` reads (its locality
+    /// blocks), for cost-model duration priors.
+    pub fn narrow_input_mb(&self, s: StageId) -> f64 {
+        self.dag
+            .stage(s)
+            .inputs
+            .iter()
+            .filter(|i| i.kind == dagon_dag::DepKind::Narrow)
+            .map(|i| self.dag.rdd(i.rdd).block_mb)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdfs::DataMap;
+    use crate::metrics::Metrics;
+    use crate::topology::NodeId;
+    use dagon_dag::{BlockId, DagBuilder, RddId};
+
+    struct Fixture {
+        dag: JobDag,
+        topo: Topology,
+        data: DataMap,
+        execs: Vec<ExecView>,
+        stages: Vec<StageRuntime>,
+        tasks: Vec<Vec<TaskView>>,
+        metrics: Metrics,
+        cost: CostModel,
+    }
+
+    /// 2 racks × 2 nodes × 1 exec; one 4-task narrow stage over an HDFS RDD.
+    fn fixture() -> Fixture {
+        let mut b = DagBuilder::new("f");
+        let src = b.hdfs_rdd("in", 4, 64.0);
+        let _ = b.stage("s").tasks(4).demand_cpus(2).cpu_ms(1000).reads_narrow(src).build();
+        let dag = b.build().unwrap();
+        let topo = Topology::build(&[2, 2], 1);
+        let mut data = DataMap::default();
+        // Block k on node k's disk.
+        for k in 0..4u32 {
+            data.add_disk(BlockId::new(RddId(0), k), NodeId(k));
+        }
+        let execs = (0..4)
+            .map(|i| ExecView {
+                id: ExecId(i),
+                free: dagon_dag::Resources::new(4, 8192),
+                capacity: dagon_dag::Resources::new(4, 8192),
+            })
+            .collect();
+        let stages = vec![StageRuntime {
+            id: StageId(0),
+            ready: true,
+            completed: false,
+            pending: vec![0, 1, 2, 3],
+            running: 0,
+            finished: 0,
+        }];
+        let tasks = vec![(0..4)
+            .map(|k| TaskView { loc_blocks: vec![BlockId::new(RddId(0), k)] })
+            .collect()];
+        Fixture {
+            metrics: Metrics::new(dag.num_stages(), 4, false),
+            dag,
+            topo,
+            data,
+            execs,
+            stages,
+            tasks,
+            cost: CostModel::default(),
+        }
+    }
+
+    fn view(f: &Fixture) -> SimView<'_> {
+        SimView {
+            now: 0,
+            dag: &f.dag,
+            topo: &f.topo,
+            cost: &f.cost,
+            locality_wait: LocalityWait::spark_default(),
+            execs: &f.execs,
+            stages: &f.stages,
+            tasks: &f.tasks,
+            data: &f.data,
+            metrics: &f.metrics,
+        }
+    }
+
+    #[test]
+    fn locality_levels_follow_block_placement() {
+        let f = fixture();
+        let v = view(&f);
+        // Task 0's block is on node 0: exec0 Node, exec1 Rack (same rack),
+        // exec2/3 Any (other rack).
+        assert_eq!(v.task_locality(StageId(0), 0, ExecId(0)), Locality::Node);
+        assert_eq!(v.task_locality(StageId(0), 0, ExecId(1)), Locality::Rack);
+        assert_eq!(v.task_locality(StageId(0), 0, ExecId(2)), Locality::Any);
+    }
+
+    #[test]
+    fn caching_upgrades_to_process_local() {
+        let mut f = fixture();
+        f.data.add_cached(BlockId::new(RddId(0), 0), ExecId(0));
+        let v = view(&f);
+        assert_eq!(v.task_locality(StageId(0), 0, ExecId(0)), Locality::Process);
+        // Another exec on the same node would be Node; here exec1 is on a
+        // different node but same rack → Rack via the cached copy or disk.
+        assert_eq!(v.task_locality(StageId(0), 0, ExecId(1)), Locality::Rack);
+        assert_eq!(v.task_best_level(StageId(0), 0), Locality::Process);
+    }
+
+    #[test]
+    fn pending_queries_respect_level_and_strictness() {
+        let mut f = fixture();
+        f.data.add_cached(BlockId::new(RddId(0), 1), ExecId(1));
+        let v = view(&f);
+        // On exec1: task 1 is Process; tasks 0 is Rack.
+        assert_eq!(v.pending_with_locality(StageId(0), ExecId(1), Locality::Process), Some(1));
+        assert_eq!(v.pending_with_locality(StageId(0), ExecId(1), Locality::Node), None);
+        // Strict at Rack on exec1: task 0's best anywhere is Node (its disk
+        // node) → not strict-eligible at Rack... best(0) = Node < Rack.
+        assert_eq!(
+            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Rack),
+            None
+        );
+        // Task 2's block is on node 2 (other rack): on exec1 it's Any; its
+        // best anywhere is Node → not strict at Any either.
+        assert_eq!(
+            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Any),
+            None
+        );
+    }
+
+    #[test]
+    fn valid_levels_include_any_and_reachable_tiers() {
+        let f = fixture();
+        let v = view(&f);
+        let levels = v.valid_levels(StageId(0));
+        assert!(levels.contains(&Locality::Node));
+        assert!(levels.contains(&Locality::Any));
+        assert!(!levels.contains(&Locality::Process));
+    }
+
+    #[test]
+    fn ect_caps_parallelism_at_stage_slots() {
+        let f = fixture();
+        let v = view(&f);
+        // 4 pending, slots = 4 execs × (4/2) = 8 → tp = min(4, 8) = 4 →
+        // one wave.
+        assert_eq!(v.stage_slots(StageId(0)), 8);
+        let ect = v.earliest_completion_ms(StageId(0), 1000.0);
+        assert_eq!(ect, 1000.0);
+        assert_eq!(v.narrow_input_mb(StageId(0)), 64.0);
+    }
+
+    #[test]
+    fn schedulable_stages_excludes_done_and_empty() {
+        let mut f = fixture();
+        assert_eq!(view(&f).schedulable_stages(), vec![StageId(0)]);
+        f.stages[0].pending.clear();
+        assert!(view(&f).schedulable_stages().is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Wiring: profiler → scheduler → simulator, one call.
+
+use dagon_cluster::{ClusterConfig, SimResult, Simulation};
+use dagon_dag::{JobDag, StageEstimates};
+use dagon_profiler::AppProfiler;
+
+use crate::system::System;
+
+/// A completed run plus its identifying labels.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub system: String,
+    pub workload: String,
+    pub result: SimResult,
+}
+
+impl RunOutcome {
+    pub fn jct_s(&self) -> f64 {
+        self.result.jct as f64 / 1000.0
+    }
+}
+
+/// Run `dag` on `cluster` under `system`, planning with `est`.
+pub fn run_system_with_estimates(
+    dag: &JobDag,
+    cluster: &ClusterConfig,
+    system: &System,
+    est: &StageEstimates,
+) -> RunOutcome {
+    let mut sched = system.build_scheduler(dag, est);
+    let sim = Simulation::new(dag.clone(), cluster.clone(), || system.cache.build());
+    let result = sim.run(sched.as_mut());
+    RunOutcome { system: system.label(), workload: dag.name().to_string(), result }
+}
+
+/// Run with a default slightly-noisy AppProfiler (10% duration error,
+/// seeded by the cluster seed) — the realistic configuration used by all
+/// experiments.
+pub fn run_system(dag: &JobDag, cluster: &ClusterConfig, system: &System) -> RunOutcome {
+    let est = AppProfiler::noisy(0.10, cluster.seed).estimate(dag);
+    run_system_with_estimates(dag, cluster, system, &est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::{fig1, tiny_chain};
+
+    #[test]
+    fn all_fig8_systems_complete_fig1() {
+        let cluster = ClusterConfig::tiny(2, 16);
+        for sys in System::fig8_lineup() {
+            let out = run_system(&fig1(), &cluster, &sys);
+            assert!(out.result.jct > 0, "{}", sys);
+            assert_eq!(out.workload, "fig1");
+        }
+    }
+
+    #[test]
+    fn dagon_is_not_slower_than_fifo_on_fig1() {
+        // On the paper's own example the DAG-aware order strictly shortens
+        // the makespan (Fig. 2: 16 min vs 12 min on one 16-vCPU executor).
+        let mut cluster = ClusterConfig::tiny(1, 16);
+        cluster.exec_cache_mb = 1024.0;
+        let fifo = run_system(&fig1(), &cluster, &System::stock_spark());
+        let dagon = run_system(&fig1(), &cluster, &System::dagon());
+        assert!(
+            dagon.result.jct < fifo.result.jct,
+            "dagon {} >= fifo {}",
+            dagon.result.jct,
+            fifo.result.jct
+        );
+    }
+
+    #[test]
+    fn outcomes_are_reproducible() {
+        let cluster = ClusterConfig::tiny(2, 4);
+        let a = run_system(&tiny_chain(8, 500), &cluster, &System::dagon());
+        let b = run_system(&tiny_chain(8, 500), &cluster, &System::dagon());
+        assert_eq!(a.result.jct, b.result.jct);
+    }
+}

@@ -1,0 +1,176 @@
+//! Named system configurations — one per curve in the paper's figures.
+
+use dagon_cache::PolicyKind;
+use dagon_cluster::Scheduler;
+use dagon_dag::{JobDag, StageEstimates};
+use dagon_sched::{
+    CriticalPathScheduler, DagonScheduler, FairScheduler, FifoScheduler, GrapheneScheduler,
+    NativeDelay, SensitivityAware,
+};
+
+/// Stage-ordering policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedKind {
+    Fifo,
+    Fair,
+    CriticalPath,
+    Graphene,
+    /// Dagon's Alg. 1 priority-based task assignment.
+    Dagon,
+}
+
+impl SchedKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedKind::Fifo => "FIFO",
+            SchedKind::Fair => "Fair",
+            SchedKind::CriticalPath => "CPath",
+            SchedKind::Graphene => "Graphene",
+            SchedKind::Dagon => "Dagon",
+        }
+    }
+}
+
+/// Task-placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlaceKind {
+    /// Spark's native delay scheduling.
+    NativeDelay,
+    /// Dagon's sensitivity-aware delay scheduling (Alg. 2).
+    Sensitivity,
+}
+
+/// One complete system under test: ordering × placement × cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct System {
+    pub sched: SchedKind,
+    pub place: PlaceKind,
+    pub cache: PolicyKind,
+}
+
+impl System {
+    pub const fn new(sched: SchedKind, place: PlaceKind, cache: PolicyKind) -> Self {
+        Self { sched, place, cache }
+    }
+
+    /// Stock Spark: FIFO scheduler, delay scheduling, LRU caching — the
+    /// paper's baseline.
+    pub const fn stock_spark() -> Self {
+        Self::new(SchedKind::Fifo, PlaceKind::NativeDelay, PolicyKind::Lru)
+    }
+
+    /// Graphene + LRU (Fig. 8).
+    pub const fn graphene_lru() -> Self {
+        Self::new(SchedKind::Graphene, PlaceKind::NativeDelay, PolicyKind::Lru)
+    }
+
+    /// Graphene + MRD — the paper's strongest external comparator.
+    pub const fn graphene_mrd() -> Self {
+        Self::new(SchedKind::Graphene, PlaceKind::NativeDelay, PolicyKind::Mrd)
+    }
+
+    /// Full Dagon: Alg. 1 + Alg. 2 + LRP.
+    pub const fn dagon() -> Self {
+        Self::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lrp)
+    }
+
+    /// Fig. 11 variants.
+    pub const fn fifo_mrd() -> Self {
+        Self::new(SchedKind::Fifo, PlaceKind::NativeDelay, PolicyKind::Mrd)
+    }
+    pub const fn dagon_mrd() -> Self {
+        Self::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Mrd)
+    }
+
+    /// Fig. 9 variants (caching disabled, native delay, ordering isolated).
+    pub const fn ordering_only(sched: SchedKind) -> Self {
+        Self::new(sched, PlaceKind::NativeDelay, PolicyKind::None)
+    }
+
+    /// Fig. 10 variants (Dagon ordering fixed, placement isolated).
+    pub const fn placement_only(place: PlaceKind) -> Self {
+        Self::new(SchedKind::Dagon, place, PolicyKind::None)
+    }
+
+    /// The four systems of the headline Fig. 8 comparison, in plot order.
+    pub fn fig8_lineup() -> Vec<System> {
+        vec![Self::stock_spark(), Self::graphene_lru(), Self::graphene_mrd(), Self::dagon()]
+    }
+
+    pub fn label(&self) -> String {
+        if *self == Self::dagon() {
+            return "Dagon".into();
+        }
+        format!("{}+{}", self.sched.as_str(), self.cache.as_str())
+    }
+
+    /// Instantiate the scheduler half.
+    pub fn build_scheduler(&self, dag: &JobDag, est: &StageEstimates) -> Box<dyn Scheduler> {
+        let placement: Box<dyn dagon_sched::Placement> = match self.place {
+            PlaceKind::NativeDelay => Box::new(NativeDelay::new()),
+            PlaceKind::Sensitivity => Box::new(SensitivityAware::new(est.clone())),
+        };
+        match self.sched {
+            SchedKind::Fifo => Box::new(FifoScheduler::with_placement(placement)),
+            SchedKind::Fair => {
+                // Fair is only offered with native delay (as in Spark).
+                Box::new(FairScheduler::spark_fair())
+            }
+            SchedKind::CriticalPath => Box::new(CriticalPathScheduler::new(dag)),
+            SchedKind::Graphene => Box::new(GrapheneScheduler::with_placement(dag, est, placement)),
+            SchedKind::Dagon => Box::new(DagonScheduler::with_placement(dag, est, placement)),
+        }
+    }
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::fig1;
+
+    #[test]
+    fn lineup_has_four_distinct_systems() {
+        let l = System::fig8_lineup();
+        assert_eq!(l.len(), 4);
+        for i in 0..l.len() {
+            for j in i + 1..l.len() {
+                assert_ne!(l[i], l[j]);
+            }
+        }
+        assert_eq!(l[0].label(), "FIFO+LRU");
+        assert_eq!(l[3].label(), "Dagon");
+    }
+
+    #[test]
+    fn schedulers_instantiate_for_every_kind() {
+        let dag = fig1();
+        let est = StageEstimates::exact(&dag);
+        for sched in [
+            SchedKind::Fifo,
+            SchedKind::Fair,
+            SchedKind::CriticalPath,
+            SchedKind::Graphene,
+            SchedKind::Dagon,
+        ] {
+            let sys = System::new(sched, PlaceKind::NativeDelay, PolicyKind::Lru);
+            let s = sys.build_scheduler(&dag, &est);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn dagon_scheduler_exposes_priorities() {
+        let dag = fig1();
+        let est = StageEstimates::exact(&dag);
+        let s = System::dagon().build_scheduler(&dag, &est);
+        assert!(s.stage_priorities().is_some());
+        let f = System::stock_spark().build_scheduler(&dag, &est);
+        assert!(f.stage_priorities().is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Slot-exact single-executor scheduling in abstract time units — the
+//! blackboard model behind the paper's Fig. 2 and Table III. No I/O, no
+//! locality: one executor of `RC` vCPUs, tasks of `⟨d_i, dur_i⟩`, integer
+//! minutes. FIFO and the Alg. 1 DAG-aware order reproduce the paper's
+//! makespans (16 vs 12) and the Table III priority trace exactly.
+
+use dagon_dag::{JobDag, PriorityTracker, StageId, TaskId, MIN_MS};
+
+/// Scheduling mode for the tiny executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Stages in id order (stock FIFO).
+    Fifo,
+    /// Alg. 1: stages by descending live priority value.
+    DagAware,
+}
+
+/// One launch record (all times in abstract units = paper minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TinyLaunch {
+    pub t: u64,
+    pub task: TaskId,
+    pub cpus: u32,
+    pub dur: u64,
+}
+
+/// One Table III-style trace row, captured at each assignment under
+/// `Mode::DagAware`: the chosen stage, then `w_i`/`pv_i` for every stage
+/// and the executor's free CPUs *after* the assignment (in work units =
+/// vCPU-minutes when the DAG durations are in minutes).
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    pub chosen: StageId,
+    pub w: Vec<u64>,
+    pub pv: Vec<u64>,
+    pub free_cpus: u32,
+}
+
+/// Result of a tiny-executor run.
+#[derive(Clone, Debug)]
+pub struct TinyRun {
+    pub makespan: u64,
+    pub launches: Vec<TinyLaunch>,
+    pub trace: Vec<TraceRow>,
+}
+
+/// Run `dag` on one executor of `rc` vCPUs. Durations are taken from
+/// `stage.cpu_ms` converted to abstract units of one minute.
+pub fn run_tiny(dag: &JobDag, rc: u32, mode: Mode) -> TinyRun {
+    let unit = MIN_MS;
+    let n = dag.num_stages();
+    let mut tracker = PriorityTracker::from_dag(dag);
+    let mut free = rc;
+    let mut now: u64 = 0;
+    let mut pending: Vec<Vec<u32>> =
+        dag.stages().iter().map(|s| (0..s.num_tasks).collect()).collect();
+    let mut finished_tasks = vec![0u32; n];
+    let mut stage_done = vec![false; n];
+    // (finish_time, task, cpus)
+    let mut running: Vec<(u64, TaskId, u32)> = Vec::new();
+    let mut launches = Vec::new();
+    let mut trace = Vec::new();
+
+    let total_tasks: u32 = dag.stages().iter().map(|s| s.num_tasks).sum();
+    let mut done_tasks = 0u32;
+
+    while done_tasks < total_tasks {
+        // Launch loop at `now`.
+        loop {
+            let ready: Vec<StageId> = dag
+                .stage_ids()
+                .filter(|s| {
+                    !pending[s.index()].is_empty()
+                        && dag.parents(*s).iter().all(|p| stage_done[p.index()])
+                })
+                .collect();
+            let order: Vec<StageId> = match mode {
+                Mode::Fifo => {
+                    let mut v = ready;
+                    v.sort_unstable();
+                    v
+                }
+                Mode::DagAware => {
+                    let mut v = ready;
+                    v.sort_by_key(|s| (std::cmp::Reverse(tracker.pv(*s)), *s));
+                    v
+                }
+            };
+            let mut launched = false;
+            for s in order {
+                let st = dag.stage(s);
+                if st.demand.cpus <= free {
+                    let k = pending[s.index()].remove(0);
+                    let dur = st.task_cpu_ms(k) / unit;
+                    let task = TaskId::new(s, k);
+                    free -= st.demand.cpus;
+                    running.push((now + dur, task, st.demand.cpus));
+                    launches.push(TinyLaunch { t: now, task, cpus: st.demand.cpus, dur });
+                    tracker.on_task_launched(task, st.task_work(k));
+                    trace.push(TraceRow {
+                        chosen: s,
+                        w: dag.stage_ids().map(|x| tracker.remaining_work(x) / unit).collect(),
+                        pv: dag.stage_ids().map(|x| tracker.pv(x) / unit).collect(),
+                        free_cpus: free,
+                    });
+                    launched = true;
+                    break;
+                }
+            }
+            if !launched {
+                break;
+            }
+        }
+        // Advance to the next finish.
+        let next = running.iter().map(|(t, _, _)| *t).min().expect("tasks still running");
+        now = next;
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].0 == now {
+                let (_, task, cpus) = running.swap_remove(i);
+                free += cpus;
+                finished_tasks[task.stage.index()] += 1;
+                done_tasks += 1;
+                if finished_tasks[task.stage.index()] == dag.stage(task.stage).num_tasks {
+                    stage_done[task.stage.index()] = true;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    TinyRun { makespan: now, launches, trace }
+}
+
+/// Render a launch list as an ASCII Gantt, one row per stage.
+pub fn gantt(dag: &JobDag, run: &TinyRun, rc: u32) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let span = run.makespan as usize;
+    for s in dag.stage_ids() {
+        let mut row = vec![b' '; span];
+        for l in run.launches.iter().filter(|l| l.task.stage == s) {
+            for t in l.t..l.t + l.dur {
+                row[t as usize] = if row[t as usize] == b' ' {
+                    b'1'
+                } else {
+                    row[t as usize] + 1
+                };
+            }
+        }
+        let _ = writeln!(out, "  {:>3} |{}|", s.to_string(), String::from_utf8(row).unwrap());
+    }
+    let mut usage = vec![0u32; span];
+    for l in &run.launches {
+        for t in l.t..l.t + l.dur {
+            usage[t as usize] += l.cpus;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  cpus|{}| (of {rc})",
+        usage.iter().map(|u| char::from_digit((*u).min(15) as u32, 16).unwrap()).collect::<String>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::fig1;
+
+    #[test]
+    fn fig2a_fifo_makespan_is_16_minutes() {
+        let dag = fig1();
+        let run = run_tiny(&dag, 16, Mode::Fifo);
+        assert_eq!(run.makespan, 16);
+        // FIFO launches all three stage-1 tasks at t=0 and nothing else.
+        let at0: Vec<_> = run.launches.iter().filter(|l| l.t == 0).collect();
+        assert_eq!(at0.len(), 3);
+        assert!(at0.iter().all(|l| l.task.stage == StageId(0)));
+    }
+
+    #[test]
+    fn fig2b_dag_aware_makespan_is_12_minutes() {
+        let dag = fig1();
+        let run = run_tiny(&dag, 16, Mode::DagAware);
+        assert_eq!(run.makespan, 12);
+        // t=0 launches: one stage-1 task and two stage-2 tasks, 16 cpus.
+        let at0: Vec<_> = run.launches.iter().filter(|l| l.t == 0).collect();
+        let cpus: u32 = at0.iter().map(|l| l.cpus).sum();
+        assert_eq!(cpus, 16);
+        assert_eq!(at0.iter().filter(|l| l.task.stage == StageId(1)).count(), 2);
+        assert_eq!(at0.iter().filter(|l| l.task.stage == StageId(0)).count(), 1);
+    }
+
+    #[test]
+    fn table_iii_trace_first_four_steps() {
+        let dag = fig1();
+        let run = run_tiny(&dag, 16, Mode::DagAware);
+        let t = &run.trace;
+        // Step 1: Stage 2 chosen; w2 48→? (paper: w2 36→24, pv2 64→52,
+        // free 16→10).
+        assert_eq!(t[0].chosen, StageId(1));
+        assert_eq!(t[0].w[1], 24);
+        assert_eq!(t[0].pv[1], 52);
+        assert_eq!(t[0].free_cpus, 10);
+        // Step 2: Stage 1 (tie 52/52 broken toward stage 1), w1 48→32,
+        // pv1 52→36, free 6.
+        assert_eq!(t[1].chosen, StageId(0));
+        assert_eq!(t[1].w[0], 32);
+        assert_eq!(t[1].pv[0], 36);
+        assert_eq!(t[1].free_cpus, 6);
+        // Step 3: Stage 2 again, pv2 52→40, free 0.
+        assert_eq!(t[2].chosen, StageId(1));
+        assert_eq!(t[2].pv[1], 40);
+        assert_eq!(t[2].free_cpus, 0);
+        // Step 4 (t=2, 12 cpus freed): Stage 2's last task, w2 0, pv2 28,
+        // free 6.
+        assert_eq!(t[3].chosen, StageId(1));
+        assert_eq!(t[3].w[1], 0);
+        assert_eq!(t[3].pv[1], 28);
+        assert_eq!(t[3].free_cpus, 6);
+    }
+
+    #[test]
+    fn gantt_renders_full_width() {
+        let dag = fig1();
+        let run = run_tiny(&dag, 16, Mode::Fifo);
+        let g = gantt(&dag, &run, 16);
+        assert!(g.contains("S0"));
+        assert!(g.contains("cpus"));
+        // FIFO leaves 4 idle cpus during [0,4): usage digit 'c' (12).
+        assert!(g.lines().last().unwrap().contains('c'), "{g}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Graphviz DOT export — handy for eyeballing workload DAG shapes
+//! (`repro fig1` prints the Fig. 1 DAG this way).
+
+use std::fmt::Write as _;
+
+use crate::dag::JobDag;
+use crate::resources::MIN_MS;
+use crate::stage::DepKind;
+
+/// Render the stage graph as DOT. Stages are boxes labelled with their
+/// `⟨resource, duration⟩` annotation; dashed edges are wide (shuffle)
+/// dependencies; ellipses are HDFS source RDDs.
+pub fn to_dot(dag: &JobDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dag.name());
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box fontsize=10];");
+    for s in dag.stages() {
+        let dur = if s.cpu_ms % MIN_MS == 0 && s.cpu_ms >= MIN_MS {
+            format!("{}min", s.cpu_ms / MIN_MS)
+        } else {
+            format!("{:.1}s", s.cpu_ms as f64 / 1000.0)
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{} ({})\\n<{} vCPU, {}> x{}\"];",
+            s.id, s.name, s.id, s.demand.cpus, dur, s.num_tasks
+        );
+    }
+    for r in dag.rdds().iter().filter(|r| r.is_source()) {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse label=\"{} ({} x {:.0}MB)\"];",
+            r.id, r.name, r.num_partitions, r.block_mb
+        );
+    }
+    for s in dag.stages() {
+        for i in &s.inputs {
+            let style = match i.kind {
+                DepKind::Narrow => "solid",
+                DepKind::Wide => "dashed",
+            };
+            let rdd = dag.rdd(i.rdd);
+            match rdd.producer() {
+                Some(p) => {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [style={} label=\"{}\"];",
+                        p, s.id, style, rdd.name
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  \"{}\" -> {} [style={}];", rdd.id, s.id, style);
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1;
+
+    #[test]
+    fn dot_contains_all_stages_and_edge_styles() {
+        let dot = to_dot(&fig1());
+        assert!(dot.starts_with("digraph"));
+        for s in ["S0", "S1", "S2", "S3"] {
+            assert!(dot.contains(s), "missing {s}");
+        }
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_labels_show_demand_and_duration() {
+        let dot = to_dot(&fig1());
+        assert!(dot.contains("<4 vCPU, 4min> x3"));
+        assert!(dot.contains("<6 vCPU, 2min> x3"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-stage estimates the AppProfiler hands to schedulers.
+//!
+//! The paper's AppProfiler "learns the application DAG and estimates the
+//! task duration and resource demand for each stage" from a small profiling
+//! run plus online statistics (§IV). Schedulers plan with these *estimates*;
+//! the simulator executes with ground truth — so estimation error degrades
+//! scheduling quality exactly as it would in the real system.
+
+use crate::dag::JobDag;
+use crate::ids::StageId;
+use crate::resources::Resources;
+
+/// Estimated per-stage task duration and demand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageEstimates {
+    /// Estimated mean task compute time, ms, per stage.
+    pub mean_task_ms: Vec<f64>,
+    /// Estimated per-task resource demand per stage.
+    pub demand: Vec<Resources>,
+}
+
+impl StageEstimates {
+    /// Ground-truth estimates straight from the DAG (a perfect profiler).
+    pub fn exact(dag: &JobDag) -> Self {
+        Self {
+            mean_task_ms: dag.stages().iter().map(|s| s.mean_task_cpu_ms() as f64).collect(),
+            demand: dag.stages().iter().map(|s| s.demand).collect(),
+        }
+    }
+
+    /// Estimated work of one task of stage `s` in vCPU-ms.
+    pub fn task_work(&self, s: StageId) -> u64 {
+        (self.demand[s.index()].cpus as f64 * self.mean_task_ms[s.index()]).round().max(0.0)
+            as u64
+    }
+
+    /// Estimated mean task duration of stage `s`, ms.
+    pub fn mean_ms(&self, s: StageId) -> f64 {
+        self.mean_task_ms[s.index()]
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.mean_task_ms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1;
+    use crate::MIN_MS;
+
+    #[test]
+    fn exact_estimates_match_dag() {
+        let d = fig1();
+        let e = StageEstimates::exact(&d);
+        assert_eq!(e.num_stages(), 4);
+        assert_eq!(e.mean_ms(StageId(0)), (4 * MIN_MS) as f64);
+        assert_eq!(e.task_work(StageId(0)) / MIN_MS, 16);
+        assert_eq!(e.task_work(StageId(1)) / MIN_MS, 12);
+        assert_eq!(e.demand[1].cpus, 6);
+    }
+}

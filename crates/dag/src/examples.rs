@@ -1,0 +1,127 @@
+//! Hand-built example DAGs, most importantly the paper's Fig. 1.
+
+use crate::dag::{DagBuilder, JobDag};
+use crate::resources::MIN_MS;
+
+/// The running example DAG of the paper (Fig. 1), reconstructed from
+/// Fig. 2, Table I and Table III:
+///
+/// ```text
+///   A (HDFS, 3 blocks) ──narrow──▶ Stage1 ⟨4 vCPU, 4 min⟩ × 3 ──▶ B
+///   C (HDFS, 3 blocks) ──narrow──▶ Stage2 ⟨6 vCPU, 2 min⟩ × 3 ──▶ D
+///   D ──wide──▶ Stage3 ⟨3 vCPU, 4 min⟩ × 2 ──▶ E
+///   B, E ──wide──▶ Stage4 ⟨1 vCPU, 4 min⟩ × 1 ──▶ F
+/// ```
+///
+/// Workloads: w1 = 48, w2 = 36, w3 = 24, w4 = 4 vCPU-minutes, giving the
+/// priority values of Table III (pv1 = 52, pv2 = 64). All intermediate RDDs
+/// and the two scan inputs are persisted, matching Table I where scanned
+/// `C` blocks appear in the cache.
+///
+/// Paper stage *k* is [`StageId`]`(k-1)` here (`S1 → StageId(0)`, …).
+///
+/// [`StageId`]: crate::ids::StageId
+pub fn fig1() -> JobDag {
+    let mut b = DagBuilder::new("fig1");
+    let a = b.hdfs_rdd_cached("A", 3, 64.0, true);
+    let c = b.hdfs_rdd_cached("C", 3, 64.0, true);
+    let (_s1, rb) = b
+        .stage("stage1")
+        .tasks(3)
+        .demand_cpus(4)
+        .cpu_ms(4 * MIN_MS)
+        .reads_narrow(a)
+        .output_mb(64.0)
+        .cache_output()
+        .build();
+    let (_s2, rd) = b
+        .stage("stage2")
+        .tasks(3)
+        .demand_cpus(6)
+        .cpu_ms(2 * MIN_MS)
+        .reads_narrow(c)
+        .output_mb(64.0)
+        .cache_output()
+        .build();
+    let (_s3, re) = b
+        .stage("stage3")
+        .tasks(2)
+        .demand_cpus(3)
+        .cpu_ms(4 * MIN_MS)
+        .reads_wide(rd)
+        .output_mb(64.0)
+        .cache_output()
+        .build();
+    let _ = b
+        .stage("stage4")
+        .tasks(1)
+        .demand_cpus(1)
+        .cpu_ms(4 * MIN_MS)
+        .reads_wide(rb)
+        .reads_wide(re)
+        .output_mb(64.0)
+        .build();
+    b.build().expect("fig1 is a valid DAG")
+}
+
+/// A two-stage map job (scan → aggregate) for quick tests.
+pub fn tiny_chain(tasks: u32, cpu_ms: u64) -> JobDag {
+    let mut b = DagBuilder::new("tiny_chain");
+    let a = b.hdfs_rdd("in", tasks, 64.0);
+    let (_, r) = b
+        .stage("scan")
+        .tasks(tasks)
+        .demand_cpus(1)
+        .cpu_ms(cpu_ms)
+        .reads_narrow(a)
+        .cache_output()
+        .build();
+    let _ = b.stage("agg").tasks(tasks.max(1) / 2 + 1).demand_cpus(1).cpu_ms(cpu_ms / 2).reads_wide(r).build();
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{depth, Closure};
+    use crate::ids::StageId;
+
+    #[test]
+    fn fig1_workloads_match_paper() {
+        let d = fig1();
+        let w: Vec<u64> = d.stages().iter().map(|s| s.total_work() / MIN_MS).collect();
+        assert_eq!(w, vec![48, 36, 24, 4]);
+    }
+
+    #[test]
+    fn fig1_structure() {
+        let d = fig1();
+        assert_eq!(d.num_stages(), 4);
+        assert_eq!(depth(&d), 3); // S2 -> S3 -> S4
+        let c = Closure::successors(&d);
+        // Stage 1's only successor is stage 4.
+        assert_eq!(c.members(StageId(0)).collect::<Vec<_>>(), vec![StageId(3)]);
+        // Stage 2's successors are stages 3 and 4.
+        assert_eq!(
+            c.members(StageId(1)).collect::<Vec<_>>(),
+            vec![StageId(2), StageId(3)]
+        );
+    }
+
+    #[test]
+    fn fig1_persists_intermediates() {
+        let d = fig1();
+        let b_rdd = d.stage(StageId(0)).output;
+        assert!(d.rdd(b_rdd).cached);
+        // Final output not persisted.
+        let f_rdd = d.stage(StageId(3)).output;
+        assert!(!d.rdd(f_rdd).cached);
+    }
+
+    #[test]
+    fn tiny_chain_valid() {
+        let d = tiny_chain(4, 1000);
+        assert_eq!(d.num_stages(), 2);
+        assert_eq!(d.stage(StageId(1)).parents, vec![StageId(0)]);
+    }
+}

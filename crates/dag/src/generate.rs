@@ -1,0 +1,177 @@
+//! Seeded random DAG generation.
+//!
+//! Used by property tests (structural invariants must hold on arbitrary
+//! DAGs), the optimality-gap ablation (small random DAGs vs the exhaustive
+//! solver) and stress tests. Shapes follow the observation the paper cites
+//! from GRAPHENE: median DAG depth ~5, heterogeneous task durations
+//! (sub-second to hundreds of seconds) and demands.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::{DagBuilder, JobDag};
+use crate::ids::RddId;
+
+/// Parameters for random layered DAGs.
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// Number of stages to generate (≥ 1).
+    pub stages: usize,
+    /// Maximum parents per stage.
+    pub max_parents: usize,
+    /// Range of tasks per stage.
+    pub tasks: (u32, u32),
+    /// Range of per-task CPU demand.
+    pub demand_cpus: (u32, u32),
+    /// Range of per-task compute ms.
+    pub cpu_ms: (u64, u64),
+    /// Range of output block MiB.
+    pub block_mb: (f64, f64),
+    /// Probability a dependency is wide (vs narrow). Narrow deps force the
+    /// child's task count to match the parent's partitions.
+    pub wide_prob: f64,
+    /// Probability each intermediate RDD is persisted.
+    pub cache_prob: f64,
+    /// Probability a stage (additionally) scans a fresh HDFS RDD.
+    pub source_prob: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        Self {
+            stages: 10,
+            max_parents: 2,
+            tasks: (1, 16),
+            demand_cpus: (1, 4),
+            cpu_ms: (200, 30_000),
+            block_mb: (16.0, 256.0),
+            wide_prob: 0.5,
+            cache_prob: 0.7,
+            source_prob: 0.3,
+        }
+    }
+}
+
+fn sample_u32(rng: &mut SmallRng, (lo, hi): (u32, u32)) -> u32 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+fn sample_u64(rng: &mut SmallRng, (lo, hi): (u64, u64)) -> u64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Generate a random valid [`JobDag`]. Deterministic in `(params, seed)`.
+pub fn random_dag(params: &GenParams, seed: u64) -> JobDag {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new(format!("rand{seed}"));
+    // (rdd, partitions) of every stage output so far.
+    let mut outputs: Vec<(RddId, u32)> = Vec::new();
+    for i in 0..params.stages.max(1) {
+        let mut sb_tasks = sample_u32(&mut rng, params.tasks).max(1);
+        let mut narrow_parent: Option<RddId> = None;
+        let mut wide_parents: Vec<RddId> = Vec::new();
+        if !outputs.is_empty() {
+            let nparents = rng.gen_range(1..=params.max_parents.max(1)).min(outputs.len());
+            // Choose distinct parents biased toward recent stages (chains).
+            let mut chosen: Vec<usize> = Vec::new();
+            for _ in 0..nparents {
+                let idx = outputs.len() - 1 - (rng.gen::<f64>().powi(2) * outputs.len() as f64) as usize % outputs.len();
+                if !chosen.contains(&idx) {
+                    chosen.push(idx);
+                }
+            }
+            for idx in chosen {
+                let (rdd, parts) = outputs[idx];
+                if narrow_parent.is_none() && rng.gen_bool(1.0 - params.wide_prob) {
+                    narrow_parent = Some(rdd);
+                    sb_tasks = parts; // narrow forces alignment
+                } else {
+                    wide_parents.push(rdd);
+                }
+            }
+        }
+        let scans_source = outputs.is_empty() || rng.gen_bool(params.source_prob);
+        let source = if scans_source && narrow_parent.is_none() {
+            let parts = sb_tasks;
+            Some(b.hdfs_rdd(&format!("src{i}"), parts, sample_u64(&mut rng, (16, 256)) as f64))
+        } else {
+            None
+        };
+        let mut sb = b
+            .stage(&format!("st{i}"))
+            .tasks(sb_tasks)
+            .demand_cpus(sample_u32(&mut rng, params.demand_cpus).max(1))
+            .cpu_ms(sample_u64(&mut rng, params.cpu_ms).max(1))
+            .output_mb(
+                params.block_mb.0 + rng.gen::<f64>() * (params.block_mb.1 - params.block_mb.0),
+            );
+        if let Some(r) = narrow_parent {
+            sb = sb.reads_narrow(r);
+        }
+        if let Some(r) = source {
+            sb = sb.reads_narrow(r);
+        }
+        for r in wide_parents {
+            sb = sb.reads_wide(r);
+        }
+        if rng.gen_bool(params.cache_prob) {
+            sb = sb.cache_output();
+        }
+        let (_, out) = sb.build();
+        outputs.push((out, sb_tasks));
+    }
+    b.build().expect("generator produces valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ready_stages, Closure};
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = GenParams::default();
+        let a = random_dag(&p, 42);
+        let b = random_dag(&p, 42);
+        assert_eq!(a.num_stages(), b.num_stages());
+        for (x, y) in a.stages().iter().zip(b.stages()) {
+            assert_eq!(x.num_tasks, y.num_tasks);
+            assert_eq!(x.cpu_ms, y.cpu_ms);
+            assert_eq!(x.parents, y.parents);
+        }
+    }
+
+    #[test]
+    fn generated_dags_are_valid_across_seeds() {
+        let p = GenParams { stages: 25, ..Default::default() };
+        for seed in 0..50 {
+            let d = random_dag(&p, seed);
+            assert_eq!(d.num_stages(), 25);
+            // topo order exists and every root is ready at t0.
+            let done = vec![false; d.num_stages()];
+            let ready = ready_stages(&d, &done);
+            assert!(!ready.is_empty());
+            // Closure is acyclic: no stage is its own successor.
+            let c = Closure::successors(&d);
+            for s in d.stage_ids() {
+                assert!(!c.contains(s, s));
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_param_works() {
+        let p = GenParams { stages: 1, ..Default::default() };
+        let d = random_dag(&p, 7);
+        assert_eq!(d.num_stages(), 1);
+        assert!(d.parents(crate::ids::StageId(0)).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Multi-tenant job sets: merge several jobs (with arrival times) into one
+//! combined DAG the simulator can run.
+//!
+//! The paper deploys Dagon in a multi-tenant YARN cluster and notes that
+//! the available resource capacity `RC` (Eq. 3) "often changes during
+//! runtime" because of other tenants. Merging concurrent jobs into one DAG
+//! — stages renumbered, source RDDs shared nothing, each job's roots
+//! released at its arrival time — lets every scheduler in this workspace
+//! handle inter-job contention with no special casing: FIFO degenerates to
+//! arrival order, Fair to per-stage round-robin, and Dagon's Eq. (6)
+//! priorities rank stages *across* jobs by remaining dependent work.
+
+use crate::dag::{DagBuilder, JobDag};
+use crate::ids::{RddId, StageId};
+use crate::rdd::RddSource;
+use crate::resources::SimTime;
+use crate::stage::DepKind;
+
+/// Where one merged job's pieces landed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSlot {
+    pub name: String,
+    pub arrival_ms: SimTime,
+    /// The job's stages in the merged DAG (contiguous, ascending).
+    pub stages: Vec<StageId>,
+}
+
+/// A set of jobs with arrival times.
+#[derive(Default)]
+pub struct JobSet {
+    jobs: Vec<(JobDag, SimTime)>,
+}
+
+impl JobSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a job arriving at `arrival_ms`.
+    pub fn add(&mut self, dag: JobDag, arrival_ms: SimTime) -> &mut Self {
+        self.jobs.push((dag, arrival_ms));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Merge into one DAG. Jobs are laid out in arrival order (stable for
+    /// equal arrivals), so FIFO's stage-id order equals Spark's
+    /// FIFO-across-jobs behaviour. Every stage of a job gets
+    /// `release_ms = max(its own release, the job's arrival)`.
+    pub fn merge(mut self) -> (JobDag, Vec<JobSlot>) {
+        assert!(!self.jobs.is_empty(), "JobSet::merge on an empty set");
+        self.jobs.sort_by_key(|(_, a)| *a);
+        let mut b = DagBuilder::new("multi-tenant");
+        let mut slots = Vec::new();
+        for (job_idx, (dag, arrival)) in self.jobs.iter().enumerate() {
+            let mut rdd_map: std::collections::HashMap<RddId, RddId> =
+                std::collections::HashMap::new();
+            let mut stages = Vec::new();
+            for sid in dag.topo_order() {
+                let st = dag.stage(*sid);
+                // Recreate HDFS sources this stage reads (each job gets its
+                // own copies; cross-job data sharing is out of scope).
+                for input in &st.inputs {
+                    let rdd = dag.rdd(input.rdd);
+                    if matches!(rdd.source, RddSource::Hdfs)
+                        && !rdd_map.contains_key(&rdd.id)
+                    {
+                        let new = b.hdfs_rdd_cached(
+                            &format!("j{job_idx}_{}", rdd.name),
+                            rdd.num_partitions,
+                            rdd.block_mb,
+                            rdd.cached,
+                        );
+                        rdd_map.insert(rdd.id, new);
+                    }
+                }
+                let mut sb = b
+                    .stage(&format!("j{job_idx}_{}", st.name))
+                    .tasks(st.num_tasks)
+                    .demand(st.demand)
+                    .cpu_ms(st.cpu_ms)
+                    .skew(st.skew.clone())
+                    .output_mb(dag.rdd(st.output).block_mb)
+                    .release_ms(st.release_ms.max(*arrival));
+                if dag.rdd(st.output).cached {
+                    sb = sb.cache_output();
+                }
+                for input in &st.inputs {
+                    let mapped = rdd_map[&input.rdd];
+                    sb = match input.kind {
+                        DepKind::Narrow => sb.reads_narrow(mapped),
+                        DepKind::Wide => sb.reads_wide(mapped),
+                    };
+                }
+                let (new_stage, out) = sb.build();
+                rdd_map.insert(st.output, out);
+                stages.push(new_stage);
+            }
+            stages.sort_unstable();
+            slots.push(JobSlot {
+                name: dag.name().to_string(),
+                arrival_ms: *arrival,
+                stages,
+            });
+        }
+        (b.build().expect("merged DAG is valid"), slots)
+    }
+}
+
+/// Per-job completion time out of a merged run: the latest completion among
+/// the job's stages, minus the job's arrival.
+pub fn job_completion_ms(
+    slot: &JobSlot,
+    stage_completion: impl Fn(StageId) -> Option<SimTime>,
+) -> Option<SimTime> {
+    let mut latest = 0;
+    for s in &slot.stages {
+        latest = latest.max(stage_completion(*s)?);
+    }
+    Some(latest.saturating_sub(slot.arrival_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fig1, tiny_chain};
+
+    #[test]
+    fn merge_preserves_per_job_structure() {
+        let mut set = JobSet::new();
+        set.add(fig1(), 0);
+        set.add(tiny_chain(4, 500), 5_000);
+        let (dag, slots) = set.merge();
+        assert_eq!(dag.num_stages(), 4 + 2);
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].stages.len(), 4);
+        assert_eq!(slots[1].stages.len(), 2);
+        // No cross-job dependencies.
+        for s in &slots[1].stages {
+            for p in dag.parents(*s) {
+                assert!(slots[1].stages.contains(p), "cross-job parent {p}");
+            }
+        }
+        // Arrival becomes the release time of the second job's stages.
+        for s in &slots[1].stages {
+            assert_eq!(dag.stage(*s).release_ms, 5_000);
+        }
+        for s in &slots[0].stages {
+            assert_eq!(dag.stage(*s).release_ms, 0);
+        }
+    }
+
+    #[test]
+    fn merge_orders_jobs_by_arrival() {
+        let mut set = JobSet::new();
+        set.add(tiny_chain(2, 100), 9_000);
+        set.add(fig1(), 0);
+        let (dag, slots) = set.merge();
+        // fig1 arrived first → occupies the low stage ids.
+        assert_eq!(slots[0].name, "fig1");
+        assert_eq!(slots[0].stages[0], StageId(0));
+        assert!(slots[1].stages[0] > slots[0].stages[3]);
+        assert_eq!(dag.num_stages(), 6);
+    }
+
+    #[test]
+    fn job_completion_subtracts_arrival() {
+        let mut set = JobSet::new();
+        set.add(tiny_chain(2, 100), 1_000);
+        let (_, slots) = set.merge();
+        let jct = job_completion_ms(&slots[0], |_| Some(4_000)).unwrap();
+        assert_eq!(jct, 3_000);
+        // Missing completion → None.
+        assert_eq!(job_completion_ms(&slots[0], |_| None), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        let _ = JobSet::new().merge();
+    }
+}

@@ -1,0 +1,97 @@
+//! RDDs: partitioned datasets flowing between stages.
+
+use crate::ids::{BlockId, RddId, StageId};
+
+/// Where an RDD's blocks materialize from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RddSource {
+    /// Stored in HDFS before the job starts; blocks are placed on node disks
+    /// by the simulator according to the replication factor.
+    Hdfs,
+    /// Produced by the tasks of a stage; block `k` appears on the disk of the
+    /// node that ran task `k` when that task finishes (and in the producing
+    /// executor's cache if [`Rdd::cached`]).
+    Stage(StageId),
+}
+
+/// A partitioned dataset. Mirrors what Spark's `BlockManagerMaster` knows
+/// about an RDD: partition count, per-block size, and whether the
+/// application asked for it to be persisted (`.cache()`).
+#[derive(Clone, Debug)]
+pub struct Rdd {
+    pub id: RddId,
+    pub name: String,
+    pub num_partitions: u32,
+    /// Size of one block in MiB. Uniform within an RDD, as assumed in the
+    /// paper's Table I study; skew across tasks is modelled on compute time.
+    pub block_mb: f64,
+    pub source: RddSource,
+    /// `true` if the application persists this RDD, i.e. its blocks are
+    /// eligible for BlockManager caching. HDFS inputs are cache-eligible too
+    /// when marked (Spark can cache a scanned input via `.cache()` on the
+    /// scan RDD).
+    pub cached: bool,
+}
+
+impl Rdd {
+    /// Iterate over all block ids of this RDD.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let id = self.id;
+        (0..self.num_partitions).map(move |p| BlockId::new(id, p))
+    }
+
+    /// Total dataset size in MiB.
+    pub fn total_mb(&self) -> f64 {
+        self.block_mb * self.num_partitions as f64
+    }
+
+    /// Is this RDD an HDFS source?
+    pub fn is_source(&self) -> bool {
+        matches!(self.source, RddSource::Hdfs)
+    }
+
+    /// The producing stage, if any.
+    pub fn producer(&self) -> Option<StageId> {
+        match self.source {
+            RddSource::Stage(s) => Some(s),
+            RddSource::Hdfs => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rdd() -> Rdd {
+        Rdd {
+            id: RddId(3),
+            name: "edges".into(),
+            num_partitions: 4,
+            block_mb: 128.0,
+            source: RddSource::Hdfs,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn blocks_enumerates_partitions() {
+        let r = rdd();
+        let blocks: Vec<_> = r.blocks().collect();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0], BlockId::new(RddId(3), 0));
+        assert_eq!(blocks[3], BlockId::new(RddId(3), 3));
+    }
+
+    #[test]
+    fn total_size_and_source_flags() {
+        let r = rdd();
+        assert!((r.total_mb() - 512.0).abs() < 1e-9);
+        assert!(r.is_source());
+        assert_eq!(r.producer(), None);
+        let mut s = rdd();
+        s.source = RddSource::Stage(StageId(1));
+        assert_eq!(s.producer(), Some(StageId(1)));
+        assert!(!s.is_source());
+    }
+}

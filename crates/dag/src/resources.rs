@@ -1,0 +1,116 @@
+//! Time and resource units shared across the workspace.
+
+/// Simulated time in milliseconds since job submission.
+pub type SimTime = u64;
+
+/// One second in [`SimTime`] units.
+pub const SEC_MS: SimTime = 1_000;
+/// One minute in [`SimTime`] units. The paper measures stage workloads in
+/// vCPU-minutes; we keep everything in vCPU-milliseconds internally.
+pub const MIN_MS: SimTime = 60_000;
+
+/// A resource vector: the `⟨resource⟩` half of the paper's
+/// `⟨resource, duration⟩` task annotation.
+///
+/// The paper's Spark port is CPU-only ("Spark allows workloads to specify
+/// only their resource demands on CPU"), but executors also have a memory
+/// budget that bounds concurrent tasks, so we carry both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Resources {
+    /// Virtual CPUs.
+    pub cpus: u32,
+    /// Memory in MiB.
+    pub mem_mb: u64,
+}
+
+impl Resources {
+    pub const ZERO: Resources = Resources { cpus: 0, mem_mb: 0 };
+
+    #[inline]
+    pub fn new(cpus: u32, mem_mb: u64) -> Self {
+        Self { cpus, mem_mb }
+    }
+
+    /// CPU-only demand with a nominal per-core memory share (1 GiB/core),
+    /// convenient for workload generators that don't care about memory.
+    #[inline]
+    pub fn cpus(cpus: u32) -> Self {
+        Self { cpus, mem_mb: cpus as u64 * 1024 }
+    }
+
+    /// Component-wise `self + other`.
+    #[inline]
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources { cpus: self.cpus + other.cpus, mem_mb: self.mem_mb + other.mem_mb }
+    }
+
+    /// Component-wise saturating `self - other`.
+    #[inline]
+    pub fn minus(self, other: Resources) -> Resources {
+        Resources {
+            cpus: self.cpus.saturating_sub(other.cpus),
+            mem_mb: self.mem_mb.saturating_sub(other.mem_mb),
+        }
+    }
+
+    /// Does a demand of `other` fit within `self`?
+    #[inline]
+    pub fn fits(self, other: Resources) -> bool {
+        other.cpus <= self.cpus && other.mem_mb <= self.mem_mb
+    }
+
+    /// How many copies of `demand` fit (the executor-throughput question
+    /// behind the paper's "dynamic resource configuration" contribution)?
+    #[inline]
+    pub fn capacity_for(self, demand: Resources) -> u32 {
+        if demand.cpus == 0 && demand.mem_mb == 0 {
+            return u32::MAX;
+        }
+        let by_cpu = if demand.cpus == 0 { u32::MAX } else { self.cpus / demand.cpus };
+        let by_mem = if demand.mem_mb == 0 {
+            u32::MAX
+        } else {
+            (self.mem_mb / demand.mem_mb).min(u32::MAX as u64) as u32
+        };
+        by_cpu.min(by_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_is_componentwise() {
+        let cap = Resources::new(4, 8192);
+        assert!(cap.fits(Resources::new(4, 8192)));
+        assert!(!cap.fits(Resources::new(5, 1)));
+        assert!(!cap.fits(Resources::new(1, 9000)));
+        assert!(cap.fits(Resources::ZERO));
+    }
+
+    #[test]
+    fn capacity_for_takes_binding_dimension() {
+        let cap = Resources::new(16, 8192);
+        // CPU-bound: 16/4 = 4 even though memory would allow 8.
+        assert_eq!(cap.capacity_for(Resources::new(4, 1024)), 4);
+        // Memory-bound: 8192/4096 = 2 even though CPUs would allow 16.
+        assert_eq!(cap.capacity_for(Resources::new(1, 4096)), 2);
+        assert_eq!(cap.capacity_for(Resources::ZERO), u32::MAX);
+    }
+
+    #[test]
+    fn minus_saturates() {
+        let a = Resources::new(2, 100);
+        let b = Resources::new(5, 50);
+        assert_eq!(a.minus(b), Resources::new(0, 50));
+    }
+
+    #[test]
+    fn plus_adds() {
+        assert_eq!(
+            Resources::new(1, 2).plus(Resources::new(3, 4)),
+            Resources::new(4, 6)
+        );
+    }
+}

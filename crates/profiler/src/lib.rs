@@ -1,0 +1,104 @@
+//! # dagon-profiler — the AppProfiler (§IV)
+//!
+//! The paper's AppProfiler "learns the application DAG and estimates the
+//! task duration and resource demand for each stage. When a user runs a
+//! workload for the first time, it submits the workload with a small
+//! dataset to obtain the profile and then re-submits it with the full
+//! dataset", refining estimates online from executor statistics (the
+//! `trackContainer()` cgroup counters).
+//!
+//! Three estimation paths are provided:
+//!
+//! * [`AppProfiler::perfect`] — ground-truth estimates (upper bound);
+//! * [`AppProfiler::noisy`] — ground truth perturbed by seeded
+//!   multiplicative noise, modelling cgroup-counter measurement error;
+//! * [`sampling::profile_by_sampling`] — an actual profiling *run*: execute
+//!   the small-dataset variant of the workload in the simulator under FIFO
+//!   and read per-stage mean task durations off the result, exactly the
+//!   first-submission flow of §IV.
+//!
+//! [`online::OnlineEstimator`] implements the periodic re-estimation loop
+//! (EWMA over observed task durations).
+
+pub mod online;
+pub mod sampling;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dagon_dag::{JobDag, StageEstimates};
+
+/// Estimate generator configuration.
+#[derive(Clone, Debug)]
+pub struct AppProfiler {
+    /// Relative noise on duration estimates: estimate = truth × (1 ± u),
+    /// u ~ Uniform(0, noise_frac).
+    pub noise_frac: f64,
+    pub seed: u64,
+}
+
+impl AppProfiler {
+    /// An oracle profiler (zero error).
+    pub fn perfect() -> Self {
+        Self { noise_frac: 0.0, seed: 0 }
+    }
+
+    /// A realistic profiler with `noise_frac` relative duration error.
+    pub fn noisy(noise_frac: f64, seed: u64) -> Self {
+        Self { noise_frac, seed }
+    }
+
+    /// Produce per-stage estimates for `dag`.
+    pub fn estimate(&self, dag: &JobDag) -> StageEstimates {
+        let mut est = StageEstimates::exact(dag);
+        if self.noise_frac > 0.0 {
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+            for v in &mut est.mean_task_ms {
+                let f = 1.0 + rng.gen_range(-self.noise_frac..=self.noise_frac);
+                *v = (*v * f).max(1.0);
+            }
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::fig1;
+    use dagon_dag::StageId;
+
+    #[test]
+    fn perfect_profiler_matches_ground_truth() {
+        let dag = fig1();
+        assert_eq!(AppProfiler::perfect().estimate(&dag), StageEstimates::exact(&dag));
+    }
+
+    #[test]
+    fn noisy_profiler_is_bounded_and_deterministic() {
+        let dag = fig1();
+        let p = AppProfiler::noisy(0.2, 7);
+        let a = p.estimate(&dag);
+        let b = p.estimate(&dag);
+        assert_eq!(a, b);
+        let truth = StageEstimates::exact(&dag);
+        for s in dag.stage_ids() {
+            let ratio = a.mean_ms(s) / truth.mean_ms(s);
+            assert!((0.8..=1.2).contains(&ratio), "{s}: {ratio}");
+        }
+        // Demands are not perturbed (cgroup CPU counts are exact).
+        assert_eq!(a.demand, truth.demand);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dag = fig1();
+        let a = AppProfiler::noisy(0.3, 1).estimate(&dag);
+        let b = AppProfiler::noisy(0.3, 2).estimate(&dag);
+        assert!(
+            dag.stage_ids().any(|s| a.mean_ms(s) != b.mean_ms(s)),
+            "distinct seeds should perturb differently"
+        );
+        let _ = StageId(0);
+    }
+}

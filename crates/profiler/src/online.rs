@@ -1,0 +1,80 @@
+//! Online re-estimation: the periodic feedback loop in which AppProfiler
+//! "collects data (e.g., task resource usage and finish event) from
+//! executors, and passes re-estimated resource configuration and task
+//! duration to TaskScheduler".
+
+use dagon_dag::{SimTime, StageEstimates, StageId};
+
+/// Exponentially-weighted moving-average estimator over observed task
+/// durations, per stage.
+#[derive(Clone, Debug)]
+pub struct OnlineEstimator {
+    est: StageEstimates,
+    /// EWMA smoothing factor in (0, 1]; 1.0 = trust only the last sample.
+    alpha: f64,
+    observed: Vec<u32>,
+}
+
+impl OnlineEstimator {
+    pub fn new(prior: StageEstimates, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+        let n = prior.num_stages();
+        Self { est: prior, alpha, observed: vec![0; n] }
+    }
+
+    /// Record one finished task of `stage` with the given wall duration.
+    pub fn observe(&mut self, stage: StageId, duration_ms: SimTime) {
+        let slot = &mut self.est.mean_task_ms[stage.index()];
+        if self.observed[stage.index()] == 0 {
+            *slot = duration_ms as f64;
+        } else {
+            *slot = self.alpha * duration_ms as f64 + (1.0 - self.alpha) * *slot;
+        }
+        self.observed[stage.index()] += 1;
+    }
+
+    /// Current estimates (prior where nothing was observed).
+    pub fn current(&self) -> &StageEstimates {
+        &self.est
+    }
+
+    /// How many samples have been folded in for `stage`.
+    pub fn samples(&self, stage: StageId) -> u32 {
+        self.observed[stage.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::fig1;
+
+    #[test]
+    fn first_observation_replaces_prior() {
+        let dag = fig1();
+        let mut oe = OnlineEstimator::new(StageEstimates::exact(&dag), 0.5);
+        oe.observe(StageId(0), 1_000);
+        assert_eq!(oe.current().mean_ms(StageId(0)), 1_000.0);
+        assert_eq!(oe.samples(StageId(0)), 1);
+        // Other stages untouched.
+        assert_eq!(oe.samples(StageId(1)), 0);
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let dag = fig1();
+        let mut oe = OnlineEstimator::new(StageEstimates::exact(&dag), 0.3);
+        for _ in 0..50 {
+            oe.observe(StageId(1), 2_000);
+        }
+        let m = oe.current().mean_ms(StageId(1));
+        assert!((m - 2_000.0).abs() < 1.0, "{m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let dag = fig1();
+        let _ = OnlineEstimator::new(StageEstimates::exact(&dag), 0.0);
+    }
+}

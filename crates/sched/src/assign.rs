@@ -1,0 +1,90 @@
+//! The shared assignment loop of Alg. 1: *order* the ready stages, let the
+//! *placement* policy pick a task for the best stage, launch, repeat.
+//!
+//! All five schedulers are an [`OrderPolicy`] plugged into
+//! [`OrderedScheduler`]; the placement half (native vs sensitivity-aware
+//! delay scheduling) is orthogonal, mirroring the paper's design where
+//! Alg. 1 line 7 calls into delay scheduling and Alg. 2 later replaces it.
+
+use dagon_cluster::{Assignment, Scheduler, SimView};
+use dagon_dag::{Resources, SimTime, StageId, TaskId};
+
+use crate::placement::Placement;
+
+/// Stage-ordering half of a scheduler.
+pub trait OrderPolicy {
+    fn order_name(&self) -> &'static str;
+
+    /// Rank the schedulable stages, highest priority first.
+    fn rank(&mut self, view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId>;
+
+    fn on_task_launched(&mut self, _t: TaskId, _work: u64) {}
+    fn on_stage_ready(&mut self, _s: StageId) {}
+    fn on_stage_complete(&mut self, _s: StageId) {}
+
+    /// Live Eq. (6) priorities if this policy maintains them.
+    fn priorities(&self) -> Option<Vec<(StageId, u64)>> {
+        None
+    }
+}
+
+/// `ordering × placement` composed into a full [`Scheduler`].
+///
+/// Emits one assignment per `schedule` call; the simulator re-invokes until
+/// no assignment is produced, which realizes Alg. 1's
+/// "repeat … until no task can be assigned" loop with priorities refreshed
+/// between steps (Table III's per-step re-sort).
+pub struct OrderedScheduler {
+    order: Box<dyn OrderPolicy>,
+    placement: Box<dyn Placement>,
+}
+
+impl OrderedScheduler {
+    pub fn new(order: Box<dyn OrderPolicy>, placement: Box<dyn Placement>) -> Self {
+        Self { order, placement }
+    }
+}
+
+impl Scheduler for OrderedScheduler {
+    fn name(&self) -> String {
+        format!("{}+{}", self.order.order_name(), self.placement.placement_name())
+    }
+
+    fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        if !view.any_free_resource() {
+            return Vec::new();
+        }
+        let ready = view.schedulable_stages();
+        if ready.is_empty() {
+            return Vec::new();
+        }
+        let shadow: Vec<Resources> = view.execs.iter().map(|e| e.free).collect();
+        for s in self.order.rank(view, &ready) {
+            if let Some((k, exec, locality)) = self.placement.pick(s, view, &shadow) {
+                // Optimistic wait-clock update; the simulator applies the
+                // assignment unless it is stale (it never is within one
+                // event batch).
+                self.placement.on_launch(s, locality, view.now);
+                return vec![Assignment { stage: s, task_index: k, exec, locality }];
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_stage_ready(&mut self, s: StageId, now: SimTime) {
+        self.placement.on_stage_ready(s, now);
+        self.order.on_stage_ready(s);
+    }
+
+    fn on_stage_complete(&mut self, s: StageId, _now: SimTime) {
+        self.order.on_stage_complete(s);
+    }
+
+    fn on_task_launched(&mut self, t: TaskId, work: u64, _now: SimTime) {
+        self.order.on_task_launched(t, work);
+    }
+
+    fn stage_priorities(&self) -> Option<Vec<(StageId, u64)>> {
+        self.order.priorities()
+    }
+}

@@ -1,0 +1,42 @@
+//! Classic critical-path scheduling [Graham '69], the paper's §I example of
+//! a complexity-aware but heterogeneity-blind DAG scheduler: queue ready
+//! stages by descending critical-path length (bottom level) through ideal
+//! stage durations, ignoring per-task resource demands.
+
+use dagon_cluster::SimView;
+use dagon_dag::graph::{ideal_stage_duration, CriticalPath};
+use dagon_dag::{JobDag, StageId};
+
+use crate::assign::{OrderPolicy, OrderedScheduler};
+use crate::placement::NativeDelay;
+
+pub struct CpOrder {
+    bottom: Vec<u64>,
+}
+
+impl CpOrder {
+    pub fn new(dag: &JobDag) -> Self {
+        let cp = CriticalPath::compute(dag, |s| ideal_stage_duration(dag, s));
+        Self { bottom: cp.bottom_level }
+    }
+}
+
+impl OrderPolicy for CpOrder {
+    fn order_name(&self) -> &'static str {
+        "cpath"
+    }
+
+    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+        let mut v = ready.to_vec();
+        v.sort_by_key(|s| (std::cmp::Reverse(self.bottom[s.index()]), *s));
+        v
+    }
+}
+
+pub struct CriticalPathScheduler;
+
+impl CriticalPathScheduler {
+    pub fn new(dag: &JobDag) -> OrderedScheduler {
+        OrderedScheduler::new(Box::new(CpOrder::new(dag)), Box::new(NativeDelay::new()))
+    }
+}

@@ -1,0 +1,33 @@
+//! Fair scheduling: stock Spark's alternative pool scheduler. With a single
+//! job it degenerates to round-robin over the runnable stages, which we
+//! realize by preferring the stage with the fewest running tasks (least
+//! current share), breaking ties by id.
+
+use dagon_cluster::SimView;
+use dagon_dag::StageId;
+
+use crate::assign::{OrderPolicy, OrderedScheduler};
+use crate::placement::NativeDelay;
+
+#[derive(Default)]
+pub struct FairOrder;
+
+impl OrderPolicy for FairOrder {
+    fn order_name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn rank(&mut self, view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+        let mut v = ready.to_vec();
+        v.sort_by_key(|s| (view.stage(*s).running, *s));
+        v
+    }
+}
+
+pub struct FairScheduler;
+
+impl FairScheduler {
+    pub fn spark_fair() -> OrderedScheduler {
+        OrderedScheduler::new(Box::new(FairOrder), Box::new(NativeDelay::new()))
+    }
+}

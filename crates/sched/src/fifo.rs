@@ -1,0 +1,36 @@
+//! FIFO: stock Spark's default scheduler — stages in submission (id) order.
+
+use dagon_cluster::SimView;
+use dagon_dag::StageId;
+
+use crate::assign::{OrderPolicy, OrderedScheduler};
+use crate::placement::NativeDelay;
+
+/// Ready stages in ascending stage-id order.
+#[derive(Default)]
+pub struct FifoOrder;
+
+impl OrderPolicy for FifoOrder {
+    fn order_name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+        let mut v = ready.to_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Convenience constructor: FIFO + native delay scheduling = stock Spark.
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    pub fn spark_default() -> OrderedScheduler {
+        OrderedScheduler::new(Box::new(FifoOrder), Box::new(NativeDelay::new()))
+    }
+
+    pub fn with_placement(placement: Box<dyn crate::placement::Placement>) -> OrderedScheduler {
+        OrderedScheduler::new(Box::new(FifoOrder), placement)
+    }
+}

@@ -1,0 +1,35 @@
+//! # dagon-sched — task scheduling policies
+//!
+//! Implements every scheduler the paper evaluates, all against the
+//! [`dagon_cluster::Scheduler`] trait:
+//!
+//! | Policy | Paper role | Module |
+//! |---|---|---|
+//! | FIFO | stock Spark baseline | [`fifo`] |
+//! | Fair | stock Spark alternative | [`fair`] |
+//! | Critical path | classic DAG heuristic (Graham '69) | [`critical_path`] |
+//! | GRAPHENE | state-of-the-art DAG-aware comparator | [`graphene`] |
+//! | Dagon Alg. 1 | the paper's priority-based task assignment | [`dagon`] |
+//!
+//! Stage *ordering* is separated from task *placement*: every scheduler
+//! composes with either native delay scheduling or Dagon's
+//! sensitivity-aware delay scheduling (Alg. 2) via the [`Placement`] trait,
+//! which is exactly the substitution the paper's Fig. 10 ablation performs.
+
+pub mod assign;
+pub mod critical_path;
+pub mod dagon;
+pub mod fair;
+pub mod fifo;
+pub mod graphene;
+pub mod placement;
+pub mod waits;
+
+pub use assign::OrderedScheduler;
+pub use critical_path::CriticalPathScheduler;
+pub use dagon::DagonScheduler;
+pub use fair::FairScheduler;
+pub use fifo::FifoScheduler;
+pub use graphene::GrapheneScheduler;
+pub use placement::{NativeDelay, Placement, SensitivityAware};
+pub use waits::WaitClock;

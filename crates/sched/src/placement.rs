@@ -1,0 +1,224 @@
+//! Task placement within a chosen stage: native delay scheduling [Zaharia
+//! et al., EuroSys'10] vs Dagon's locality-sensitivity-aware variant
+//! (Alg. 2 of the paper).
+
+use std::collections::HashMap;
+
+use dagon_cluster::{ExecId, Locality, SimView};
+use dagon_dag::{Resources, SimTime, StageEstimates, StageId};
+
+use crate::waits::WaitClock;
+
+/// Picks `(task, executor, locality)` for one stage, or `None` if the stage
+/// should wait. `shadow_free` is the caller's view of free executor
+/// resources (decremented across a multi-assignment round).
+pub trait Placement {
+    fn placement_name(&self) -> &'static str;
+
+    fn pick(
+        &mut self,
+        stage: StageId,
+        view: &SimView<'_>,
+        shadow_free: &[Resources],
+    ) -> Option<(u32, ExecId, Locality)>;
+
+    /// The simulator confirmed a launch of `stage` at `level`.
+    fn on_launch(&mut self, stage: StageId, level: Locality, now: SimTime);
+
+    /// A stage became pending (create its wait clock).
+    fn on_stage_ready(&mut self, stage: StageId, now: SimTime);
+}
+
+/// Native delay scheduling: launch strictly at or below the allowed
+/// locality; otherwise leave the executor idle.
+///
+/// Mirrors Spark's resource-offer loop: executors are offered one at a
+/// time (round-robin start so no executor is systematically favoured) and
+/// each takes *its own* best pending task within the allowed level. With
+/// `spark.locality.wait = 0` this scatters tasks — an executor with free
+/// cores takes any pending task even when another executor could have run
+/// it process-locally — exactly the behaviour the paper's Fig. 3 measures.
+pub struct NativeDelay {
+    clocks: HashMap<StageId, WaitClock>,
+    offer_start: usize,
+}
+
+impl NativeDelay {
+    pub fn new() -> Self {
+        Self { clocks: HashMap::new(), offer_start: 0 }
+    }
+
+    fn allowed(&mut self, stage: StageId, view: &SimView<'_>) -> (Locality, Vec<Locality>) {
+        let valid = {
+            let v = view.valid_levels(stage);
+            if v.is_empty() {
+                vec![Locality::Any]
+            } else {
+                v
+            }
+        };
+        let clock = self.clocks.entry(stage).or_insert_with(|| WaitClock::new(view.now));
+        let allowed = clock.allowed(view.now, &view.locality_wait, &valid);
+        (allowed, valid)
+    }
+}
+
+impl Default for NativeDelay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Placement for NativeDelay {
+    fn placement_name(&self) -> &'static str {
+        "delay"
+    }
+
+    fn pick(
+        &mut self,
+        stage: StageId,
+        view: &SimView<'_>,
+        shadow_free: &[Resources],
+    ) -> Option<(u32, ExecId, Locality)> {
+        let (allowed, valid) = self.allowed(stage, view);
+        let demand = view.dag.stage(stage).demand;
+        // Per-executor offers (rotating start), each taking its own best
+        // task within the allowed level.
+        let n = view.execs.len();
+        self.offer_start = (self.offer_start + 1) % n.max(1);
+        for off in 0..n {
+            let e = &view.execs[(self.offer_start + off) % n];
+            if !shadow_free[e.id.index()].fits(demand) {
+                continue;
+            }
+            for &level in valid.iter().filter(|l| **l <= allowed) {
+                if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                    return Some((k, e.id, level));
+                }
+            }
+        }
+        None
+    }
+
+    fn on_launch(&mut self, stage: StageId, level: Locality, now: SimTime) {
+        if let Some(c) = self.clocks.get_mut(&stage) {
+            c.on_launch(level, now);
+        }
+    }
+
+    fn on_stage_ready(&mut self, stage: StageId, now: SimTime) {
+        self.clocks.insert(stage, WaitClock::new(now));
+    }
+}
+
+/// Alg. 2: locality-sensitivity-aware delay scheduling.
+///
+/// Walks executors, and for each, pending tasks in ascending locality
+/// order. A task *above* the allowed level is still accepted if its
+/// estimated finish time (mean duration of finished tasks at that level,
+/// with a mild prior before any have finished) beats the stage's earliest
+/// completion time `ect_i` (Eq. 7) — i.e. launching the low-locality task
+/// cannot extend the stage. This is what keeps executors busy on stages
+/// that are insensitive to locality.
+pub struct SensitivityAware {
+    delay: NativeDelay,
+    est: StageEstimates,
+    /// A task is "insensitive at a level" when running there costs at most
+    /// this factor over the stage's best level (§II-A: "a task with rack
+    /// locality achieves approximately the same performance").
+    pub insensitivity_factor: f64,
+}
+
+impl SensitivityAware {
+    pub fn new(est: StageEstimates) -> Self {
+        Self { delay: NativeDelay::new(), est, insensitivity_factor: 1.15 }
+    }
+
+    /// Expected duration of a stage-`stage` task at `level`: the measured
+    /// mean at that level when available (the paper's estimator), otherwise
+    /// the profiler's compute estimate plus the cost model's input-read
+    /// time at that tier — the AppProfiler knows the DAG's block sizes.
+    fn est_finish_ms(&self, stage: StageId, level: Locality, view: &SimView<'_>) -> f64 {
+        if let Some(avg) = view.avg_duration_at(stage, level) {
+            return avg;
+        }
+        use dagon_cluster::config::ReadTier;
+        let tier = match level {
+            Locality::Process => ReadTier::ProcessCache,
+            Locality::Node => ReadTier::NodeDisk,
+            Locality::Rack => ReadTier::RackRemote,
+            Locality::Any => ReadTier::CrossRack,
+        };
+        self.est.mean_ms(stage) + view.cost.read_ms(view.narrow_input_mb(stage), tier)
+    }
+}
+
+impl Placement for SensitivityAware {
+    fn placement_name(&self) -> &'static str {
+        "sensitivity"
+    }
+
+    fn pick(
+        &mut self,
+        stage: StageId,
+        view: &SimView<'_>,
+        shadow_free: &[Resources],
+    ) -> Option<(u32, ExecId, Locality)> {
+        let (allowed, valid) = self.delay.allowed(stage, view);
+        let demand = view.dag.stage(stage).demand;
+        let fallback = self.est_finish_ms(stage, valid[0], view);
+        let ect = view.earliest_completion_ms(stage, fallback);
+        // A low-locality launch is harmless when (a) the stage's backlog
+        // means it cannot finish sooner anyway (Eq. 7), or (b) the stage is
+        // insensitive at that level (§II-A's rack ≈ node ≈ process case).
+        let best_est = self.est_finish_ms(stage, valid[0], view);
+        let threshold = ect.max(self.insensitivity_factor * best_est);
+        // Alg. 2 line 3-12: executors outer, locality levels (ascending)
+        // inner.
+        for e in view.execs {
+            if !shadow_free[e.id.index()].fits(demand) {
+                continue;
+            }
+            for &level in &valid {
+                if level <= allowed {
+                    if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                        return Some((k, e.id, level));
+                    }
+                    continue;
+                }
+                // A task whose best achievable level anywhere is exactly
+                // this level has no better home to wait for: launching it
+                // here can only help, whatever the wait clock says (the
+                // master's block registry makes this check possible).
+                if let Some(k) = view.pending_with_locality_strict(stage, e.id, level) {
+                    return Some((k, e.id, level));
+                }
+                if view.pending_with_locality(stage, e.id, level).is_none() {
+                    continue;
+                }
+                // Remaining candidates at this level have a better home
+                // elsewhere (e.g. a busy cache-holding executor). Stealing
+                // one is harmless only when the stage wouldn't finish any
+                // sooner without it (Eq. 7) or is insensitive at this level
+                // (§II-A's rack ≈ node ≈ process case).
+                if self.est_finish_ms(stage, level, view) < threshold {
+                    if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                        return Some((k, e.id, level));
+                    }
+                }
+                // Line 9: this executor only has tasks above the allowed
+                // level that would hurt the stage — skip it.
+                break;
+            }
+        }
+        None
+    }
+
+    fn on_launch(&mut self, stage: StageId, level: Locality, now: SimTime) {
+        self.delay.on_launch(stage, level, now);
+    }
+
+    fn on_stage_ready(&mut self, stage: StageId, now: SimTime) {
+        self.delay.on_stage_ready(stage, now);
+    }
+}

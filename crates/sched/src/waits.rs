@@ -1,0 +1,141 @@
+//! Delay-scheduling wait clocks — a faithful port of Spark's
+//! `TaskSetManager.getAllowedLocalityLevel` state machine.
+//!
+//! One clock per stage. The clock holds the *current* locality level and
+//! the time of the last launch; the allowed level only degrades after the
+//! configured wait elapses with no launch, and **any** launch of the stage
+//! resets the clock (and snaps the level back to the launched task's
+//! level). That reset is what produces the paper's Fig. 4 pathology: as
+//! long as some executor keeps launching NODE_LOCAL tasks, other executors
+//! starve at NODE_LOCAL and idle.
+
+use dagon_cluster::{Locality, LocalityWait};
+use dagon_dag::SimTime;
+
+/// Per-stage delay-scheduling state.
+#[derive(Clone, Debug)]
+pub struct WaitClock {
+    current: Locality,
+    last_launch: SimTime,
+}
+
+impl WaitClock {
+    pub fn new(created_at: SimTime) -> Self {
+        Self { current: Locality::Process, last_launch: created_at }
+    }
+
+    /// The most relaxed locality currently allowed, given the stage's valid
+    /// levels (must be sorted ascending and non-empty; `Any` is always
+    /// valid). Mutates the clock exactly like Spark: each expired wait
+    /// advances one level and pushes `last_launch` forward by that wait.
+    pub fn allowed(&mut self, now: SimTime, waits: &LocalityWait, valid: &[Locality]) -> Locality {
+        debug_assert!(!valid.is_empty());
+        // Snap current onto the valid ladder (levels can appear/disappear as
+        // blocks get cached).
+        let mut idx = match valid.iter().position(|l| *l >= self.current) {
+            Some(i) => i,
+            None => valid.len() - 1,
+        };
+        self.current = valid[idx];
+        while idx + 1 < valid.len() {
+            let wait = waits.for_level(valid[idx].index());
+            if wait == 0 {
+                // Zero wait: this level never holds.
+                idx += 1;
+                self.current = valid[idx];
+                continue;
+            }
+            if now.saturating_sub(self.last_launch) >= wait {
+                self.last_launch += wait;
+                idx += 1;
+                self.current = valid[idx];
+            } else {
+                break;
+            }
+        }
+        self.current
+    }
+
+    /// Record a launch at `level`: reset the timer and snap the current
+    /// level back to the launched level (Spark's
+    /// `currentLocalityIndex = getLocalityIndex(taskLocality)`).
+    pub fn on_launch(&mut self, level: Locality, now: SimTime) {
+        self.current = level;
+        self.last_launch = now;
+    }
+
+    pub fn current(&self) -> Locality {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Locality; 4] = Locality::ALL;
+
+    #[test]
+    fn starts_strict_and_degrades_after_waits() {
+        let w = LocalityWait::uniform(3000);
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(0, &w, &ALL), Locality::Process);
+        assert_eq!(c.allowed(2999, &w, &ALL), Locality::Process);
+        assert_eq!(c.allowed(3000, &w, &ALL), Locality::Node);
+        // Two waits elapsed in one query: degrade two levels.
+        let mut c2 = WaitClock::new(0);
+        assert_eq!(c2.allowed(6000, &w, &ALL), Locality::Rack);
+        assert_eq!(c2.allowed(9000, &w, &ALL), Locality::Any);
+        // Never past Any.
+        assert_eq!(c2.allowed(99_000, &w, &ALL), Locality::Any);
+    }
+
+    #[test]
+    fn launch_resets_timer_and_level() {
+        let w = LocalityWait::uniform(3000);
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(4000, &w, &ALL), Locality::Node);
+        c.on_launch(Locality::Node, 4000);
+        // Another launch at 6000 keeps resetting.
+        assert_eq!(c.allowed(6000, &w, &ALL), Locality::Node);
+        c.on_launch(Locality::Node, 6000);
+        // At 8999 (2999 since last launch): still Node — starvation of
+        // lower-locality work continues as long as launches keep landing.
+        assert_eq!(c.allowed(8999, &w, &ALL), Locality::Node);
+        assert_eq!(c.allowed(9000, &w, &ALL), Locality::Rack);
+    }
+
+    #[test]
+    fn launch_at_better_level_snaps_back() {
+        let w = LocalityWait::uniform(1000);
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(2500, &w, &ALL), Locality::Rack);
+        c.on_launch(Locality::Process, 2500);
+        assert_eq!(c.allowed(2600, &w, &ALL), Locality::Process);
+    }
+
+    #[test]
+    fn zero_wait_disables_delay_scheduling() {
+        let w = LocalityWait::disabled();
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(0, &w, &ALL), Locality::Any);
+    }
+
+    #[test]
+    fn valid_ladder_without_process_level() {
+        // A stage whose data is never cached has no PROCESS level.
+        let w = LocalityWait::uniform(1000);
+        let valid = [Locality::Node, Locality::Rack, Locality::Any];
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(0, &w, &valid), Locality::Node);
+        assert_eq!(c.allowed(1000, &w, &valid), Locality::Rack);
+    }
+
+    #[test]
+    fn wide_only_stage_is_immediately_any() {
+        let w = LocalityWait::uniform(3000);
+        let valid = [Locality::Any];
+        let mut c = WaitClock::new(0);
+        assert_eq!(c.allowed(0, &w, &valid), Locality::Any);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the delay-scheduling wait clock: whatever the query
+//! and launch sequence, the clock must behave like Spark's state machine.
+
+use dagon_cluster::{Locality, LocalityWait};
+use dagon_sched::WaitClock;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Between launches, the allowed level is monotonically non-improving
+    /// in time: querying later can only relax (increase) the level.
+    #[test]
+    fn allowed_is_monotone_in_time(
+        wait_ms in 1u64..10_000,
+        times in proptest::collection::vec(0u64..100_000, 1..20),
+    ) {
+        let waits = LocalityWait::uniform(wait_ms);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut clock = WaitClock::new(0);
+        let mut last = Locality::Process;
+        for t in sorted {
+            let l = clock.allowed(t, &waits, &Locality::ALL);
+            prop_assert!(l >= last, "level improved from {last:?} to {l:?} without a launch");
+            last = l;
+        }
+    }
+
+    /// The allowed level never exceeds the elapsed-time budget: after `t`
+    /// ms without launches, at most `t / wait` downgrades have happened.
+    #[test]
+    fn downgrades_are_bounded_by_elapsed_time(
+        wait_ms in 1u64..10_000,
+        t in 0u64..100_000,
+    ) {
+        let waits = LocalityWait::uniform(wait_ms);
+        let mut clock = WaitClock::new(0);
+        let l = clock.allowed(t, &waits, &Locality::ALL);
+        let max_downgrades = (t / wait_ms).min(3) as usize;
+        prop_assert!(l.index() <= max_downgrades, "{l:?} after {t} ms with wait {wait_ms}");
+    }
+
+    /// A launch at any level resets the budget: immediately after, the
+    /// allowed level equals the launched level (with nonzero waits).
+    #[test]
+    fn launch_resets_to_launched_level(
+        wait_ms in 1u64..10_000,
+        t in 0u64..100_000,
+        level_idx in 0usize..4,
+    ) {
+        let waits = LocalityWait::uniform(wait_ms);
+        let mut clock = WaitClock::new(0);
+        let _ = clock.allowed(t, &waits, &Locality::ALL);
+        let level = Locality::from_index(level_idx);
+        clock.on_launch(level, t);
+        prop_assert_eq!(clock.allowed(t, &waits, &Locality::ALL), level);
+    }
+
+    /// With zero waits the clock always allows Any regardless of history.
+    #[test]
+    fn zero_wait_always_any(t in 0u64..100_000) {
+        let waits = LocalityWait::disabled();
+        let mut clock = WaitClock::new(0);
+        prop_assert_eq!(clock.allowed(t, &waits, &Locality::ALL), Locality::Any);
+    }
+
+    /// The returned level is always one of the valid levels offered.
+    #[test]
+    fn allowed_is_always_valid(
+        wait_ms in 1u64..5_000,
+        t in 0u64..50_000,
+        mask in 0u8..7,
+    ) {
+        // Build a valid ladder: Any is always present; others per mask.
+        let mut valid = Vec::new();
+        for (i, l) in Locality::ALL.into_iter().enumerate().take(3) {
+            if mask & (1 << i) != 0 {
+                valid.push(l);
+            }
+        }
+        valid.push(Locality::Any);
+        let waits = LocalityWait::uniform(wait_ms);
+        let mut clock = WaitClock::new(0);
+        let l = clock.allowed(t, &waits, &valid);
+        prop_assert!(valid.contains(&l), "{l:?} not in {valid:?}");
+    }
+}

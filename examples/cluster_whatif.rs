@@ -1,0 +1,51 @@
+//! What-if capacity planning with the simulator: how do executor count and
+//! BlockManager memory change ConnectedComponent's completion time under
+//! Dagon? The kind of question the simulator answers in seconds that a
+//! testbed answers in hours.
+//!
+//! ```text
+//! cargo run --example cluster_whatif --release
+//! ```
+
+use dagon_core::{experiments::ExpConfig, run_system, System};
+use dagon_workloads::Workload;
+
+fn main() {
+    let base = ExpConfig::quick();
+    let dag = Workload::ConnectedComponent.build(&base.scale);
+    let data_gb =
+        dag.rdds().iter().filter(|r| r.cached).map(|r| r.total_mb()).sum::<f64>() / 1024.0;
+    println!("ConnectedComponent: {:.1} GiB cache-eligible working set\n", data_gb);
+
+    println!("-- executors per node (cache per executor fixed) --");
+    println!("{:>6} {:>7} {:>9} {:>10}", "execs", "cores", "JCT (s)", "CPU util");
+    for epn in [1u32, 2, 4] {
+        let mut cfg = base.clone();
+        cfg.cluster.execs_per_node = epn;
+        let out = run_system(&dag, &cfg.cluster, &System::dagon());
+        println!(
+            "{:>6} {:>7} {:>9.1} {:>9.1}%",
+            cfg.cluster.total_execs(),
+            cfg.cluster.total_cores(),
+            out.jct_s(),
+            out.result.cpu_utilization() * 100.0
+        );
+    }
+
+    println!("\n-- BlockManager memory per executor --");
+    println!("{:>10} {:>9} {:>10} {:>10}", "cache MiB", "JCT (s)", "hit ratio", "agg/data");
+    for cache_mb in [128.0, 320.0, 640.0, 1280.0, 2560.0] {
+        let mut cfg = base.clone();
+        cfg.cluster.exec_cache_mb = cache_mb;
+        let out = run_system(&dag, &cfg.cluster, &System::dagon());
+        let agg_gb = cache_mb * cfg.cluster.total_execs() as f64 / 1024.0;
+        println!(
+            "{:>10.0} {:>9.1} {:>9.1}% {:>9.2}x",
+            cache_mb,
+            out.jct_s(),
+            out.result.metrics.cache.hit_ratio() * 100.0,
+            agg_gb / data_gb
+        );
+    }
+    println!("\nJCT should fall steeply until aggregate cache ≈ working set, then flatten.");
+}

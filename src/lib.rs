@@ -1,0 +1,32 @@
+//! `dagon-repro` — the workspace-level umbrella crate.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`), and re-exports the member crates so downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use dagon_repro::prelude::*;
+//!
+//! let dag = dagon_repro::dagon_dag::examples::fig1();
+//! let cluster = ClusterConfig::tiny(1, 16);
+//! let out = run_system(&dag, &cluster, &System::dagon());
+//! assert!(out.result.jct > 0);
+//! ```
+
+pub use dagon_cache;
+pub use dagon_cluster;
+pub use dagon_core;
+pub use dagon_dag;
+pub use dagon_profiler;
+pub use dagon_sched;
+pub use dagon_workloads;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use dagon_cache::PolicyKind;
+    pub use dagon_cluster::{ClusterConfig, Scheduler, SimResult, Simulation};
+    pub use dagon_core::experiments::ExpConfig;
+    pub use dagon_core::{run_system, System};
+    pub use dagon_dag::{DagBuilder, JobDag, StageEstimates};
+    pub use dagon_workloads::{Scale, Workload};
+}

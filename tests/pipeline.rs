@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests: the full §IV deployment flow (profile on a
+//! small dataset → plan with estimates → execute at full scale), plus
+//! cache-dynamics integration checks under memory pressure.
+
+use dagon_cache::PolicyKind;
+use dagon_cluster::ClusterConfig;
+use dagon_core::runner::run_system_with_estimates;
+use dagon_core::system::{PlaceKind, SchedKind, System};
+use dagon_profiler::online::OnlineEstimator;
+use dagon_profiler::sampling::profile_by_sampling;
+use dagon_profiler::AppProfiler;
+use dagon_dag::{StageEstimates, StageId};
+use dagon_workloads::{Scale, Workload};
+
+fn cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::paper_testbed();
+    c.racks = vec![2, 2];
+    c.execs_per_node = 2;
+    c.exec_cache_mb = 512.0;
+    c.hdfs_replication = 1;
+    c
+}
+
+#[test]
+fn profile_then_run_full_dataset() {
+    // §IV: first submission runs a small dataset to obtain the profile,
+    // the re-submission runs full-scale with those estimates.
+    let full_scale = Scale { tasks: 32, block_mb: 64.0, iterations: 4 };
+    let small_scale = Scale::profiling_of(&full_scale);
+    let small = Workload::KMeans.build(&small_scale);
+    let full = Workload::KMeans.build(&full_scale);
+    let cfg = cluster();
+    let est = profile_by_sampling(&small, &full, &cfg);
+    // The sampled estimate for the heavy scan stage must be in the right
+    // ballpark (compute 5.5 s + some I/O).
+    let scan_est = est.mean_ms(StageId(0));
+    assert!((5_000.0..12_000.0).contains(&scan_est), "scan estimate {scan_est}");
+    let out = run_system_with_estimates(&full, &cfg, &System::dagon(), &est);
+    assert!(out.result.jct > 0);
+}
+
+#[test]
+fn noisy_estimates_degrade_gracefully() {
+    // Dagon planning with 40% duration error must still complete and stay
+    // within 2x of the oracle-planned run (robustness of Alg. 1/2 to
+    // profiling error).
+    let scale = Scale { tasks: 32, block_mb: 64.0, iterations: 4 };
+    let dag = Workload::LinearRegression.build(&scale);
+    let cfg = cluster();
+    let oracle = run_system_with_estimates(
+        &dag,
+        &cfg,
+        &System::dagon(),
+        &AppProfiler::perfect().estimate(&dag),
+    );
+    let noisy = run_system_with_estimates(
+        &dag,
+        &cfg,
+        &System::dagon(),
+        &AppProfiler::noisy(0.4, 9).estimate(&dag),
+    );
+    assert!(
+        (noisy.result.jct as f64) < oracle.result.jct as f64 * 2.0,
+        "noisy {} vs oracle {}",
+        noisy.result.jct,
+        oracle.result.jct
+    );
+}
+
+#[test]
+fn online_estimator_corrects_a_bad_prior() {
+    let scale = Scale::tiny();
+    let dag = Workload::KMeans.build(&scale);
+    // Start from a prior that is 10x off for stage 0.
+    let mut prior = StageEstimates::exact(&dag);
+    prior.mean_task_ms[0] *= 10.0;
+    let mut oe = OnlineEstimator::new(prior, 0.4);
+    for _ in 0..20 {
+        oe.observe(StageId(0), dag.stage(StageId(0)).cpu_ms);
+    }
+    let corrected = oe.current().mean_ms(StageId(0));
+    let truth = dag.stage(StageId(0)).cpu_ms as f64;
+    assert!((corrected - truth).abs() / truth < 0.05, "{corrected} vs {truth}");
+}
+
+#[test]
+fn lrp_under_pressure_prefers_reused_blocks() {
+    // ConnectedComponent with a cache far smaller than the edge RDD: LRP
+    // must deliver at least as many byte-hits as LRU under the Dagon
+    // scheduler, and must proactively drop dead message blocks.
+    let scale = Scale { tasks: 24, block_mb: 64.0, iterations: 5 };
+    let dag = Workload::ConnectedComponent.build(&scale);
+    let mut cfg = cluster();
+    cfg.exec_cache_mb = 384.0;
+    let run = |cache| {
+        let sys = System::new(SchedKind::Dagon, PlaceKind::Sensitivity, cache);
+        dagon_core::run_system(&dag, &cfg, &sys)
+    };
+    let lru = run(PolicyKind::Lru);
+    let lrp = run(PolicyKind::Lrp);
+    assert!(lrp.result.metrics.cache.proactive_evictions > 0);
+    let lru_b = lru.result.metrics.cache.byte_hit_ratio();
+    let lrp_b = lrp.result.metrics.cache.byte_hit_ratio();
+    assert!(
+        lrp_b >= lru_b * 0.9,
+        "LRP byte hits {lrp_b:.3} collapsed vs LRU {lru_b:.3}"
+    );
+    // And JCT must not regress materially.
+    assert!(
+        (lrp.result.jct as f64) < lru.result.jct as f64 * 1.15,
+        "LRP {} vs LRU {}",
+        lrp.result.jct,
+        lru.result.jct
+    );
+}
+
+#[test]
+fn prefetch_restores_evicted_blocks() {
+    // With prefetching enabled and pressure, the Dagon system must issue
+    // prefetches and some must be used.
+    let scale = Scale { tasks: 24, block_mb: 64.0, iterations: 6 };
+    let dag = Workload::PageRank.build(&scale);
+    let mut cfg = cluster();
+    cfg.exec_cache_mb = 384.0;
+    cfg.prefetch_free_frac = Some(0.05);
+    let out = dagon_core::run_system(&dag, &cfg, &System::dagon());
+    let c = &out.result.metrics.cache;
+    assert!(c.prefetches > 0, "no prefetches issued");
+    assert!(c.prefetch_used <= c.prefetches);
+}

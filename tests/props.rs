@@ -1,0 +1,112 @@
+//! Property-based tests across the stack: on arbitrary random DAGs, the
+//! simulator must uphold its invariants under every scheduling policy.
+
+use dagon_cache::PolicyKind;
+use dagon_cluster::ClusterConfig;
+use dagon_core::system::{PlaceKind, SchedKind, System};
+use dagon_core::run_system;
+use dagon_dag::generate::{random_dag, GenParams};
+use dagon_dag::graph::Closure;
+use dagon_dag::PriorityTracker;
+use proptest::prelude::*;
+
+fn small_params() -> GenParams {
+    GenParams {
+        stages: 8,
+        tasks: (1, 6),
+        demand_cpus: (1, 4),
+        cpu_ms: (100, 5_000),
+        block_mb: (8.0, 64.0),
+        ..Default::default()
+    }
+}
+
+fn cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::paper_testbed();
+    c.racks = vec![2, 1];
+    c.execs_per_node = 2;
+    c.exec_cache_mb = 256.0;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Priorities are monotone: pv never increases as tasks launch, and a
+    /// parent's pv always covers each of its children's.
+    #[test]
+    fn priority_invariants(seed in 0u64..500) {
+        let dag = random_dag(&small_params(), seed);
+        let tracker = PriorityTracker::from_dag(&dag);
+        let closure = Closure::successors(&dag);
+        for s in dag.stage_ids() {
+            // pv_i ≥ w_i
+            prop_assert!(tracker.pv(s) >= tracker.remaining_work(s));
+            for c in closure.members(s) {
+                // pv of ancestor ≥ pv contribution of each descendant's
+                // remaining work.
+                prop_assert!(tracker.pv(s) >= tracker.remaining_work(c));
+            }
+        }
+    }
+
+    /// End-to-end on random DAGs: completion, exactly-once winners, valid
+    /// utilization, non-decreasing stage completion along dependencies.
+    #[test]
+    fn random_dags_complete_under_dagon(seed in 0u64..40) {
+        let dag = random_dag(&small_params(), seed);
+        let out = run_system(&dag, &cluster(), &System::dagon());
+        let total: u32 = dag.stages().iter().map(|s| s.num_tasks).sum();
+        let winners = out.result.metrics.task_runs.iter().filter(|r| r.winner).count() as u32;
+        prop_assert_eq!(winners, total);
+        let u = out.result.cpu_utilization();
+        prop_assert!(u > 0.0 && u <= 1.0);
+        for s in dag.stage_ids() {
+            let fin = out.result.metrics.per_stage[s.index()].completed_at.unwrap();
+            for p in dag.parents(s) {
+                let pfin = out.result.metrics.per_stage[p.index()].completed_at.unwrap();
+                prop_assert!(pfin <= fin, "child {} finished before parent {}", s, p);
+                // And no child task may *start* before the parent completed.
+                let first = out.result.metrics.per_stage[s.index()].first_launch.unwrap();
+                prop_assert!(first >= pfin);
+            }
+        }
+    }
+
+    /// FIFO+LRU (stock) also upholds the invariants, and cache accounting
+    /// stays consistent under every policy.
+    #[test]
+    fn cache_accounting_consistent(seed in 0u64..20, policy_idx in 0usize..5) {
+        let dag = random_dag(&small_params(), seed);
+        let policy = PolicyKind::ALL[policy_idx];
+        let sys = System::new(SchedKind::Fifo, PlaceKind::NativeDelay, policy);
+        let out = run_system(&dag, &cluster(), &sys);
+        let c = &out.result.metrics.cache;
+        prop_assert!(c.prefetch_used <= c.prefetches);
+        if policy == PolicyKind::None {
+            prop_assert_eq!(c.insertions, 0);
+            prop_assert_eq!(c.hits, 0);
+        }
+        // Evictions can never exceed insertions.
+        prop_assert!(c.evictions + c.proactive_evictions <= c.insertions);
+    }
+
+    /// The schedule is resource-feasible: at no instant does the busy-core
+    /// integral exceed capacity (checked via peak of the timeline).
+    #[test]
+    fn busy_cores_never_exceed_capacity(seed in 0u64..20) {
+        let dag = random_dag(&small_params(), seed);
+        let cl = cluster();
+        let out = run_system(&dag, &cl, &System::graphene_mrd());
+        let peak = out
+            .result
+            .metrics
+            .busy_cores
+            .timeline
+            .as_ref()
+            .unwrap()
+            .iter()
+            .fold(0.0f64, |m, p| m.max(p.v));
+        prop_assert!(peak <= cl.total_cores() as f64 + 1e-9, "peak {peak}");
+    }
+}
