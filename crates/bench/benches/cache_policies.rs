@@ -28,12 +28,17 @@ fn profile_and_blocks() -> (RefProfile, Vec<BlockId>) {
 fn bench_victim_selection(c: &mut Criterion) {
     let (profile, blocks) = profile_and_blocks();
     let incoming = Some(BlockId::new(RddId(1), 0));
-    for kind in [PolicyKind::Lru, PolicyKind::Lrc, PolicyKind::Mrd, PolicyKind::Lrp] {
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Lrc,
+        PolicyKind::Mrd,
+        PolicyKind::Lrp,
+    ] {
         let mut policy = kind.build();
         for (i, b) in blocks.iter().enumerate() {
             policy.on_insert(*b, i as u64);
         }
-        c.bench_function(&format!("victim_64_resident_{}", kind), |b| {
+        c.bench_function(format!("victim_64_resident_{}", kind), |b| {
             b.iter(|| policy.victim(&blocks, incoming, &profile))
         });
     }
@@ -43,7 +48,7 @@ fn bench_prefetch_ranking(c: &mut Criterion) {
     let (profile, blocks) = profile_and_blocks();
     for kind in [PolicyKind::Mrd, PolicyKind::Lrp] {
         let mut policy = kind.build();
-        c.bench_function(&format!("prefetch_pick_64_candidates_{}", kind), |b| {
+        c.bench_function(format!("prefetch_pick_64_candidates_{}", kind), |b| {
             b.iter(|| policy.prefetch_pick(&blocks, &profile))
         });
     }
@@ -67,5 +72,10 @@ fn bench_profile_rebuild(c: &mut Criterion) {
     });
 }
 
-criterion_group!(cache, bench_victim_selection, bench_prefetch_ranking, bench_profile_rebuild);
+criterion_group!(
+    cache,
+    bench_victim_selection,
+    bench_prefetch_ranking,
+    bench_profile_rebuild
+);
 criterion_main!(cache);

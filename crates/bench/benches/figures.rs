@@ -32,8 +32,7 @@ fn bench_fig2_and_table3(c: &mut Criterion) {
 fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1_grid_three_policies", |b| {
         b.iter(|| {
-            let grid =
-                table1::table1_grid(&[PolicyKind::Lru, PolicyKind::Mrd, PolicyKind::Lrp]);
+            let grid = table1::table1_grid(&[PolicyKind::Lru, PolicyKind::Mrd, PolicyKind::Lrp]);
             assert_eq!(grid.len(), 6);
         })
     });

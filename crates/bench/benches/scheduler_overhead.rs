@@ -11,7 +11,11 @@ use dagon_dag::{PriorityTracker, StageEstimates, StageId, TaskId, MIN_MS};
 use dagon_sched::graphene::GraphenePlan;
 
 fn big_dag_params(stages: usize) -> GenParams {
-    GenParams { stages, tasks: (8, 64), ..Default::default() }
+    GenParams {
+        stages,
+        tasks: (8, 64),
+        ..Default::default()
+    }
 }
 
 fn bench_priority_tracker(c: &mut Criterion) {

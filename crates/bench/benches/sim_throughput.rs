@@ -40,7 +40,10 @@ fn bench_workload_generation(c: &mut Criterion) {
     let scale = Scale::paper();
     c.bench_function("build_all_eight_workload_dags", |b| {
         b.iter(|| {
-            for w in Workload::PAPER_SEVEN.into_iter().chain([Workload::PageRank]) {
+            for w in Workload::PAPER_SEVEN
+                .into_iter()
+                .chain([Workload::PageRank])
+            {
                 let dag = w.build(&scale);
                 assert!(dag.num_stages() > 0);
             }
@@ -48,5 +51,10 @@ fn bench_workload_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(sim, bench_full_runs, bench_paper_scale_run, bench_workload_generation);
+criterion_group!(
+    sim,
+    bench_full_runs,
+    bench_paper_scale_run,
+    bench_workload_generation
+);
 criterion_main!(sim);

@@ -1,0 +1,111 @@
+//! `bench_snapshot` — one-shot scheduler-overhead snapshot.
+//!
+//! Runs the same workloads as the `sim_throughput` Criterion bench and
+//! writes `BENCH_1.json` at the repo root: per-workload wall-clock
+//! milliseconds plus the scheduling fast-path counters
+//! (`schedule_invocations`, `locality_queries`, …). Unlike Criterion this
+//! is cheap enough for CI and produces a single machine-readable file to
+//! diff across commits.
+//!
+//! Usage: `cargo run --release -p dagon-bench --bin bench_snapshot [out.json]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dagon_core::experiments::ExpConfig;
+use dagon_core::{run_system, System};
+use dagon_workloads::Workload;
+
+struct Row {
+    name: String,
+    wall_ms: f64,
+    jct_ms: u64,
+    sched: dagon_cluster::SchedulerStats,
+}
+
+fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -> Row {
+    // One warm-up, then the median of `SAMPLES` timed runs: enough to damp
+    // scheduler noise without Criterion's multi-second budget.
+    const SAMPLES: usize = 5;
+    let warm = run_system(dag, &cfg.cluster, sys);
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let out = run_system(dag, &cfg.cluster, sys);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            out.result.jct, warm.result.jct,
+            "nondeterministic run for {name}"
+        );
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    Row {
+        name: name.to_string(),
+        wall_ms: times[SAMPLES / 2],
+        jct_ms: warm.result.jct,
+        sched: warm.result.metrics.sched,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".into());
+    let quick = ExpConfig::quick();
+    let paper = ExpConfig::paper();
+
+    let mut rows = Vec::new();
+    for w in [Workload::KMeans, Workload::ConnectedComponent] {
+        let dag = w.build(&quick.scale);
+        for sys in [System::stock_spark(), System::dagon()] {
+            rows.push(measure(
+                &format!("run_{}_{}", w.abbrev(), sys),
+                &dag,
+                &quick,
+                &sys,
+            ));
+        }
+    }
+    let cc = Workload::ConnectedComponent.build(&paper.scale);
+    rows.push(measure(
+        "run_CC_paper_scale_dagon",
+        &cc,
+        &paper,
+        &System::dagon(),
+    ));
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.sched;
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"jct_ms\": {}, \
+             \"schedule_invocations\": {}, \"view_rebuilds\": {}, \
+             \"batches_discarded\": {}, \"assignments_discarded\": {}, \
+             \"locality_queries\": {}, \"locality_recomputes\": {}, \
+             \"index_invalidations\": {}, \"valid_level_rebuilds\": {}}}",
+            r.name,
+            r.wall_ms,
+            r.jct_ms,
+            s.schedule_invocations,
+            s.view_rebuilds,
+            s.batches_discarded,
+            s.assignments_discarded,
+            s.locality_queries,
+            s.locality_recomputes,
+            s.index_invalidations,
+            s.valid_level_rebuilds,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    for r in &rows {
+        println!(
+            "{:<28} {:>10.3} ms wall  jct {:>8} ms  sched calls {:>6}  loc queries {:>9}",
+            r.name, r.wall_ms, r.jct_ms, r.sched.schedule_invocations, r.sched.locality_queries
+        );
+    }
+    println!("wrote {out_path}");
+}

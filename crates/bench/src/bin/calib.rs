@@ -15,7 +15,10 @@ fn main() {
         grid();
         return;
     }
-    let wname = args.first().map(|s| s.as_str()).unwrap_or("LinearRegression");
+    let wname = args
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("LinearRegression");
     let workload = [
         Workload::LinearRegression,
         Workload::LogisticRegression,
@@ -34,15 +37,28 @@ fn main() {
     let dag = workload.build(&cfg.scale);
     let variants: Vec<(String, System)> = vec![
         ("FIFO+delay+LRU".into(), System::stock_spark()),
-        ("FIFO+sens+LRU".into(), System::new(SchedKind::Fifo, PlaceKind::Sensitivity, PolicyKind::Lru)),
-        ("Dagon+delay+LRU".into(), System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru)),
-        ("Dagon+sens+LRU".into(), System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru)),
+        (
+            "FIFO+sens+LRU".into(),
+            System::new(SchedKind::Fifo, PlaceKind::Sensitivity, PolicyKind::Lru),
+        ),
+        (
+            "Dagon+delay+LRU".into(),
+            System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru),
+        ),
+        (
+            "Dagon+sens+LRU".into(),
+            System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru),
+        ),
         ("Dagon+sens+LRP".into(), System::dagon()),
         ("Graphene+delay+MRD".into(), System::graphene_mrd()),
     ];
 
-    println!("workload {} — {} stages, {} tasks", workload, dag.num_stages(),
-        dag.stages().iter().map(|s| s.num_tasks).sum::<u32>());
+    println!(
+        "workload {} — {} stages, {} tasks",
+        workload,
+        dag.num_stages(),
+        dag.stages().iter().map(|s| s.num_tasks).sum::<u32>()
+    );
     let mut summary = Vec::new();
     for (label, sys) in &variants {
         let out = run_system(&dag, &cfg.cluster, sys);
@@ -76,14 +92,26 @@ fn main() {
         println!(
             "{}",
             markdown_table(
-                &["stage", "start(ds)", "end(ds)", "dur s", "P/N/R/A", "avg task s"],
+                &[
+                    "stage",
+                    "start(ds)",
+                    "end(ds)",
+                    "dur s",
+                    "P/N/R/A",
+                    "avg task s"
+                ],
                 &rows
             )
         );
     }
-    println!("\n{}", markdown_table(&["variant", "JCT", "util", "hits", "pf", "pf_used", "evict", "proact"], &summary));
+    println!(
+        "\n{}",
+        markdown_table(
+            &["variant", "JCT", "util", "hits", "pf", "pf_used", "evict", "proact"],
+            &summary
+        )
+    );
 }
-
 
 /// Compact JCT grid over all workloads × key variants.
 fn grid() {
@@ -92,9 +120,18 @@ fn grid() {
         ("F/d/LRU", System::stock_spark()),
         ("G/d/LRU", System::graphene_lru()),
         ("G/d/MRD", System::graphene_mrd()),
-        ("D/d/LRU", System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru)),
-        ("D/s/LRU", System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru)),
-        ("D/d/LRP", System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lrp)),
+        (
+            "D/d/LRU",
+            System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lru),
+        ),
+        (
+            "D/s/LRU",
+            System::new(SchedKind::Dagon, PlaceKind::Sensitivity, PolicyKind::Lru),
+        ),
+        (
+            "D/d/LRP",
+            System::new(SchedKind::Dagon, PlaceKind::NativeDelay, PolicyKind::Lrp),
+        ),
         ("D/s/LRP", System::dagon()),
     ];
     let mut rows = Vec::new();

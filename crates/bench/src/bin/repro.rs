@@ -21,11 +21,19 @@ use dagon_workloads::Workload;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::paper() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::paper()
+    };
     let case_cfg = if quick {
         // Case-study shape at reduced size.
         let mut c = ExpConfig::quick();
@@ -110,7 +118,13 @@ fn fig1() {
             ]
         })
         .collect();
-    println!("{}", markdown_table(&["stage", "tasks", "<d_i, dur>", "w_i (vCPU-min)", "parents"], &rows));
+    println!(
+        "{}",
+        markdown_table(
+            &["stage", "tasks", "<d_i, dur>", "w_i (vCPU-min)", "parents"],
+            &rows
+        )
+    );
     println!("```dot\n{}```", dot::to_dot(&dag));
 }
 
@@ -119,10 +133,14 @@ fn fig2() {
     let dag = fig1_dag();
     for (label, mode) in [("(a) FIFO", Mode::Fifo), ("(b) DAG-aware", Mode::DagAware)] {
         let run = tiny_exec::run_tiny(&dag, 16, mode);
-        println!("{label}: makespan {} min  (paper: {})", run.makespan, match mode {
-            Mode::Fifo => 16,
-            Mode::DagAware => 12,
-        });
+        println!(
+            "{label}: makespan {} min  (paper: {})",
+            run.makespan,
+            match mode {
+                Mode::Fifo => 16,
+                Mode::DagAware => 12,
+            }
+        );
         println!("{}", tiny_exec::gantt(&dag, &run, 16));
     }
 }
@@ -149,7 +167,10 @@ fn table3() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["step", "schedule", "w1", "pv1", "w2", "pv2", "free CPUs"], &rows)
+        markdown_table(
+            &["step", "schedule", "w1", "pv1", "w2", "pv2", "free CPUs"],
+            &rows
+        )
     );
     println!("(paper Table III steps 1-4: S2 w2=24 pv2=52 free=10; S1 w1=32 pv1=36 free=6; S2 pv2=40 free=0; S2 w2=0 pv2=28 free=6)");
 }
@@ -175,28 +196,46 @@ fn table1_repro() {
             format!("{}", r.accesses),
         ]);
     }
-    println!("{}", markdown_table(&["scheduler", "policy", "hits", "accesses"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["scheduler", "policy", "hits", "accesses"], &rows)
+    );
     println!("(paper: FIFO {{LRU 7, MRD 12}}; DAG-aware {{LRU 5, MRD 8}}; orderings must match)\n");
     // Step-by-step detail for the FIFO × MRD cell, as in the paper's table.
-    let detail = &grid.iter().find(|(s, r)| *s == "FIFO" && r.policy == PolicyKind::Mrd).unwrap().1;
+    let detail = &grid
+        .iter()
+        .find(|(s, r)| *s == "FIFO" && r.policy == PolicyKind::Mrd)
+        .unwrap()
+        .1;
     let rows: Vec<Vec<String>> = detail
         .rows
         .iter()
         .map(|r| {
             vec![
                 format!("{}", r.t),
-                r.launched.iter().map(|t| format!("S{}", t.stage.0 + 1)).collect::<Vec<_>>().join(","),
+                r.launched
+                    .iter()
+                    .map(|t| format!("S{}", t.stage.0 + 1))
+                    .collect::<Vec<_>>()
+                    .join(","),
                 r.accessed
                     .iter()
                     .map(|(b, h)| format!("{b}{}", if *h { "*" } else { "" }))
                     .collect::<Vec<_>>()
                     .join(","),
-                r.cached_after.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(","),
+                r.cached_after
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
             ]
         })
         .collect();
     println!("FIFO × MRD detail (* = hit):");
-    println!("{}", markdown_table(&["t", "launch", "accessed", "cached after"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["t", "launch", "accessed", "cached after"], &rows)
+    );
 }
 
 fn fig3(cfg: &ExpConfig) {
@@ -211,8 +250,9 @@ fn fig3(cfg: &ExpConfig) {
         }
         rows.push(row);
     }
-    let headers: Vec<String> =
-        std::iter::once("stage".to_string()).chain(data.iter().map(|d| format!("wait {}s", d.wait_s))).collect();
+    let headers: Vec<String> = std::iter::once("stage".to_string())
+        .chain(data.iter().map(|d| format!("wait {}s", d.wait_s)))
+        .collect();
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", markdown_table(&hrefs, &rows));
     println!("(paper: stages 0/16 grow ~15→27 s / 13→20 s with 3 s wait; stages 1-15,17 shrink ~3→0.7 s)");
@@ -222,7 +262,10 @@ fn fig4(cfg: &ExpConfig) {
     header("Fig. 4 — executor idling under 3 s delay scheduling");
     let tr = experiments::fig4(cfg);
     let end = (tr.jct_s * 1000.0) as u64;
-    println!("JCT {:.1}s; executor A = exec{} (most idle), executor B = exec{} (least idle)", tr.jct_s, tr.exec_a, tr.exec_b);
+    println!(
+        "JCT {:.1}s; executor A = exec{} (most idle), executor B = exec{} (least idle)",
+        tr.jct_s, tr.exec_a, tr.exec_b
+    );
     let a = downsample(&tr.busy_a, end, 60);
     let b = downsample(&tr.busy_b, end, 60);
     let max = a.iter().chain(&b).fold(0.0f64, |m, v| m.max(*v)).max(1.0);
@@ -231,7 +274,10 @@ fn fig4(cfg: &ExpConfig) {
     let pa = downsample(&tr.pending_a, end, 60);
     let pb = downsample(&tr.pending_b, end, 60);
     let pmax = pa.iter().chain(&pb).fold(0.0f64, |m, v| m.max(*v)).max(1.0);
-    println!("pending NODE_LOCAL A |{}| (max {pmax:.0})", sparkline(&pa, pmax));
+    println!(
+        "pending NODE_LOCAL A |{}| (max {pmax:.0})",
+        sparkline(&pa, pmax)
+    );
     println!("pending NODE_LOCAL B |{}|", sparkline(&pb, pmax));
     let idle_frac_a = 1.0 - a.iter().sum::<f64>() / (a.len() as f64 * max);
     println!("executor A idle fraction ≈ {}", pct(idle_frac_a));
@@ -258,13 +304,23 @@ fn fig8(cfg: &ExpConfig) {
     println!(
         "{}",
         markdown_table(
-            &["workload", "system", "JCT (s)", "norm JCT", "avg task (s)", "CPU util", "hit ratio"],
+            &[
+                "workload",
+                "system",
+                "JCT (s)",
+                "norm JCT",
+                "avg task (s)",
+                "CPU util",
+                "hit ratio"
+            ],
             &rows
         )
     );
     // Summary lines matching the paper's claims.
     let pairs = |i: usize, j: usize| -> Vec<(f64, f64)> {
-        data.iter().map(|r| (r.cells[i].jct_s, r.cells[j].jct_s)).collect()
+        data.iter()
+            .map(|r| (r.cells[i].jct_s, r.cells[j].jct_s))
+            .collect()
     };
     println!(
         "mean JCT improvement of Dagon vs stock Spark: {} (paper 42%)",
@@ -297,7 +353,10 @@ fn fig9(cfg: &ExpConfig) {
         }
         rows.push(row);
     }
-    println!("{}", markdown_table(&["workload", "FIFO", "Graphene", "Dagon-TA"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["workload", "FIFO", "Graphene", "Dagon-TA"], &rows)
+    );
     println!("(paper: Dagon-TA beats FIFO by 19-23% on CPU-intensive, 13-18% mixed, less on I/O)");
     println!("\nDecisionTree timelines (downsampled):");
     for (name, tl) in &data.dt_parallelism {
@@ -309,7 +368,11 @@ fn fig9(cfg: &ExpConfig) {
     for (name, tl) in &data.dt_busy_cores {
         let end = tl.last().map(|p| p.t).unwrap_or(1).max(1);
         let d = downsample(tl, end, 60);
-        println!("cores   {name:<9} |{}| (of {})", sparkline(&d, data.total_cores as f64), data.total_cores);
+        println!(
+            "cores   {name:<9} |{}| (of {})",
+            sparkline(&d, data.total_cores as f64),
+            data.total_cores
+        );
     }
 }
 
@@ -331,11 +394,22 @@ fn fig10(cfg: &ExpConfig) {
     println!(
         "{}",
         markdown_table(
-            &["workload", "JCT delay", "JCT sens.", "hi-loc insens (delay)", "hi-loc insens (sens.)", "util delay", "util sens."],
+            &[
+                "workload",
+                "JCT delay",
+                "JCT sens.",
+                "hi-loc insens (delay)",
+                "hi-loc insens (sens.)",
+                "util delay",
+                "util sens."
+            ],
             &rows
         )
     );
-    let jcts: Vec<(f64, f64)> = data.iter().map(|r| (r.jct_delay_s, r.jct_sensitivity_s)).collect();
+    let jcts: Vec<(f64, f64)> = data
+        .iter()
+        .map(|r| (r.jct_delay_s, r.jct_sensitivity_s))
+        .collect();
     println!(
         "mean JCT improvement: {} (paper 24%); high-locality tasks on insensitive stages: {} → {} (paper −14%)",
         pct(experiments::mean_improvement(&jcts)),
@@ -364,7 +438,14 @@ fn fig11(cfg: &ExpConfig) {
     println!(
         "{}",
         markdown_table(
-            &["workload", "system", "hit ratio", "byte hit ratio", "JCT (s)", "norm JCT"],
+            &[
+                "workload",
+                "system",
+                "hit ratio",
+                "byte hit ratio",
+                "JCT (s)",
+                "norm JCT"
+            ],
             &rows
         )
     );
@@ -399,9 +480,16 @@ fn ablation_optgap() {
             pct(gap),
         ]);
     }
-    println!("{}", markdown_table(&["seed", "optimal (min)", "Alg. 1 (min)", "gap"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["seed", "optimal (min)", "Alg. 1 (min)", "gap"], &rows)
+    );
     let mean = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
-    println!("mean gap over {} solved instances: {}", gaps.len(), pct(mean));
+    println!(
+        "mean gap over {} solved instances: {}",
+        gaps.len(),
+        pct(mean)
+    );
 }
 
 fn ablation_threshold(cfg: &ExpConfig) {
@@ -410,7 +498,11 @@ fn ablation_threshold(cfg: &ExpConfig) {
     for thr in [0.02, 0.05, 0.10, 0.25, 0.50] {
         let mut c = cfg.clone();
         c.cluster.prefetch_free_frac = Some(thr);
-        let res = experiments::run_one(&c, Workload::ConnectedComponent, &dagon_core::System::dagon());
+        let res = experiments::run_one(
+            &c,
+            Workload::ConnectedComponent,
+            &dagon_core::System::dagon(),
+        );
         rows.push(vec![
             f(thr, 2),
             f(res.jct as f64 / 1000.0, 1),
@@ -421,7 +513,16 @@ fn ablation_threshold(cfg: &ExpConfig) {
     }
     println!(
         "{}",
-        markdown_table(&["threshold", "JCT (s)", "hit ratio", "prefetches", "prefetch used"], &rows)
+        markdown_table(
+            &[
+                "threshold",
+                "JCT (s)",
+                "hit ratio",
+                "prefetches",
+                "prefetch used"
+            ],
+            &rows
+        )
     );
 }
 
@@ -452,8 +553,20 @@ fn ablation_speculation(cfg: &ExpConfig) {
     let mut rows = Vec::new();
     for (label, spec) in [
         ("off", None),
-        ("1.5× median", Some(dagon_cluster::SpeculationConfig { multiplier: 1.5, quantile: 0.75 })),
-        ("2.0× median", Some(dagon_cluster::SpeculationConfig { multiplier: 2.0, quantile: 0.75 })),
+        (
+            "1.5× median",
+            Some(dagon_cluster::SpeculationConfig {
+                multiplier: 1.5,
+                quantile: 0.75,
+            }),
+        ),
+        (
+            "2.0× median",
+            Some(dagon_cluster::SpeculationConfig {
+                multiplier: 2.0,
+                quantile: 0.75,
+            }),
+        ),
     ] {
         let mut c = cfg.clone();
         c.cluster.speculation = spec;
@@ -493,7 +606,10 @@ fn ablation_speculation(cfg: &ExpConfig) {
             format!("{}", out.result.metrics.speculative_won),
         ]);
     }
-    println!("{}", markdown_table(&["speculation", "JCT (s)", "launched", "won"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["speculation", "JCT (s)", "launched", "won"], &rows)
+    );
 }
 
 fn ablation_belady(cfg: &ExpConfig) {
@@ -510,7 +626,10 @@ fn ablation_belady(cfg: &ExpConfig) {
             .metrics
             .access_trace
             .iter()
-            .map(|(e, b)| Access { exec: *e, block: *b })
+            .map(|(e, b)| Access {
+                exec: *e,
+                block: *b,
+            })
             .collect();
         // Unit-block capacity: executor memory over the mean accessed
         // block size (the MIN bound is defined for uniform blocks).
@@ -530,13 +649,25 @@ fn ablation_belady(cfg: &ExpConfig) {
             pct(actual),
             pct(lru.hit_ratio()),
             pct(min.hit_ratio()),
-            pct(if min.hit_ratio() > 0.0 { actual / min.hit_ratio() } else { 0.0 }),
+            pct(if min.hit_ratio() > 0.0 {
+                actual / min.hit_ratio()
+            } else {
+                0.0
+            }),
         ]);
     }
     println!(
         "{}",
         markdown_table(
-            &["workload", "accesses", "cap (blocks)", "LRP actual", "LRU replay", "MIN replay", "LRP/MIN"],
+            &[
+                "workload",
+                "accesses",
+                "cap (blocks)",
+                "LRP actual",
+                "LRU replay",
+                "MIN replay",
+                "LRP/MIN"
+            ],
             &rows
         )
     );
@@ -572,7 +703,14 @@ fn multitenant(cfg: &ExpConfig) {
     println!(
         "{}",
         markdown_table(
-            &["system", "KM JCT (s)", "LinR JCT (s)", "CC JCT (s)", "makespan (s)", "CPU util"],
+            &[
+                "system",
+                "KM JCT (s)",
+                "LinR JCT (s)",
+                "CC JCT (s)",
+                "makespan (s)",
+                "CPU util"
+            ],
             &rows
         )
     );

@@ -109,7 +109,10 @@ mod tests {
     fn markdown_table_aligns_columns() {
         let t = markdown_table(
             &["name", "v"],
-            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

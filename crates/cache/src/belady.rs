@@ -50,7 +50,10 @@ impl BeladyOutcome {
 /// farthest away (never-again blocks first).
 pub fn replay_min(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
     if capacity_blocks == 0 {
-        return BeladyOutcome { hits: 0, misses: trace.len() as u64 };
+        return BeladyOutcome {
+            hits: 0,
+            misses: trace.len() as u64,
+        };
     }
     // Precompute, for each access index, the index of the next access of
     // the same (exec, block); usize::MAX = never again.
@@ -75,8 +78,10 @@ pub fn replay_min(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
                 // Evict the farthest-next-use resident... unless the
                 // incoming block's own next use is even farther (MIN also
                 // declines to cache such a block).
-                let (&victim, &vnext) =
-                    cache.iter().max_by_key(|(b, n)| (**n, **b)).expect("cache non-empty");
+                let (&victim, &vnext) = cache
+                    .iter()
+                    .max_by_key(|(b, n)| (**n, **b))
+                    .expect("cache non-empty");
                 if vnext < next_use[i] {
                     continue; // bypass: incoming is the farthest
                 }
@@ -92,7 +97,10 @@ pub fn replay_min(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
 /// the same unit-size model).
 pub fn replay_lru(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
     if capacity_blocks == 0 {
-        return BeladyOutcome { hits: 0, misses: trace.len() as u64 };
+        return BeladyOutcome {
+            hits: 0,
+            misses: trace.len() as u64,
+        };
     }
     let mut resident: HashMap<u32, Vec<BlockId>> = HashMap::new();
     let mut hits = 0u64;
@@ -123,7 +131,12 @@ mod tests {
         BlockId::new(RddId(0), p)
     }
     fn acc(seq: &[u32]) -> Vec<Access> {
-        seq.iter().map(|p| Access { exec: 0, block: b(*p) }).collect()
+        seq.iter()
+            .map(|p| Access {
+                exec: 0,
+                block: b(*p),
+            })
+            .collect()
     }
 
     #[test]
@@ -146,7 +159,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..50 {
             let trace: Vec<Access> = (0..200)
-                .map(|_| Access { exec: rng.gen_range(0..2), block: b(rng.gen_range(0..12)) })
+                .map(|_| Access {
+                    exec: rng.gen_range(0..2),
+                    block: b(rng.gen_range(0..12)),
+                })
                 .collect();
             let cap = rng.gen_range(1..6);
             let min = replay_min(&trace, cap);
@@ -160,9 +176,18 @@ mod tests {
     fn per_executor_isolation() {
         // Same block id on different executors is independent.
         let trace = vec![
-            Access { exec: 0, block: b(1) },
-            Access { exec: 1, block: b(1) },
-            Access { exec: 0, block: b(1) },
+            Access {
+                exec: 0,
+                block: b(1),
+            },
+            Access {
+                exec: 1,
+                block: b(1),
+            },
+            Access {
+                exec: 0,
+                block: b(1),
+            },
         ];
         let out = replay_min(&trace, 1);
         assert_eq!(out.hits, 1);

@@ -42,8 +42,13 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    pub const ALL: [PolicyKind; 5] =
-        [PolicyKind::None, PolicyKind::Lru, PolicyKind::Lrc, PolicyKind::Mrd, PolicyKind::Lrp];
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::None,
+        PolicyKind::Lru,
+        PolicyKind::Lrc,
+        PolicyKind::Mrd,
+        PolicyKind::Lrp,
+    ];
 
     pub fn as_str(self) -> &'static str {
         match self {

@@ -17,7 +17,10 @@ pub struct Lrc {
 
 impl Lrc {
     pub fn new() -> Self {
-        Self { clock: 0, stamp: std::collections::HashMap::new() }
+        Self {
+            clock: 0,
+            stamp: std::collections::HashMap::new(),
+        }
     }
 }
 
@@ -52,10 +55,13 @@ impl CachePolicy for Lrc {
         incoming: Option<BlockId>,
         profile: &RefProfile,
     ) -> Option<BlockId> {
-        let victim = candidates
-            .iter()
-            .copied()
-            .min_by_key(|b| (profile.lrc_count(*b), self.stamp.get(b).copied().unwrap_or(0), *b))?;
+        let victim = candidates.iter().copied().min_by_key(|b| {
+            (
+                profile.lrc_count(*b),
+                self.stamp.get(b).copied().unwrap_or(0),
+                *b,
+            )
+        })?;
         // Don't evict a higher-count block for a lower-count newcomer.
         if let Some(inc) = incoming {
             if profile.lrc_count(victim) > profile.lrc_count(inc) {
@@ -67,7 +73,11 @@ impl CachePolicy for Lrc {
 
     fn proactive_victims(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Vec<BlockId> {
         // LRC also drops dead blocks (reference count 0) eagerly.
-        candidates.iter().copied().filter(|b| profile.lrc_count(*b) == 0).collect()
+        candidates
+            .iter()
+            .copied()
+            .filter(|b| profile.lrc_count(*b) == 0)
+            .collect()
     }
 }
 

@@ -61,7 +61,11 @@ impl CachePolicy for Lrp {
     fn proactive_victims(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Vec<BlockId> {
         // §III-C: "proactively delete inactive data (i.e., with zero
         // reference priority)".
-        candidates.iter().copied().filter(|b| profile.lrp_priority(*b) == 0).collect()
+        candidates
+            .iter()
+            .copied()
+            .filter(|b| profile.lrp_priority(*b) == 0)
+            .collect()
     }
 
     fn prefetch_pick(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Option<BlockId> {

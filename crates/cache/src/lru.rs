@@ -15,7 +15,10 @@ pub struct Lru {
 
 impl Lru {
     pub fn new() -> Self {
-        Self { stamp: HashMap::new(), clock: 0 }
+        Self {
+            stamp: HashMap::new(),
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, b: BlockId) {

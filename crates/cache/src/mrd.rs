@@ -13,7 +13,10 @@ use dagon_dag::BlockId;
 
 /// Reference distance with `None` (never used again) treated as +∞.
 fn dist(profile: &RefProfile, b: BlockId) -> u64 {
-    profile.mrd_distance(b).map(|d| d as u64).unwrap_or(u64::MAX)
+    profile
+        .mrd_distance(b)
+        .map(|d| d as u64)
+        .unwrap_or(u64::MAX)
 }
 
 /// Most-Reference-Distance eviction + nearest-distance prefetch.
@@ -42,7 +45,10 @@ impl CachePolicy for Mrd {
         incoming: Option<BlockId>,
         profile: &RefProfile,
     ) -> Option<BlockId> {
-        let victim = candidates.iter().copied().max_by_key(|b| (dist(profile, *b), *b))?;
+        let victim = candidates
+            .iter()
+            .copied()
+            .max_by_key(|b| (dist(profile, *b), *b))?;
         // Classic distance-based admission: don't evict a nearer block to
         // admit a farther one.
         if let Some(inc) = incoming {
@@ -56,7 +62,11 @@ impl CachePolicy for Mrd {
     fn proactive_victims(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Vec<BlockId> {
         // Dead blocks (no future use) are dropped eagerly — MRD's "evict
         // data of completed stages" behaviour.
-        candidates.iter().copied().filter(|b| !profile.is_live(*b)).collect()
+        candidates
+            .iter()
+            .copied()
+            .filter(|b| !profile.is_live(*b))
+            .collect()
     }
 
     fn prefetch_pick(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Option<BlockId> {
@@ -80,11 +90,7 @@ mod tests {
         let mut p = RefProfile::default();
         p.pv = dag.stage_ids().map(|s| tracker.pv(s)).collect();
         let done = done.to_vec();
-        p.rebuild(
-            &dag,
-            &|s, _| done.contains(&s),
-            &|s| done.contains(&s),
-        );
+        p.rebuild(&dag, &|s, _| done.contains(&s), &|s| done.contains(&s));
         p
     }
 
@@ -107,7 +113,7 @@ mod tests {
         let p = profile_with(&[StageId(0)]);
         let b0 = BlockId::new(RddId(2), 0); // B: next use S3 (dist 2 from frontier 1)
         let c0 = BlockId::new(RddId(1), 0); // C: next use S1 (dist 0)
-        // Evict B before C.
+                                            // Evict B before C.
         assert_eq!(mrd.victim(&[b0, c0], None, &p), Some(b0));
         // Prefetch C first.
         assert_eq!(mrd.prefetch_pick(&[b0, c0], &p), Some(c0));

@@ -36,12 +36,36 @@ fn task(stage: u32, index: u32) -> TaskId {
 /// t0: S1×3 → t4: S2×2 → t6: S2×1 → t8: S3×2 → t12: S4.
 pub fn fifo_schedule() -> Vec<Step> {
     vec![
-        Step { t: 0, finish: vec![], launch: vec![task(0, 0), task(0, 1), task(0, 2)] },
-        Step { t: 4, finish: vec![task(0, 0), task(0, 1), task(0, 2)], launch: vec![task(1, 0), task(1, 1)] },
-        Step { t: 6, finish: vec![task(1, 0), task(1, 1)], launch: vec![task(1, 2)] },
-        Step { t: 8, finish: vec![task(1, 2)], launch: vec![task(2, 0), task(2, 1)] },
-        Step { t: 12, finish: vec![task(2, 0), task(2, 1)], launch: vec![task(3, 0)] },
-        Step { t: 16, finish: vec![task(3, 0)], launch: vec![] },
+        Step {
+            t: 0,
+            finish: vec![],
+            launch: vec![task(0, 0), task(0, 1), task(0, 2)],
+        },
+        Step {
+            t: 4,
+            finish: vec![task(0, 0), task(0, 1), task(0, 2)],
+            launch: vec![task(1, 0), task(1, 1)],
+        },
+        Step {
+            t: 6,
+            finish: vec![task(1, 0), task(1, 1)],
+            launch: vec![task(1, 2)],
+        },
+        Step {
+            t: 8,
+            finish: vec![task(1, 2)],
+            launch: vec![task(2, 0), task(2, 1)],
+        },
+        Step {
+            t: 12,
+            finish: vec![task(2, 0), task(2, 1)],
+            launch: vec![task(3, 0)],
+        },
+        Step {
+            t: 16,
+            finish: vec![task(3, 0)],
+            launch: vec![],
+        },
     ]
 }
 
@@ -49,16 +73,36 @@ pub fn fifo_schedule() -> Vec<Step> {
 /// t0: S1×1 + S2×2 → t2: S1×1 + S2×1 → t4: S1×1 + S3×2 → t8: S4.
 pub fn dag_aware_schedule() -> Vec<Step> {
     vec![
-        Step { t: 0, finish: vec![], launch: vec![task(1, 0), task(1, 1), task(0, 0)] },
-        Step { t: 2, finish: vec![task(1, 0), task(1, 1)], launch: vec![task(1, 2), task(0, 1)] },
+        Step {
+            t: 0,
+            finish: vec![],
+            launch: vec![task(1, 0), task(1, 1), task(0, 0)],
+        },
+        Step {
+            t: 2,
+            finish: vec![task(1, 0), task(1, 1)],
+            launch: vec![task(1, 2), task(0, 1)],
+        },
         Step {
             t: 4,
             finish: vec![task(1, 2), task(0, 0)],
             launch: vec![task(2, 0), task(2, 1), task(0, 2)],
         },
-        Step { t: 6, finish: vec![task(0, 1)], launch: vec![] },
-        Step { t: 8, finish: vec![task(2, 0), task(2, 1), task(0, 2)], launch: vec![task(3, 0)] },
-        Step { t: 12, finish: vec![task(3, 0)], launch: vec![] },
+        Step {
+            t: 6,
+            finish: vec![task(0, 1)],
+            launch: vec![],
+        },
+        Step {
+            t: 8,
+            finish: vec![task(2, 0), task(2, 1), task(0, 2)],
+            launch: vec![task(3, 0)],
+        },
+        Step {
+            t: 12,
+            finish: vec![task(3, 0)],
+            launch: vec![],
+        },
     ]
 }
 
@@ -116,15 +160,17 @@ pub fn replay(
     let mut profile = RefProfile::default();
     profile.pv = dag.stage_ids().map(|s| tracker.pv(s)).collect();
 
-    let mut task_done: Vec<Vec<bool>> =
-        dag.stages().iter().map(|s| vec![false; s.num_tasks as usize]).collect();
+    let mut task_done: Vec<Vec<bool>> = dag
+        .stages()
+        .iter()
+        .map(|s| vec![false; s.num_tasks as usize])
+        .collect();
     let mut stage_done: Vec<bool> = vec![false; dag.num_stages()];
-    let rebuild =
-        |profile: &mut RefProfile, task_done: &Vec<Vec<bool>>, stage_done: &Vec<bool>| {
-            let td = task_done.clone();
-            let sd = stage_done.clone();
-            profile.rebuild(dag, &|s, k| td[s.index()][k as usize], &|s| sd[s.index()]);
-        };
+    let rebuild = |profile: &mut RefProfile, task_done: &Vec<Vec<bool>>, stage_done: &Vec<bool>| {
+        let td = task_done.clone();
+        let sd = stage_done.clone();
+        profile.rebuild(dag, &|s, k| td[s.index()][k as usize], &|s| sd[s.index()]);
+    };
     rebuild(&mut profile, &task_done, &stage_done);
 
     let mut cache: Vec<BlockId> = Vec::new();
@@ -148,10 +194,10 @@ pub fn replay(
     let mut rows = Vec::new();
 
     let insert = |cache: &mut Vec<BlockId>,
-                      pol: &mut Box<dyn dagon_cluster::CachePolicy>,
-                      profile: &RefProfile,
-                      b: BlockId,
-                      clock: u64| {
+                  pol: &mut Box<dyn dagon_cluster::CachePolicy>,
+                  profile: &RefProfile,
+                  b: BlockId,
+                  clock: u64| {
         if cache.contains(&b) {
             return;
         }
@@ -214,7 +260,9 @@ pub fn replay(
                             && !attempted.contains(b)
                     })
                     .collect();
-                let Some(c) = pol.prefetch_pick(&candidates, &profile) else { break };
+                let Some(c) = pol.prefetch_pick(&candidates, &profile) else {
+                    break;
+                };
                 attempted.insert(c);
                 clock += 1;
                 insert(&mut cache, &mut pol, &profile, c, clock);
@@ -262,7 +310,12 @@ pub fn replay(
         });
     }
 
-    Table1Result { policy, hits, accesses, rows }
+    Table1Result {
+        policy,
+        hits,
+        accesses,
+        rows,
+    }
 }
 
 /// Run the full Table I grid on the Fig. 1 DAG: both schedules × the given
@@ -275,7 +328,10 @@ pub fn table1_grid(policies: &[PolicyKind]) -> Vec<(&'static str, Table1Result)>
         out.push(("FIFO", replay(&dag, &fifo_schedule(), 3, p, &initial)));
     }
     for &p in policies {
-        out.push(("DAG-aware", replay(&dag, &dag_aware_schedule(), 3, p, &initial)));
+        out.push((
+            "DAG-aware",
+            replay(&dag, &dag_aware_schedule(), 3, p, &initial),
+        ));
     }
     out
 }
@@ -287,7 +343,11 @@ mod tests {
     fn hits(sched: &str, p: PolicyKind) -> u32 {
         let dag = fig1();
         let initial = [BlockId::new(RddId(0), 0)];
-        let steps = if sched == "fifo" { fifo_schedule() } else { dag_aware_schedule() };
+        let steps = if sched == "fifo" {
+            fifo_schedule()
+        } else {
+            dag_aware_schedule()
+        };
         replay(&dag, &steps, 3, p, &initial).hits
     }
 
@@ -355,7 +415,12 @@ mod tests {
         let grid = table1_grid(&[PolicyKind::Lru, PolicyKind::Mrd, PolicyKind::Lrp]);
         assert_eq!(grid.len(), 6);
         for (sched, r) in &grid {
-            assert!(r.accesses >= 14, "{sched}/{}: {} accesses", r.policy, r.accesses);
+            assert!(
+                r.accesses >= 14,
+                "{sched}/{}: {} accesses",
+                r.policy,
+                r.accesses
+            );
             assert!(r.hits <= r.accesses);
         }
     }

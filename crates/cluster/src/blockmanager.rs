@@ -36,7 +36,11 @@ pub trait CachePolicy {
 
     /// Blocks to drop right now regardless of space pressure (LRP's
     /// proactive eviction of zero-reference-priority data).
-    fn proactive_victims(&mut self, _candidates: &[BlockId], _profile: &RefProfile) -> Vec<BlockId> {
+    fn proactive_victims(
+        &mut self,
+        _candidates: &[BlockId],
+        _profile: &RefProfile,
+    ) -> Vec<BlockId> {
         Vec::new()
     }
 
@@ -83,7 +87,13 @@ pub struct BlockManager {
 
 impl BlockManager {
     pub fn new(capacity_mb: f64, policy: Box<dyn CachePolicy>) -> Self {
-        Self { capacity_mb, used_mb: 0.0, resident: HashMap::new(), pinned: HashMap::new(), policy }
+        Self {
+            capacity_mb,
+            used_mb: 0.0,
+            resident: HashMap::new(),
+            pinned: HashMap::new(),
+            policy,
+        }
     }
 
     pub fn policy_name(&self) -> &'static str {
@@ -166,7 +176,13 @@ impl BlockManager {
     }
 
     /// Try to insert `b` of `mb` MiB, evicting per policy as needed.
-    pub fn try_insert(&mut self, b: BlockId, mb: f64, now: SimTime, profile: &RefProfile) -> InsertOutcome {
+    pub fn try_insert(
+        &mut self,
+        b: BlockId,
+        mb: f64,
+        now: SimTime,
+        profile: &RefProfile,
+    ) -> InsertOutcome {
         if !self.policy.admits() {
             return InsertOutcome::Rejected;
         }
@@ -180,14 +196,9 @@ impl BlockManager {
         while self.used_mb + mb > self.capacity_mb + 1e-9 {
             let candidates = self.evictable();
             if candidates.is_empty() {
-                // Roll back: re-insert nothing (evicted blocks stay evicted —
-                // Spark similarly drops them before discovering the new block
-                // doesn't fit).
-                return if evicted.is_empty() {
-                    InsertOutcome::Rejected
-                } else {
-                    InsertOutcome::Rejected
-                };
+                // Evicted blocks stay evicted — Spark similarly drops them
+                // before discovering the new block doesn't fit.
+                return InsertOutcome::Rejected;
             }
             match self.policy.victim(&candidates, Some(b), profile) {
                 Some(v) => {
@@ -223,7 +234,11 @@ impl BlockManager {
     }
 
     /// Ask the policy which of `candidates` to prefetch next.
-    pub fn prefetch_pick(&mut self, candidates: &[BlockId], profile: &RefProfile) -> Option<BlockId> {
+    pub fn prefetch_pick(
+        &mut self,
+        candidates: &[BlockId],
+        profile: &RefProfile,
+    ) -> Option<BlockId> {
         self.policy.prefetch_pick(candidates, profile)
     }
 }
@@ -261,7 +276,12 @@ mod tests {
         fn policy_name(&self) -> &'static str {
             "fifo-test"
         }
-        fn victim(&mut self, c: &[BlockId], _i: Option<BlockId>, _p: &RefProfile) -> Option<BlockId> {
+        fn victim(
+            &mut self,
+            c: &[BlockId],
+            _i: Option<BlockId>,
+            _p: &RefProfile,
+        ) -> Option<BlockId> {
             c.first().copied()
         }
     }
@@ -274,8 +294,14 @@ mod tests {
     fn insert_until_full_then_evict() {
         let mut bm = BlockManager::new(100.0, Box::new(FifoTest));
         let p = RefProfile::default();
-        assert_eq!(bm.try_insert(blk(0, 0), 40.0, 0, &p), InsertOutcome::Inserted { evicted: vec![] });
-        assert_eq!(bm.try_insert(blk(0, 1), 40.0, 0, &p), InsertOutcome::Inserted { evicted: vec![] });
+        assert_eq!(
+            bm.try_insert(blk(0, 0), 40.0, 0, &p),
+            InsertOutcome::Inserted { evicted: vec![] }
+        );
+        assert_eq!(
+            bm.try_insert(blk(0, 1), 40.0, 0, &p),
+            InsertOutcome::Inserted { evicted: vec![] }
+        );
         // Needs 40 more: evicts blk(0,0).
         match bm.try_insert(blk(0, 2), 40.0, 0, &p) {
             InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![blk(0, 0)]),
@@ -290,7 +316,10 @@ mod tests {
     fn oversized_block_rejected() {
         let mut bm = BlockManager::new(10.0, Box::new(FifoTest));
         let p = RefProfile::default();
-        assert_eq!(bm.try_insert(blk(0, 0), 11.0, 0, &p), InsertOutcome::Rejected);
+        assert_eq!(
+            bm.try_insert(blk(0, 0), 11.0, 0, &p),
+            InsertOutcome::Rejected
+        );
     }
 
     #[test]
@@ -298,7 +327,10 @@ mod tests {
         let mut bm = BlockManager::new(100.0, Box::new(FifoTest));
         let p = RefProfile::default();
         bm.try_insert(blk(0, 0), 10.0, 0, &p);
-        assert_eq!(bm.try_insert(blk(0, 0), 10.0, 0, &p), InsertOutcome::AlreadyCached);
+        assert_eq!(
+            bm.try_insert(blk(0, 0), 10.0, 0, &p),
+            InsertOutcome::AlreadyCached
+        );
     }
 
     #[test]
@@ -308,9 +340,15 @@ mod tests {
         bm.try_insert(blk(0, 0), 60.0, 0, &p);
         bm.pin(blk(0, 0));
         // 60 used, need 60 more; only candidate is pinned → rejected.
-        assert_eq!(bm.try_insert(blk(0, 1), 60.0, 0, &p), InsertOutcome::Rejected);
+        assert_eq!(
+            bm.try_insert(blk(0, 1), 60.0, 0, &p),
+            InsertOutcome::Rejected
+        );
         bm.unpin(blk(0, 0));
-        assert!(matches!(bm.try_insert(blk(0, 1), 60.0, 0, &p), InsertOutcome::Inserted { .. }));
+        assert!(matches!(
+            bm.try_insert(blk(0, 1), 60.0, 0, &p),
+            InsertOutcome::Inserted { .. }
+        ));
     }
 
     #[test]
@@ -327,7 +365,10 @@ mod tests {
         let mut bm = BlockManager::new(100.0, Box::new(NoCache));
         let p = RefProfile::default();
         assert!(!bm.caches_on_miss());
-        assert_eq!(bm.try_insert(blk(0, 0), 60.0, 0, &p), InsertOutcome::Rejected);
+        assert_eq!(
+            bm.try_insert(blk(0, 0), 60.0, 0, &p),
+            InsertOutcome::Rejected
+        );
         assert!(!bm.contains(blk(0, 0)));
         assert_eq!(bm.used_mb(), 0.0);
     }

@@ -23,7 +23,11 @@ impl LocalityWait {
 
     /// The same wait at every level (the paper sweeps 0 / 1.5 / 3 / 5 s).
     pub fn uniform(ms: SimTime) -> Self {
-        Self { process_ms: ms, node_ms: ms, rack_ms: ms }
+        Self {
+            process_ms: ms,
+            node_ms: ms,
+            rack_ms: ms,
+        }
     }
 
     /// Delay scheduling disabled (`spark.locality.wait = 0`).
@@ -56,7 +60,10 @@ pub struct SpeculationConfig {
 
 impl Default for SpeculationConfig {
     fn default() -> Self {
-        Self { multiplier: 1.5, quantile: 0.75 }
+        Self {
+            multiplier: 1.5,
+            quantile: 0.75,
+        }
     }
 }
 

@@ -13,11 +13,19 @@ pub enum Event {
     /// A task attempt completes on an executor. `attempt` distinguishes
     /// speculative copies; a stale finish (task already completed by another
     /// attempt) is ignored.
-    TaskFinish { task: TaskId, exec: ExecId, attempt: u32 },
+    TaskFinish {
+        task: TaskId,
+        exec: ExecId,
+        attempt: u32,
+    },
     /// A task attempt finished its input I/O phase and starts burning CPU
     /// (the boundary the utilization metric is measured around — cgroup CPU
     /// accounting sees I/O wait as idle).
-    IoDone { task: TaskId, exec: ExecId, attempt: u32 },
+    IoDone {
+        task: TaskId,
+        exec: ExecId,
+        attempt: u32,
+    },
     /// A prefetched block arrives in an executor's cache.
     PrefetchArrive { block: BlockId, exec: ExecId },
     /// A stage's release time (job arrival in multi-tenant runs) passed:
@@ -103,8 +111,22 @@ mod tests {
         let mut q = EventQueue::new();
         let t0 = TaskId::new(StageId(0), 0);
         let t1 = TaskId::new(StageId(0), 1);
-        q.push(5, Event::TaskFinish { task: t0, exec: ExecId(0), attempt: 0 });
-        q.push(5, Event::TaskFinish { task: t1, exec: ExecId(1), attempt: 0 });
+        q.push(
+            5,
+            Event::TaskFinish {
+                task: t0,
+                exec: ExecId(0),
+                attempt: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::TaskFinish {
+                task: t1,
+                exec: ExecId(1),
+                attempt: 0,
+            },
+        );
         match q.pop().unwrap().1 {
             Event::TaskFinish { task, .. } => assert_eq!(task, t0),
             _ => panic!(),

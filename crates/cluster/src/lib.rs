@@ -27,7 +27,9 @@ pub mod config;
 pub mod event;
 pub mod hdfs;
 pub mod locality;
+pub mod locality_index;
 pub mod metrics;
+pub mod pending;
 pub mod refprofile;
 pub mod scheduler;
 pub mod sim;
@@ -38,9 +40,11 @@ pub use blockmanager::{BlockManager, CachePolicy, NoCache};
 pub use config::{ClusterConfig, CostModel, LocalityWait, SpeculationConfig};
 pub use event::{Event, EventQueue};
 pub use locality::Locality;
-pub use metrics::{CacheStats, Metrics, SimResult, TaskRun, TimePoint};
+pub use locality_index::{IndexStats, LocalityIndex};
+pub use metrics::{CacheStats, Metrics, SchedulerStats, SimResult, TaskRun, TimePoint};
+pub use pending::PendingSet;
 pub use refprofile::{RefProfile, StageRef};
 pub use scheduler::{Assignment, Scheduler};
 pub use sim::Simulation;
 pub use topology::{ExecId, NodeId, RackId, Topology};
-pub use view::{ExecView, SimView, StageRuntime, TaskView};
+pub use view::{ExecView, ScheduleShadow, SimView, StageRuntime, TaskView};

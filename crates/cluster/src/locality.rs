@@ -18,7 +18,12 @@ pub enum Locality {
 }
 
 impl Locality {
-    pub const ALL: [Locality; 4] = [Locality::Process, Locality::Node, Locality::Rack, Locality::Any];
+    pub const ALL: [Locality; 4] = [
+        Locality::Process,
+        Locality::Node,
+        Locality::Rack,
+        Locality::Any,
+    ];
 
     /// Numeric index, 0 = best.
     #[inline]

@@ -1,0 +1,664 @@
+//! [`LocalityIndex`]: incremental block-residency index for the scheduler
+//! fast path.
+//!
+//! The sequential scheduler recomputed every task's locality on every
+//! query by scanning [`DataMap`]'s per-block hash entries and walking the
+//! topology — O(blocks × execs) per task per query, repeated for every
+//! pending task of every ready stage on every scheduling round. This
+//! module replaces those scans with:
+//!
+//! * **dense bitsets** summarizing residency: one cached-executors row and
+//!   one disk-nodes row of `u64` words per block, indexed by a flat block
+//!   id (per-RDD offsets). Node and rack membership tests become masked
+//!   word tests because [`crate::topology::Topology::build`] assigns node
+//!   ids contiguously per rack and executor ids contiguously per node;
+//! * **generation counters**: every residency change bumps the touched
+//!   block's generation and a global generation. Derived state carries the
+//!   generation sum it was computed from and is valid iff the sum is
+//!   unchanged (generations only grow, so equal sums mean untouched
+//!   blocks);
+//! * **per-task memos** of the full per-executor locality vector, filled
+//!   lazily and invalidated by generation mismatch — a cache hit turns
+//!   `task_locality` into two array reads;
+//! * a **per-stage valid-levels memo** keyed on (global generation,
+//!   pending-set version, claimed count), so Spark's
+//!   `computeValidLocalityLevels` runs once per stage per scheduling round
+//!   instead of once per placement probe.
+//!
+//! The index owns the [`DataMap`] and mirrors every mutation
+//! ([`add_disk`](LocalityIndex::add_disk),
+//! [`add_cached`](LocalityIndex::add_cached),
+//! [`remove_cached`](LocalityIndex::remove_cached)), so it can never drift
+//! from the authoritative registry; a property test cross-checks it
+//! against brute-force recomputation under random mutation sequences.
+
+use std::cell::{Cell, RefCell};
+
+use dagon_dag::{BlockId, JobDag};
+
+use crate::config::ReadTier;
+use crate::hdfs::DataMap;
+use crate::locality::Locality;
+use crate::pending::PendingSet;
+use crate::topology::{ExecId, NodeId, Topology};
+use crate::view::TaskView;
+
+/// Scheduler-overhead counters the index maintains (interior mutability:
+/// queries run through the shared [`crate::view::SimView`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Locality lookups answered (task/block level queries).
+    pub locality_queries: u64,
+    /// Task memos (re)computed — cache misses among those lookups.
+    pub memo_recomputes: u64,
+    /// Residency mutations that invalidated derived state.
+    pub invalidations: u64,
+    /// Valid-locality-ladder recomputations (per stage per round).
+    pub valid_level_rebuilds: u64,
+}
+
+/// Memoized per-task locality: the locality level on every executor plus
+/// the best level anywhere, stamped with the generation sum of the task's
+/// locality blocks at computation time.
+#[derive(Clone, Debug, Default)]
+struct TaskMemo {
+    /// `1 + Σ gen[block]` at computation time; 0 = never computed.
+    stamp: u64,
+    best: u8,
+    levels: Box<[u8]>,
+}
+
+/// Memoized `computeValidLocalityLevels` result for one stage.
+#[derive(Clone, Copy, Debug)]
+struct ValidMemo {
+    global_gen: u64,
+    pending_version: u64,
+    claimed: u32,
+    len: u8,
+    levels: [Locality; 4],
+}
+
+pub struct LocalityIndex {
+    data: DataMap,
+    /// Flat block id = `rdd_base[rdd] + partition`.
+    rdd_base: Vec<u32>,
+    exec_words: usize,
+    node_words: usize,
+    /// `cached_bits[block × exec_words ..][..exec_words]`: executors
+    /// caching the block.
+    cached_bits: Vec<u64>,
+    /// `disk_bits[block × node_words ..][..node_words]`: nodes holding a
+    /// disk replica.
+    disk_bits: Vec<u64>,
+    /// Per-block mutation generation (monotone).
+    gen: Vec<u64>,
+    global_gen: u64,
+    // Topology summary (contiguous-id ranges, see module docs).
+    num_execs: u32,
+    exec_node: Vec<u32>,
+    node_rack: Vec<u16>,
+    /// Executors of node `n` are `node_exec_range[n].0 .. .1`.
+    node_exec_range: Vec<(u32, u32)>,
+    /// Nodes of rack `r` are `rack_node_range[r].0 .. .1`.
+    rack_node_range: Vec<(u32, u32)>,
+    /// Executors of rack `r` are `rack_exec_range[r].0 .. .1`.
+    rack_exec_range: Vec<(u32, u32)>,
+    /// `task_blocks[stage][task]` = flat ids of the task's locality blocks.
+    task_blocks: Vec<Vec<Vec<u32>>>,
+    memo: RefCell<Vec<Vec<TaskMemo>>>,
+    valid_memo: RefCell<Vec<Option<ValidMemo>>>,
+    queries: Cell<u64>,
+    recomputes: Cell<u64>,
+    invalidations: Cell<u64>,
+    valid_rebuilds: Cell<u64>,
+}
+
+/// Any bit set in the contiguous bit range `[a, b)` of `row`?
+#[inline]
+fn range_any(row: &[u64], a: u32, b: u32) -> bool {
+    if a >= b {
+        return false;
+    }
+    let (aw, ab) = ((a / 64) as usize, a % 64);
+    let (bw, bb) = ((b / 64) as usize, b % 64);
+    if aw == bw {
+        let mask = ((1u64 << (bb - ab)) - 1) << ab;
+        return row[aw] & mask != 0;
+    }
+    if row[aw] & (!0u64 << ab) != 0 {
+        return true;
+    }
+    if row[aw + 1..bw].iter().any(|w| *w != 0) {
+        return true;
+    }
+    bb > 0 && row[bw] & ((1u64 << bb) - 1) != 0
+}
+
+#[inline]
+fn get_bit(row: &[u64], i: u32) -> bool {
+    row[(i / 64) as usize] >> (i % 64) & 1 == 1
+}
+
+#[inline]
+fn set_bit(row: &mut [u64], i: u32) {
+    row[(i / 64) as usize] |= 1 << (i % 64);
+}
+
+#[inline]
+fn clear_bit(row: &mut [u64], i: u32) {
+    row[(i / 64) as usize] &= !(1 << (i % 64));
+}
+
+impl LocalityIndex {
+    /// Build the index over an initial placement. `task_views` supplies
+    /// each task's locality blocks (narrow inputs).
+    pub fn new(dag: &JobDag, topo: &Topology, data: DataMap, task_views: &[Vec<TaskView>]) -> Self {
+        let mut rdd_base = Vec::with_capacity(dag.num_rdds());
+        let mut n_blocks = 0u32;
+        for r in dag.rdds() {
+            rdd_base.push(n_blocks);
+            n_blocks += r.num_partitions;
+        }
+        let num_execs = topo.exec_node.len() as u32;
+        let num_nodes = topo.node_rack.len() as u32;
+        let exec_words = (num_execs as usize).div_ceil(64).max(1);
+        let node_words = (num_nodes as usize).div_ceil(64).max(1);
+
+        let exec_node: Vec<u32> = topo.exec_node.iter().map(|n| n.0).collect();
+        let node_rack: Vec<u16> = topo.node_rack.iter().map(|r| r.0).collect();
+        let range_of = |ids: &[u32]| -> (u32, u32) {
+            match ids.first() {
+                None => (0, 0),
+                Some(&lo) => {
+                    let hi = *ids.last().unwrap() + 1;
+                    debug_assert_eq!(hi - lo, ids.len() as u32, "ids must be contiguous");
+                    (lo, hi)
+                }
+            }
+        };
+        let node_exec_range: Vec<(u32, u32)> = topo
+            .node_execs
+            .iter()
+            .map(|es| range_of(&es.iter().map(|e| e.0).collect::<Vec<_>>()))
+            .collect();
+        let rack_node_range: Vec<(u32, u32)> = topo
+            .rack_nodes
+            .iter()
+            .map(|ns| range_of(&ns.iter().map(|n| n.0).collect::<Vec<_>>()))
+            .collect();
+        let rack_exec_range: Vec<(u32, u32)> = topo
+            .rack_nodes
+            .iter()
+            .map(|ns| {
+                if ns.is_empty() {
+                    (0, 0)
+                } else {
+                    let first = node_exec_range[ns.first().unwrap().index()].0;
+                    let last = node_exec_range[ns.last().unwrap().index()].1;
+                    (first, last)
+                }
+            })
+            .collect();
+
+        let flat = |rdd_base: &[u32], b: BlockId| rdd_base[b.rdd.index()] + b.partition;
+        let task_blocks: Vec<Vec<Vec<u32>>> = task_views
+            .iter()
+            .map(|per_task| {
+                per_task
+                    .iter()
+                    .map(|tv| tv.loc_blocks.iter().map(|&b| flat(&rdd_base, b)).collect())
+                    .collect()
+            })
+            .collect();
+        let memo = task_views
+            .iter()
+            .map(|per_task| vec![TaskMemo::default(); per_task.len()])
+            .collect();
+
+        let mut idx = Self {
+            rdd_base,
+            exec_words,
+            node_words,
+            cached_bits: vec![0; exec_words * n_blocks as usize],
+            disk_bits: vec![0; node_words * n_blocks as usize],
+            gen: vec![0; n_blocks as usize],
+            global_gen: 0,
+            num_execs,
+            exec_node,
+            node_rack,
+            node_exec_range,
+            rack_node_range,
+            rack_exec_range,
+            task_blocks,
+            memo: RefCell::new(memo),
+            valid_memo: RefCell::new(vec![None; task_views.len()]),
+            queries: Cell::new(0),
+            recomputes: Cell::new(0),
+            invalidations: Cell::new(0),
+            valid_rebuilds: Cell::new(0),
+            data: DataMap::default(),
+        };
+        // Ingest the initial placement (no generation bumps needed: the
+        // memos are all empty).
+        for r in dag.rdds() {
+            for b in r.blocks() {
+                let bi = idx.flat_id(b) as usize;
+                for n in data.disk_nodes(b) {
+                    set_bit(idx.disk_row_mut(bi), n.0);
+                }
+                for e in data.cached_execs(b) {
+                    set_bit(idx.cached_row_mut(bi), e.0);
+                }
+            }
+        }
+        idx.data = data;
+        idx
+    }
+
+    #[inline]
+    fn flat_id(&self, b: BlockId) -> u32 {
+        self.rdd_base[b.rdd.index()] + b.partition
+    }
+
+    #[inline]
+    fn cached_row(&self, bi: usize) -> &[u64] {
+        &self.cached_bits[bi * self.exec_words..][..self.exec_words]
+    }
+
+    #[inline]
+    fn disk_row(&self, bi: usize) -> &[u64] {
+        &self.disk_bits[bi * self.node_words..][..self.node_words]
+    }
+
+    #[inline]
+    fn cached_row_mut(&mut self, bi: usize) -> &mut [u64] {
+        &mut self.cached_bits[bi * self.exec_words..][..self.exec_words]
+    }
+
+    #[inline]
+    fn disk_row_mut(&mut self, bi: usize) -> &mut [u64] {
+        &mut self.disk_bits[bi * self.node_words..][..self.node_words]
+    }
+
+    fn bump(&mut self, bi: usize) {
+        self.gen[bi] += 1;
+        self.global_gen += 1;
+        self.invalidations.set(self.invalidations.get() + 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (mirrored into the owned DataMap)
+    // ------------------------------------------------------------------
+
+    /// Record a block written to a node's disk (task output / spill).
+    pub fn add_disk(&mut self, b: BlockId, node: NodeId) {
+        let bi = self.flat_id(b) as usize;
+        if !get_bit(self.disk_row(bi), node.0) {
+            set_bit(self.disk_row_mut(bi), node.0);
+            self.bump(bi);
+        }
+        self.data.add_disk(b, node);
+    }
+
+    /// Record a cache insertion.
+    pub fn add_cached(&mut self, b: BlockId, exec: ExecId) {
+        let bi = self.flat_id(b) as usize;
+        if !get_bit(self.cached_row(bi), exec.0) {
+            set_bit(self.cached_row_mut(bi), exec.0);
+            self.bump(bi);
+        }
+        self.data.add_cached(b, exec);
+    }
+
+    /// Record a cache eviction.
+    pub fn remove_cached(&mut self, b: BlockId, exec: ExecId) {
+        let bi = self.flat_id(b) as usize;
+        if get_bit(self.cached_row(bi), exec.0) {
+            clear_bit(self.cached_row_mut(bi), exec.0);
+            self.bump(bi);
+        }
+        self.data.remove_cached(b, exec);
+    }
+
+    // ------------------------------------------------------------------
+    // Residency queries
+    // ------------------------------------------------------------------
+
+    /// Global residency generation: changes iff any derived locality state
+    /// may have changed. The simulator snapshots it to detect when a
+    /// scheduler's assignment batch went stale mid-application.
+    pub fn generation(&self) -> u64 {
+        self.global_gen
+    }
+
+    /// The authoritative location registry (reads that need replica lists
+    /// rather than membership tests).
+    pub fn data(&self) -> &DataMap {
+        &self.data
+    }
+
+    pub fn is_cached_in(&self, b: BlockId, exec: ExecId) -> bool {
+        get_bit(self.cached_row(self.flat_id(b) as usize), exec.0)
+    }
+
+    pub fn is_cached_anywhere(&self, b: BlockId) -> bool {
+        self.cached_row(self.flat_id(b) as usize)
+            .iter()
+            .any(|w| *w != 0)
+    }
+
+    /// Physical read tier for one block from one executor.
+    pub fn read_tier(&self, b: BlockId, exec: ExecId) -> ReadTier {
+        self.queries.set(self.queries.get() + 1);
+        let bi = self.flat_id(b) as usize;
+        let cw = self.cached_row(bi);
+        if get_bit(cw, exec.0) {
+            return ReadTier::ProcessCache;
+        }
+        let node = self.exec_node[exec.index()];
+        let (ea, eb) = self.node_exec_range[node as usize];
+        if range_any(cw, ea, eb) {
+            return ReadTier::NodeCache;
+        }
+        let dw = self.disk_row(bi);
+        if get_bit(dw, node) {
+            return ReadTier::NodeDisk;
+        }
+        let rack = self.node_rack[node as usize] as usize;
+        let (na, nb) = self.rack_node_range[rack];
+        let (ra, rb) = self.rack_exec_range[rack];
+        if range_any(dw, na, nb) || range_any(cw, ra, rb) {
+            ReadTier::RackRemote
+        } else {
+            debug_assert!(
+                dw.iter().any(|w| *w != 0) || cw.iter().any(|w| *w != 0),
+                "reading unmaterialized block {b}"
+            );
+            ReadTier::CrossRack
+        }
+    }
+
+    /// Locality level of one block from one executor (the tier collapsed
+    /// onto the Spark locality ladder).
+    #[inline]
+    fn block_level(&self, bi: usize, e: u32) -> u8 {
+        let cw = self.cached_row(bi);
+        if get_bit(cw, e) {
+            return Locality::Process.index() as u8;
+        }
+        let node = self.exec_node[e as usize];
+        let dw = self.disk_row(bi);
+        let (ea, eb) = self.node_exec_range[node as usize];
+        if get_bit(dw, node) || range_any(cw, ea, eb) {
+            return Locality::Node.index() as u8;
+        }
+        let rack = self.node_rack[node as usize] as usize;
+        let (na, nb) = self.rack_node_range[rack];
+        let (ra, rb) = self.rack_exec_range[rack];
+        if range_any(dw, na, nb) || range_any(cw, ra, rb) {
+            return Locality::Rack.index() as u8;
+        }
+        Locality::Any.index() as u8
+    }
+
+    /// Ensure the task's memo is current; runs under the caller's borrow.
+    fn ensure_task<'m>(&self, memo: &'m mut [Vec<TaskMemo>], s: usize, k: usize) -> &'m TaskMemo {
+        let blocks = &self.task_blocks[s][k];
+        let stamp = 1 + blocks.iter().map(|&b| self.gen[b as usize]).sum::<u64>();
+        let m = &mut memo[s][k];
+        if m.stamp != stamp {
+            self.recomputes.set(self.recomputes.get() + 1);
+            if m.levels.is_empty() {
+                m.levels =
+                    vec![Locality::Any.index() as u8; self.num_execs as usize].into_boxed_slice();
+            }
+            let any = Locality::Any.index() as u8;
+            let mut best = any;
+            for e in 0..self.num_execs {
+                // No locality blocks (wide-only task) → no preference: Any.
+                let mut worst = if blocks.is_empty() {
+                    any
+                } else {
+                    Locality::Process.index() as u8
+                };
+                for &bi in blocks {
+                    worst = worst.max(self.block_level(bi as usize, e));
+                    if worst == any {
+                        break;
+                    }
+                }
+                m.levels[e as usize] = worst;
+                best = best.min(worst);
+            }
+            m.best = best;
+            m.stamp = stamp;
+        }
+        m
+    }
+
+    /// The locality level task `(s, k)` would run at on executor `e`.
+    pub fn task_locality(&self, s: usize, k: u32, e: ExecId) -> Locality {
+        self.queries.set(self.queries.get() + 1);
+        let mut memo = self.memo.borrow_mut();
+        let m = self.ensure_task(&mut memo, s, k as usize);
+        Locality::from_index(m.levels[e.index()] as usize)
+    }
+
+    /// The best locality task `(s, k)` can achieve on any executor.
+    pub fn task_best_level(&self, s: usize, k: u32) -> Locality {
+        self.queries.set(self.queries.get() + 1);
+        let mut memo = self.memo.borrow_mut();
+        let m = self.ensure_task(&mut memo, s, k as usize);
+        Locality::from_index(m.best as usize)
+    }
+
+    /// Valid locality levels of stage `s` (Spark's
+    /// `computeValidLocalityLevels`), over its unclaimed pending tasks.
+    /// `claimed_bits` marks tasks already claimed in the current assignment
+    /// batch (empty slice = none); `claimed_count` keys the memo.
+    ///
+    /// Replicates the sequential scan exactly: pending tasks in ascending
+    /// order, executors in id order per task, inner break on PROCESS,
+    /// outer break once PROCESS+NODE+RACK are all present.
+    pub fn valid_levels(
+        &self,
+        s: usize,
+        pending: &PendingSet,
+        claimed_bits: &[u64],
+        claimed_count: u32,
+    ) -> ([Locality; 4], usize) {
+        let mut vm = self.valid_memo.borrow_mut();
+        if let Some(m) = &vm[s] {
+            if m.global_gen == self.global_gen
+                && m.pending_version == pending.version()
+                && m.claimed == claimed_count
+            {
+                return (m.levels, m.len as usize);
+            }
+        }
+        self.valid_rebuilds.set(self.valid_rebuilds.get() + 1);
+        let mut present = [false; 4];
+        let mut any_pending = false;
+        {
+            let mut memo = self.memo.borrow_mut();
+            let process = Locality::Process.index();
+            for k in pending.iter() {
+                if !claimed_bits.is_empty() && get_bit(claimed_bits, k) {
+                    continue;
+                }
+                any_pending = true;
+                let m = self.ensure_task(&mut memo, s, k as usize);
+                for e in 0..self.num_execs {
+                    let l = m.levels[e as usize] as usize;
+                    present[l] = true;
+                    if l == process {
+                        break;
+                    }
+                }
+                if present[0] && present[1] && present[2] {
+                    break;
+                }
+            }
+        }
+        let mut levels = [Locality::Any; 4];
+        let mut len = 0;
+        if any_pending {
+            present[Locality::Any.index()] = true;
+            for l in Locality::ALL {
+                if present[l.index()] {
+                    levels[len] = l;
+                    len += 1;
+                }
+            }
+        }
+        vm[s] = Some(ValidMemo {
+            global_gen: self.global_gen,
+            pending_version: pending.version(),
+            claimed: claimed_count,
+            len: len as u8,
+            levels,
+        });
+        (levels, len)
+    }
+
+    /// Counter snapshot for [`crate::metrics::SchedulerStats`].
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            locality_queries: self.queries.get(),
+            memo_recomputes: self.recomputes.get(),
+            invalidations: self.invalidations.get(),
+            valid_level_rebuilds: self.valid_rebuilds.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::{DagBuilder, RddId};
+
+    fn build() -> (dagon_dag::JobDag, Topology, LocalityIndex) {
+        let mut b = DagBuilder::new("t");
+        let src = b.hdfs_rdd("in", 6, 64.0);
+        let _ = b
+            .stage("s")
+            .tasks(6)
+            .demand_cpus(1)
+            .cpu_ms(100)
+            .reads_narrow(src)
+            .build();
+        let dag = b.build().unwrap();
+        let topo = Topology::build(&[2, 2], 2);
+        let data = DataMap::place_sources(&dag, &topo, 1, 7);
+        let tv: Vec<Vec<TaskView>> = vec![(0..6)
+            .map(|k| TaskView {
+                loc_blocks: vec![BlockId::new(RddId(0), k)],
+            })
+            .collect()];
+        let idx = LocalityIndex::new(&dag, &topo, data, &tv);
+        (dag, topo, idx)
+    }
+
+    /// Brute-force locality from the raw DataMap (the pre-index scan).
+    fn brute_locality(data: &DataMap, topo: &Topology, b: BlockId, e: ExecId) -> Locality {
+        if data.is_cached_in(b, e) {
+            return Locality::Process;
+        }
+        let node = topo.node_of_exec(e);
+        if data.disk_nodes(b).contains(&node)
+            || data
+                .cached_execs(b)
+                .iter()
+                .any(|x| topo.node_of_exec(*x) == node)
+        {
+            return Locality::Node;
+        }
+        let rack = topo.rack_of_node(node);
+        if data
+            .disk_nodes(b)
+            .iter()
+            .any(|n| topo.rack_of_node(*n) == rack)
+            || data
+                .cached_execs(b)
+                .iter()
+                .any(|x| topo.rack_of_exec(*x) == rack)
+        {
+            return Locality::Rack;
+        }
+        Locality::Any
+    }
+
+    #[test]
+    fn matches_brute_force_after_mutations() {
+        let (_dag, topo, mut idx) = build();
+        let b0 = BlockId::new(RddId(0), 0);
+        let b3 = BlockId::new(RddId(0), 3);
+        // Interleave queries (fills memos) with mutations (invalidates).
+        for e in 0..8u32 {
+            let _ = idx.task_locality(0, 0, ExecId(e));
+        }
+        idx.add_cached(b0, ExecId(5));
+        idx.add_cached(b3, ExecId(0));
+        idx.add_disk(b3, NodeId(3));
+        idx.remove_cached(b0, ExecId(5));
+        for k in 0..6u32 {
+            let b = BlockId::new(RddId(0), k);
+            for e in 0..8u32 {
+                assert_eq!(
+                    idx.task_locality(0, k, ExecId(e)),
+                    brute_locality(idx.data(), &topo, b, ExecId(e)),
+                    "block {k} exec {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_bumps_only_on_actual_change() {
+        let (_dag, _topo, mut idx) = build();
+        let b = BlockId::new(RddId(0), 1);
+        let g0 = idx.generation();
+        idx.add_cached(b, ExecId(2));
+        let g1 = idx.generation();
+        assert!(g1 > g0);
+        idx.add_cached(b, ExecId(2)); // idempotent: no invalidation
+        assert_eq!(idx.generation(), g1);
+        idx.remove_cached(b, ExecId(2));
+        assert!(idx.generation() > g1);
+        idx.remove_cached(b, ExecId(2));
+        let g3 = idx.generation();
+        idx.remove_cached(b, ExecId(2)); // absent: no invalidation
+        assert_eq!(idx.generation(), g3);
+    }
+
+    #[test]
+    fn valid_levels_memo_tracks_pending_and_claims() {
+        let (_dag, _topo, idx) = build();
+        let mut pending = PendingSet::full(6);
+        let (lv, n) = idx.valid_levels(0, &pending, &[], 0);
+        assert!(n >= 2);
+        assert_eq!(lv[n - 1], Locality::Any);
+        let rebuilds0 = idx.stats().valid_level_rebuilds;
+        let _ = idx.valid_levels(0, &pending, &[], 0); // memo hit
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0);
+        pending.remove(0);
+        let _ = idx.valid_levels(0, &pending, &[], 0); // version change
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        let claimed = vec![0b10u64]; // task 1 claimed
+        let _ = idx.valid_levels(0, &pending, &claimed, 1);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 2);
+    }
+
+    #[test]
+    fn range_any_handles_word_boundaries() {
+        let mut row = vec![0u64; 3];
+        assert!(!range_any(&row, 0, 192));
+        row[1] = 1 << 63; // bit 127
+        assert!(range_any(&row, 0, 192));
+        assert!(range_any(&row, 127, 128));
+        assert!(!range_any(&row, 0, 127));
+        assert!(!range_any(&row, 128, 192));
+        assert!(range_any(&row, 64, 128));
+        assert!(!range_any(&row, 5, 5));
+    }
+}

@@ -171,6 +171,31 @@ pub struct ExecTrace {
     pub pending_node_local: Vec<TimePoint>,
 }
 
+/// Scheduler-overhead counters: how much work the scheduling fast path
+/// did to produce the run. Deliberately excluded from golden result
+/// fingerprints — they describe *how* the result was computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Calls into `Scheduler::schedule` (batched: one per fill-the-slots
+    /// round, not one per launched task).
+    pub schedule_invocations: u64,
+    /// `SimView` snapshots constructed for those calls.
+    pub view_rebuilds: u64,
+    /// Batches cut short because cache state changed (index generation
+    /// moved) or an assignment failed validation mid-application.
+    pub batches_discarded: u64,
+    /// Assignments dropped by those discards.
+    pub assignments_discarded: u64,
+    /// Per-(task, executor) locality lookups answered by the index.
+    pub locality_queries: u64,
+    /// Lookups that missed the memo and recomputed from block bitsets.
+    pub locality_recomputes: u64,
+    /// Block-placement mutations that invalidated memoized localities.
+    pub index_invalidations: u64,
+    /// Per-stage valid-locality-level ladder recomputations.
+    pub valid_level_rebuilds: u64,
+}
+
 /// Everything measured during one run.
 #[derive(Clone, Debug)]
 pub struct Metrics {
@@ -187,6 +212,8 @@ pub struct Metrics {
     pub exec_traces: Vec<ExecTrace>,
     pub speculative_launched: u32,
     pub speculative_won: u32,
+    /// Scheduling fast-path overhead counters.
+    pub sched: SchedulerStats,
 }
 
 impl Metrics {
@@ -198,9 +225,14 @@ impl Metrics {
             access_trace: Vec::new(),
             busy_cores: StepIntegrator::new(true),
             running_tasks: StepIntegrator::new(true),
-            exec_traces: if trace_execs { vec![ExecTrace::default(); num_execs] } else { Vec::new() },
+            exec_traces: if trace_execs {
+                vec![ExecTrace::default(); num_execs]
+            } else {
+                Vec::new()
+            },
             speculative_launched: 0,
             speculative_won: 0,
+            sched: SchedulerStats::default(),
         }
     }
 }
@@ -289,7 +321,11 @@ mod tests {
     fn cache_hit_ratio_handles_zero() {
         let s = CacheStats::default();
         assert_eq!(s.hit_ratio(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.hit_ratio(), 0.75);
     }
 

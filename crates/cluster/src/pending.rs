@@ -1,0 +1,165 @@
+//! [`PendingSet`]: the set of not-yet-launched task indices of one stage.
+//!
+//! The scheduler hot path needs three operations on this set — membership
+//! (`validate`), removal (launch), and ordered iteration (placement scans)
+//! — and the old `Vec<u32>` representation made the first two O(pending).
+//! A doubly-linked list threaded through index arrays gives O(1) for all
+//! of them while preserving the exact iteration order the sequential
+//! scheduler produced (ascending task index: tasks start as `0..n` and are
+//! only ever removed).
+//!
+//! A version counter increments on every removal so memoized derived state
+//! (the [`crate::locality_index::LocalityIndex`] valid-level cache) can
+//! detect staleness without hashing the contents.
+
+/// Ordered set of task indices over a fixed universe `0..n`.
+#[derive(Clone, Debug)]
+pub struct PendingSet {
+    /// `next[i]` / `prev[i]` thread present members in ascending order;
+    /// index `n` is the sentinel position (head/tail anchor).
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    present: Vec<bool>,
+    len: u32,
+    version: u64,
+}
+
+impl PendingSet {
+    /// The full universe `0..n`, all present.
+    pub fn full(n: u32) -> Self {
+        let nu = n as usize;
+        let mut next = Vec::with_capacity(nu + 1);
+        let mut prev = Vec::with_capacity(nu + 1);
+        for i in 0..=n {
+            next.push((i + 1) % (n + 1));
+            prev.push(if i == 0 { n } else { i - 1 });
+        }
+        Self {
+            next,
+            prev,
+            present: vec![true; nu],
+            len: n,
+            version: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn contains(&self, k: u32) -> bool {
+        self.present.get(k as usize).copied().unwrap_or(false)
+    }
+
+    /// Remove `k`; returns whether it was present.
+    pub fn remove(&mut self, k: u32) -> bool {
+        if !self.contains(k) {
+            return false;
+        }
+        let (p, nx) = (self.prev[k as usize], self.next[k as usize]);
+        self.next[p as usize] = nx;
+        self.prev[nx as usize] = p;
+        self.present[k as usize] = false;
+        self.len -= 1;
+        self.version += 1;
+        true
+    }
+
+    /// Remove every member (used by tests resetting fixtures).
+    pub fn clear(&mut self) {
+        let n = self.present.len() as u32;
+        self.present.fill(false);
+        self.next[n as usize] = n;
+        self.prev[n as usize] = n;
+        self.len = 0;
+        self.version += 1;
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> PendingIter<'_> {
+        let sentinel = self.present.len() as u32;
+        PendingIter {
+            set: self,
+            cur: self.next[sentinel as usize],
+            sentinel,
+        }
+    }
+
+    /// Monotone counter bumped on every mutation; lets caches key on
+    /// "same pending contents" without comparing them.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+pub struct PendingIter<'a> {
+    set: &'a PendingSet,
+    cur: u32,
+    sentinel: u32,
+}
+
+impl Iterator for PendingIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == self.sentinel {
+            return None;
+        }
+        let k = self.cur;
+        self.cur = self.set.next[k as usize];
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_set_iterates_ascending() {
+        let s = PendingSet::full(5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn removal_is_order_preserving_and_versioned() {
+        let mut s = PendingSet::full(5);
+        let v0 = s.version();
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert!(s.version() > v0);
+        assert!(s.remove(0));
+        assert!(s.remove(4));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn drain_to_empty_and_clear() {
+        let mut s = PendingSet::full(3);
+        for k in 0..3 {
+            assert!(s.remove(k));
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let mut s2 = PendingSet::full(4);
+        s2.clear();
+        assert!(s2.is_empty());
+        assert_eq!(s2.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = PendingSet::full(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

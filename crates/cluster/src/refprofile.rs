@@ -133,7 +133,10 @@ impl RefProfile {
 
     /// Stages that still read the block.
     pub fn using_stages(&self, b: BlockId) -> Vec<StageId> {
-        self.uses.get(&b).map(|v| v.iter().map(|r| r.stage).collect()).unwrap_or_default()
+        self.uses
+            .get(&b)
+            .map(|v| v.iter().map(|r| r.stage).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -146,8 +149,10 @@ mod tests {
     fn profile_at_start() -> (dagon_dag::JobDag, RefProfile) {
         let dag = fig1();
         let tracker = PriorityTracker::from_dag(&dag);
-        let mut p = RefProfile::default();
-        p.pv = dag.stage_ids().map(|s| tracker.pv(s)).collect();
+        let mut p = RefProfile {
+            pv: dag.stage_ids().map(|s| tracker.pv(s)).collect(),
+            ..Default::default()
+        };
         p.rebuild(&dag, &|_, _| false, &|_| false);
         (dag, p)
     }
@@ -205,11 +210,9 @@ mod tests {
         // B still live (stage4 not done).
         assert!(p.is_live(BlockId::new(RddId(2), 0)));
         // Now also finish stage4's single task: B dead.
-        p.rebuild(
-            &dag,
-            &|s, _| s == StageId(0) || s == StageId(3),
-            &|s| s == StageId(0) || s == StageId(3),
-        );
+        p.rebuild(&dag, &|s, _| s == StageId(0) || s == StageId(3), &|s| {
+            s == StageId(0) || s == StageId(3)
+        });
         assert!(!p.is_live(BlockId::new(RddId(2), 0)));
     }
 

@@ -67,8 +67,10 @@ impl Scheduler for GreedyFifo {
         stages.sort_unstable();
         for s in stages {
             let demand = view.dag.stage(s).demand;
-            let mut pending: Vec<u32> = view.stage(s).pending.clone();
-            'next_task: while let Some(k) = pending.pop() {
+            // Highest task index first (the historical pop-from-the-back
+            // order this crate's test expectations bake in).
+            let pending: Vec<u32> = view.stage(s).pending.iter().collect();
+            'next_task: for &k in pending.iter().rev() {
                 for e in view.execs {
                     if free[e.id.index()].fits(demand) {
                         free[e.id.index()] = free[e.id.index()].minus(demand);

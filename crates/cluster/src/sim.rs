@@ -18,7 +18,9 @@ use crate::config::{ClusterConfig, ReadTier};
 use crate::event::{Event, EventQueue};
 use crate::hdfs::DataMap;
 use crate::locality::Locality;
+use crate::locality_index::LocalityIndex;
 use crate::metrics::{Metrics, SimResult, TaskRun, TimePoint};
+use crate::pending::PendingSet;
 use crate::refprofile::RefProfile;
 use crate::scheduler::{Assignment, Scheduler};
 use crate::topology::{ExecId, Topology};
@@ -47,7 +49,9 @@ pub struct Simulation {
     exec_free: Vec<Resources>,
     exec_busy_cores: Vec<u32>,
     bms: Vec<BlockManager>,
-    data: DataMap,
+    /// Block residency: the incremental locality index owning the
+    /// authoritative [`DataMap`].
+    data: LocalityIndex,
     disk_by_node: Vec<Vec<BlockId>>,
     stages: Vec<StageRuntime>,
     /// stage → task → (block, MiB) inputs.
@@ -67,6 +71,8 @@ pub struct Simulation {
     prefetched: Vec<HashSet<BlockId>>,
     completed_count: usize,
     rng: SmallRng,
+    /// Scratch per-executor views, refreshed in place each scheduling round.
+    exec_views: Vec<ExecView>,
 }
 
 impl Simulation {
@@ -84,8 +90,9 @@ impl Simulation {
                 }
             }
         }
-        let bms: Vec<BlockManager> =
-            (0..n_exec).map(|_| BlockManager::new(cfg.exec_cache_mb, cache())).collect();
+        let bms: Vec<BlockManager> = (0..n_exec)
+            .map(|_| BlockManager::new(cfg.exec_cache_mb, cache()))
+            .collect();
         let mut task_inputs = Vec::with_capacity(dag.num_stages());
         let mut task_views = Vec::with_capacity(dag.num_stages());
         for st in dag.stages() {
@@ -124,18 +131,23 @@ impl Simulation {
                 id: st.id,
                 ready: st.parents.is_empty() && st.release_ms == 0,
                 completed: false,
-                pending: (0..st.num_tasks).collect(),
+                pending: PendingSet::full(st.num_tasks),
                 running: 0,
                 finished: 0,
             })
             .collect();
-        let task_done = dag.stages().iter().map(|s| vec![false; s.num_tasks as usize]).collect();
+        let task_done = dag
+            .stages()
+            .iter()
+            .map(|s| vec![false; s.num_tasks as usize])
+            .collect();
         let stage_durations = vec![Vec::new(); dag.num_stages()];
         let tracker = PriorityTracker::from_dag(&dag);
         let mut profile = RefProfile::default();
         profile.pv = dag.stage_ids().map(|s| tracker.pv(s)).collect();
         profile.rebuild(&dag, &|_, _| false, &|_| false);
         let metrics = Metrics::new(dag.num_stages(), n_exec, cfg.trace_executors);
+        let data = LocalityIndex::new(&dag, &topo, data, &task_views);
         Self {
             dag,
             exec_free: vec![cfg.exec_capacity; n_exec],
@@ -160,6 +172,7 @@ impl Simulation {
             prefetched: vec![HashSet::new(); n_exec],
             completed_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
+            exec_views: Vec::with_capacity(n_exec),
             topo,
             cfg,
         }
@@ -183,17 +196,25 @@ impl Simulation {
                 sched.on_stage_ready(s, 0);
             } else if self.dag.stage(s).release_ms > 0 && self.dag.parents(s).is_empty() {
                 // Job-arrival release: re-examine readiness at that time.
-                self.queue.push(self.dag.stage(s).release_ms, Event::StageRelease { stage: s });
+                self.queue.push(
+                    self.dag.stage(s).release_ms,
+                    Event::StageRelease { stage: s },
+                );
             }
         }
         self.queue.push(self.cfg.sched_tick_ms.max(1), Event::Tick);
         self.do_schedule(sched);
         while self.completed_count < self.dag.num_stages() {
             let Some(t) = self.queue.peek_time() else {
-                panic!("event queue drained with {} stages incomplete",
-                       self.dag.num_stages() - self.completed_count);
+                panic!(
+                    "event queue drained with {} stages incomplete",
+                    self.dag.num_stages() - self.completed_count
+                );
             };
-            assert!(t <= SIM_TIME_LIMIT, "simulation exceeded time limit; no progress possible");
+            assert!(
+                t <= SIM_TIME_LIMIT,
+                "simulation exceeded time limit; no progress possible"
+            );
             self.now = t;
             while self.queue.peek_time() == Some(t) {
                 let (_, ev) = self.queue.pop().unwrap();
@@ -207,12 +228,25 @@ impl Simulation {
         let jct = self.now;
         self.metrics.busy_cores.finish(jct);
         self.metrics.running_tasks.finish(jct);
-        SimResult { jct, metrics: self.metrics, total_cores: self.cfg.total_cores() }
+        let is = self.data.stats();
+        self.metrics.sched.locality_queries = is.locality_queries;
+        self.metrics.sched.locality_recomputes = is.memo_recomputes;
+        self.metrics.sched.index_invalidations = is.invalidations;
+        self.metrics.sched.valid_level_rebuilds = is.valid_level_rebuilds;
+        SimResult {
+            jct,
+            metrics: self.metrics,
+            total_cores: self.cfg.total_cores(),
+        }
     }
 
     fn handle(&mut self, ev: Event, sched: &mut dyn Scheduler) {
         match ev {
-            Event::TaskFinish { task, exec, attempt } => {
+            Event::TaskFinish {
+                task,
+                exec,
+                attempt,
+            } => {
                 if self.cancelled.remove(&(task, attempt)) {
                     return; // loser attempt already torn down
                 }
@@ -221,7 +255,11 @@ impl Simulation {
                 }
                 self.finish_task(task, exec, attempt, sched);
             }
-            Event::IoDone { task, exec, attempt } => {
+            Event::IoDone {
+                task,
+                exec,
+                attempt,
+            } => {
                 if let Some(ra) = self.running.get_mut(&(task, attempt)) {
                     if !ra.cpu_phase {
                         ra.cpu_phase = true;
@@ -235,7 +273,11 @@ impl Simulation {
                 let srt = &mut self.stages[stage.index()];
                 if !srt.ready
                     && !srt.completed
-                    && self.dag.parents(stage).iter().all(|p| self.stages[p.index()].completed)
+                    && self
+                        .dag
+                        .parents(stage)
+                        .iter()
+                        .all(|p| self.stages[p.index()].completed)
                 {
                     self.stages[stage.index()].ready = true;
                     sched.on_stage_ready(stage, self.now);
@@ -243,7 +285,8 @@ impl Simulation {
             }
             Event::Tick => {
                 if self.completed_count < self.dag.num_stages() {
-                    self.queue.push(self.now + self.cfg.sched_tick_ms.max(1), Event::Tick);
+                    self.queue
+                        .push(self.now + self.cfg.sched_tick_ms.max(1), Event::Tick);
                     if self.cfg.speculation.is_some() {
                         self.speculation_check();
                     }
@@ -263,21 +306,28 @@ impl Simulation {
     // Scheduling
     // ------------------------------------------------------------------
 
-    fn make_exec_views(&self) -> Vec<ExecView> {
-        self.exec_free
-            .iter()
-            .enumerate()
-            .map(|(i, f)| ExecView {
+    fn refresh_exec_views(&mut self) {
+        self.exec_views.clear();
+        let cap = self.cfg.exec_capacity;
+        self.exec_views
+            .extend(self.exec_free.iter().enumerate().map(|(i, f)| ExecView {
                 id: ExecId(i as u32),
                 free: *f,
-                capacity: self.cfg.exec_capacity,
-            })
-            .collect()
+                capacity: cap,
+            }));
     }
 
+    /// Run the scheduler until no more assignments are produced. Each
+    /// `schedule` call returns a whole batch (one per free slot); the batch
+    /// is applied sequentially, but if applying an assignment changed
+    /// block residency (cache insertion/eviction — detectable as an index
+    /// generation bump) the rest of the batch was computed against stale
+    /// locality state and is discarded, falling back to a fresh call.
     fn do_schedule(&mut self, sched: &mut dyn Scheduler) {
         loop {
-            let execs = self.make_exec_views();
+            self.metrics.sched.schedule_invocations += 1;
+            self.metrics.sched.view_rebuilds += 1;
+            self.refresh_exec_views();
             let assignments = {
                 let view = SimView {
                     now: self.now,
@@ -285,10 +335,10 @@ impl Simulation {
                     topo: &self.topo,
                     cost: &self.cfg.cost,
                     locality_wait: self.cfg.locality_wait,
-                    execs: &execs,
+                    execs: &self.exec_views,
                     stages: &self.stages,
                     tasks: &self.task_views,
-                    data: &self.data,
+                    index: &self.data,
                     metrics: &self.metrics,
                 };
                 sched.schedule(&view)
@@ -296,12 +346,17 @@ impl Simulation {
             if assignments.is_empty() {
                 return;
             }
-            let mut applied = 0;
+            let gen0 = self.data.generation();
+            let total = assignments.len();
+            let mut applied = 0usize;
             for a in assignments {
-                if self.validate(&a) {
-                    self.launch(a, false, sched);
-                    applied += 1;
+                if self.data.generation() != gen0 || !self.validate(&a) {
+                    self.metrics.sched.batches_discarded += 1;
+                    self.metrics.sched.assignments_discarded += (total - applied) as u64;
+                    break;
                 }
+                self.launch(a, false, sched);
+                applied += 1;
             }
             if applied == 0 {
                 return;
@@ -313,52 +368,17 @@ impl Simulation {
         let st = &self.stages[a.stage.index()];
         st.ready
             && !st.completed
-            && st.pending.contains(&a.task_index)
+            && st.pending.contains(a.task_index)
             && self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
     }
 
     /// Physical read tier for one block from one executor.
     fn read_tier(&self, b: BlockId, exec: ExecId) -> ReadTier {
-        if self.data.is_cached_in(b, exec) {
-            return ReadTier::ProcessCache;
-        }
-        let node = self.topo.node_of_exec(exec);
-        if self.data.cached_execs(b).iter().any(|e| self.topo.node_of_exec(*e) == node) {
-            return ReadTier::NodeCache;
-        }
-        if self.data.disk_nodes(b).contains(&node) {
-            return ReadTier::NodeDisk;
-        }
-        let rack = self.topo.rack_of_node(node);
-        let in_rack = self.data.disk_nodes(b).iter().any(|n| self.topo.rack_of_node(*n) == rack)
-            || self.data.cached_execs(b).iter().any(|e| self.topo.rack_of_exec(*e) == rack);
-        if in_rack {
-            ReadTier::RackRemote
-        } else {
-            debug_assert!(
-                !self.data.disk_nodes(b).is_empty() || !self.data.cached_execs(b).is_empty(),
-                "reading unmaterialized block {b}"
-            );
-            ReadTier::CrossRack
-        }
+        self.data.read_tier(b, exec)
     }
 
     fn locality_of(&self, stage: StageId, k: u32, exec: ExecId) -> Locality {
-        let tv = &self.task_views[stage.index()][k as usize];
-        if tv.loc_blocks.is_empty() {
-            return Locality::Any;
-        }
-        let mut worst = Locality::Process;
-        for &b in &tv.loc_blocks {
-            let l = match self.read_tier(b, exec) {
-                ReadTier::ProcessCache => Locality::Process,
-                ReadTier::NodeCache | ReadTier::NodeDisk => Locality::Node,
-                ReadTier::RackRemote => Locality::Rack,
-                ReadTier::CrossRack => Locality::Any,
-            };
-            worst = worst.max(l);
-        }
-        worst
+        self.data.task_locality(stage.index(), k, exec)
     }
 
     fn launch(&mut self, a: Assignment, speculative: bool, sched: &mut dyn Scheduler) {
@@ -416,7 +436,9 @@ impl Simulation {
         // Jitter models run-time variance (GC, contention); it applies to
         // the CPU phase — I/O time is already location-determined.
         let jitter = if self.cfg.duration_jitter > 0.0 {
-            1.0 + self.rng.gen_range(-self.cfg.duration_jitter..=self.cfg.duration_jitter)
+            1.0 + self
+                .rng
+                .gen_range(-self.cfg.duration_jitter..=self.cfg.duration_jitter)
         } else {
             1.0
         };
@@ -448,18 +470,31 @@ impl Simulation {
         if io_phase_ms == 0 {
             self.enter_cpu_phase(exec, demand.cpus);
         } else {
-            self.queue.push(self.now + io_phase_ms, Event::IoDone { task, exec, attempt });
+            self.queue.push(
+                self.now + io_phase_ms,
+                Event::IoDone {
+                    task,
+                    exec,
+                    attempt,
+                },
+            );
         }
         let sm = &mut self.metrics.per_stage[a.stage.index()];
         sm.first_launch.get_or_insert(self.now);
         sm.launches_by_locality[locality.index()] += 1;
 
-        self.queue
-            .push(self.now + io_phase_ms + cpu_phase_ms, Event::TaskFinish { task, exec, attempt });
+        self.queue.push(
+            self.now + io_phase_ms + cpu_phase_ms,
+            Event::TaskFinish {
+                task,
+                exec,
+                attempt,
+            },
+        );
 
         if !speculative {
             let srt = &mut self.stages[a.stage.index()];
-            srt.pending.retain(|&k| k != a.task_index);
+            srt.pending.remove(a.task_index);
             srt.running += 1;
             let work = task_work;
             self.tracker.on_task_launched(task, work);
@@ -541,22 +576,24 @@ impl Simulation {
         // Materialize the output block.
         let node = self.topo.node_of_exec(exec);
         let out = BlockId::new(self.dag.stage(task.stage).output, task.index);
-        if !self.data.disk_nodes(out).contains(&node) {
+        if !self.data.data().disk_nodes(out).contains(&node) {
             self.data.add_disk(out, node);
             self.disk_by_node[node.index()].push(out);
         }
         if self.dag.rdd(out.rdd).cached {
-            match self.bms[exec.index()].try_insert(out, self.dag.rdd(out.rdd).block_mb, self.now, &self.profile) {
-                InsertOutcome::Inserted { evicted } => {
-                    self.metrics.cache.insertions += 1;
-                    self.metrics.cache.evictions += evicted.len() as u64;
-                    for e in evicted {
-                        self.data.remove_cached(e, exec);
-                        self.prefetched[exec.index()].remove(&e);
-                    }
-                    self.data.add_cached(out, exec);
+            if let InsertOutcome::Inserted { evicted } = self.bms[exec.index()].try_insert(
+                out,
+                self.dag.rdd(out.rdd).block_mb,
+                self.now,
+                &self.profile,
+            ) {
+                self.metrics.cache.insertions += 1;
+                self.metrics.cache.evictions += evicted.len() as u64;
+                for e in evicted {
+                    self.data.remove_cached(e, exec);
+                    self.prefetched[exec.index()].remove(&e);
                 }
-                _ => {}
+                self.data.add_cached(out, exec);
             }
         }
 
@@ -569,7 +606,9 @@ impl Simulation {
         self.exec_free[exec.index()] = self.exec_free[exec.index()].plus(ra.demand);
         if ra.cpu_phase {
             self.exec_busy_cores[exec.index()] -= ra.demand.cpus;
-            self.metrics.busy_cores.add(self.now, -(ra.demand.cpus as f64));
+            self.metrics
+                .busy_cores
+                .add(self.now, -(ra.demand.cpus as f64));
             self.trace_busy(exec);
         }
         self.metrics.running_tasks.add(self.now, -1.0);
@@ -599,11 +638,17 @@ impl Simulation {
         // Children whose parents are now all complete become ready.
         for &c in self.dag.children(s) {
             if !self.stages[c.index()].ready
-                && self.dag.parents(c).iter().all(|p| self.stages[p.index()].completed)
+                && self
+                    .dag
+                    .parents(c)
+                    .iter()
+                    .all(|p| self.stages[p.index()].completed)
             {
                 if self.now < self.dag.stage(c).release_ms {
-                    self.queue
-                        .push(self.dag.stage(c).release_ms, Event::StageRelease { stage: c });
+                    self.queue.push(
+                        self.dag.stage(c).release_ms,
+                        Event::StageRelease { stage: c },
+                    );
                 } else {
                     self.stages[c.index()].ready = true;
                     sched.on_stage_ready(c, self.now);
@@ -653,7 +698,7 @@ impl Simulation {
                     // widening it.
                     self.dag.rdd(b.rdd).cached
                         && self.profile.is_live(b)
-                        && self.data.cached_execs(b).is_empty()
+                        && !self.data.is_cached_anywhere(b)
                         && self.dag.rdd(b.rdd).block_mb <= free
                 })
                 .collect();
@@ -664,8 +709,14 @@ impl Simulation {
                 let mb = self.dag.rdd(b.rdd).block_mb;
                 self.prefetch_inflight[i] = Some((b, mb));
                 self.metrics.cache.prefetches += 1;
-                let dt = self.cfg.cost.read_ms(mb, ReadTier::NodeDisk).round().max(1.0) as SimTime;
-                self.queue.push(self.now + dt, Event::PrefetchArrive { block: b, exec });
+                let dt = self
+                    .cfg
+                    .cost
+                    .read_ms(mb, ReadTier::NodeDisk)
+                    .round()
+                    .max(1.0) as SimTime;
+                self.queue
+                    .push(self.now + dt, Event::PrefetchArrive { block: b, exec });
             }
         }
     }
@@ -676,7 +727,9 @@ impl Simulation {
         debug_assert_eq!(inflight.map(|(b, _)| b), Some(block));
         let mb = self.dag.rdd(block.rdd).block_mb;
         // Insert only into genuinely free space: prefetch never evicts.
-        if !self.bms[i].contains(block) && self.bms[i].free_mb() >= mb && self.profile.is_live(block)
+        if !self.bms[i].contains(block)
+            && self.bms[i].free_mb() >= mb
+            && self.profile.is_live(block)
         {
             if let InsertOutcome::Inserted { .. } =
                 self.bms[i].try_insert(block, mb, self.now, &self.profile)
@@ -713,11 +766,18 @@ impl Simulation {
             sorted.sort_unstable();
             let med = sorted[sorted.len() / 2] as f64;
             let threshold = spec.multiplier * med;
-            for ((task, attempt), ra) in &self.running {
-                if *attempt != 0 || task.stage != s || ra.speculative {
-                    continue;
-                }
-                if self.spec_launched.contains(task)
+            // Sort candidates: HashMap iteration order varies per process,
+            // and the launch order below consumes resources and the RNG
+            // stream — determinism requires a canonical order.
+            let mut candidates: Vec<(TaskId, &RunningAttempt)> = self
+                .running
+                .iter()
+                .filter(|((task, attempt), ra)| *attempt == 0 && task.stage == s && !ra.speculative)
+                .map(|((task, _), ra)| (*task, ra))
+                .collect();
+            candidates.sort_by_key(|(t, _)| t.index);
+            for (task, ra) in candidates {
+                if self.spec_launched.contains(&task)
                     || self.task_done[s.index()][task.index as usize]
                 {
                     continue;
@@ -735,14 +795,19 @@ impl Simulation {
                     }
                     let l = self.locality_of(s, task.index, exec);
                     let free = self.exec_free[e].cpus;
-                    if best.map_or(true, |(bl, bf, _)| l < bl || (l == bl && free > bf)) {
+                    if best.is_none_or(|(bl, bf, _)| l < bl || (l == bl && free > bf)) {
                         best = Some((l, free, exec));
                     }
                 }
                 if let Some((l, _, exec)) = best {
                     to_launch.push((
-                        *task,
-                        Assignment { stage: s, task_index: task.index, exec, locality: l },
+                        task,
+                        Assignment {
+                            stage: s,
+                            task_index: task.index,
+                            exec,
+                            locality: l,
+                        },
                     ));
                 }
             }
@@ -770,7 +835,10 @@ impl Simulation {
 
     fn trace_busy(&mut self, exec: ExecId) {
         if let Some(tr) = self.metrics.exec_traces.get_mut(exec.index()) {
-            tr.busy.push(TimePoint { t: self.now, v: self.exec_busy_cores[exec.index()] as f64 });
+            tr.busy.push(TimePoint {
+                t: self.now,
+                v: self.exec_busy_cores[exec.index()] as f64,
+            });
         }
     }
 
@@ -784,7 +852,7 @@ impl Simulation {
                 if !srt.ready || srt.completed {
                     continue;
                 }
-                for &k in &srt.pending {
+                for k in srt.pending.iter() {
                     if self.locality_of(s, k, exec) == Locality::Node {
                         count += 1;
                     }
@@ -792,7 +860,10 @@ impl Simulation {
             }
             self.metrics.exec_traces[e]
                 .pending_node_local
-                .push(TimePoint { t: self.now, v: count as f64 });
+                .push(TimePoint {
+                    t: self.now,
+                    v: count as f64,
+                });
         }
     }
 

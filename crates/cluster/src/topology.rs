@@ -78,14 +78,19 @@ impl Topology {
         }
         let mut exec_node = Vec::new();
         let mut node_execs = vec![Vec::new(); node_rack.len()];
-        for node in 0..node_rack.len() {
+        for (node, execs) in node_execs.iter_mut().enumerate() {
             for _ in 0..execs_per_node {
                 let e = ExecId(exec_node.len() as u32);
                 exec_node.push(NodeId(node as u32));
-                node_execs[node].push(e);
+                execs.push(e);
             }
         }
-        Topology { node_rack, exec_node, node_execs, rack_nodes }
+        Topology {
+            node_rack,
+            exec_node,
+            node_execs,
+            rack_nodes,
+        }
     }
 
     #[inline]

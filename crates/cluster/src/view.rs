@@ -2,13 +2,22 @@
 //! simulation — the analogue of what Spark's `TaskSchedulerImpl` sees:
 //! ready TaskSets, pending tasks and their locality per executor, free
 //! executor resources, and per-stage runtime statistics.
+//!
+//! Locality questions are answered by the [`LocalityIndex`] (memoized,
+//! generation-invalidated) instead of rescanning the block registry, and
+//! every pending-task query is *claims-aware*: it takes a
+//! [`ScheduleShadow`] recording the assignments already picked in the
+//! current batch, so one `schedule` call can fill every free slot while
+//! seeing exactly the state the sequential one-pick-per-call loop would
+//! have seen.
 
 use dagon_dag::{JobDag, Resources, SimTime, StageId};
 
 use crate::config::{CostModel, LocalityWait};
-use crate::hdfs::DataMap;
 use crate::locality::Locality;
+use crate::locality_index::LocalityIndex;
 use crate::metrics::Metrics;
+use crate::pending::PendingSet;
 use crate::topology::{ExecId, Topology};
 
 /// Per-executor snapshot.
@@ -27,7 +36,7 @@ pub struct StageRuntime {
     pub ready: bool,
     pub completed: bool,
     /// Task indices not yet launched (primary attempts).
-    pub pending: Vec<u32>,
+    pub pending: PendingSet,
     /// Primary attempts currently running.
     pub running: u32,
     pub finished: u32,
@@ -38,6 +47,88 @@ pub struct StageRuntime {
 pub struct TaskView {
     /// Blocks that define the task's locality preference (narrow inputs).
     pub loc_blocks: Vec<dagon_dag::BlockId>,
+}
+
+/// The scheduler's working state for one assignment batch: its shadow of
+/// free executor resources and the tasks it has already claimed. Pending
+/// queries subtract the claims, so each pick in a batch sees the same
+/// state it would have seen had the previous picks already been applied.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleShadow {
+    free: Vec<Resources>,
+    claimed_count: Vec<u32>,
+    claimed_bits: Vec<Vec<u64>>,
+    touched: Vec<u32>,
+}
+
+impl ScheduleShadow {
+    pub fn new(view: &SimView<'_>) -> Self {
+        let mut s = Self {
+            free: Vec::with_capacity(view.execs.len()),
+            claimed_count: vec![0; view.stages.len()],
+            claimed_bits: vec![Vec::new(); view.stages.len()],
+            touched: Vec::new(),
+        };
+        s.free.extend(view.execs.iter().map(|e| e.free));
+        s
+    }
+
+    /// Reset for a new batch against a fresh view (reuses allocations;
+    /// only stages touched last batch are cleared).
+    pub fn reset(&mut self, view: &SimView<'_>) {
+        self.free.clear();
+        self.free.extend(view.execs.iter().map(|e| e.free));
+        for &s in &self.touched {
+            self.claimed_count[s as usize] = 0;
+            for w in &mut self.claimed_bits[s as usize] {
+                *w = 0;
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Record a pick: decrement the shadow resources and mark the task
+    /// claimed.
+    pub fn claim(&mut self, view: &SimView<'_>, s: StageId, k: u32, e: ExecId) {
+        let demand = view.dag.stage(s).demand;
+        self.free[e.index()] = self.free[e.index()].minus(demand);
+        let si = s.index();
+        if self.claimed_count[si] == 0 {
+            self.touched.push(s.0);
+        }
+        let bits = &mut self.claimed_bits[si];
+        if bits.is_empty() {
+            bits.resize(view.tasks[si].len().div_ceil(64).max(1), 0);
+        }
+        bits[(k / 64) as usize] |= 1 << (k % 64);
+        self.claimed_count[si] += 1;
+    }
+
+    pub fn claimed_count(&self, s: StageId) -> u32 {
+        self.claimed_count[s.index()]
+    }
+
+    pub fn is_claimed(&self, s: StageId, k: u32) -> bool {
+        let bits = &self.claimed_bits[s.index()];
+        !bits.is_empty() && bits[(k / 64) as usize] >> (k % 64) & 1 == 1
+    }
+
+    /// Claim bitset of a stage (empty slice = no claims).
+    pub fn claim_bits(&self, s: StageId) -> &[u64] {
+        &self.claimed_bits[s.index()]
+    }
+
+    pub fn free_of(&self, e: ExecId) -> Resources {
+        self.free[e.index()]
+    }
+
+    pub fn fits(&self, e: ExecId, demand: Resources) -> bool {
+        self.free[e.index()].fits(demand)
+    }
+
+    pub fn any_free(&self) -> bool {
+        self.free.iter().any(|f| f.cpus > 0)
+    }
 }
 
 /// The scheduler's window into the simulation. Construct-by-borrow: cheap,
@@ -51,7 +142,7 @@ pub struct SimView<'a> {
     pub execs: &'a [ExecView],
     pub stages: &'a [StageRuntime],
     pub tasks: &'a [Vec<TaskView>],
-    pub data: &'a DataMap,
+    pub index: &'a LocalityIndex,
     pub metrics: &'a Metrics,
 }
 
@@ -61,6 +152,18 @@ impl<'a> SimView<'a> {
         self.stages
             .iter()
             .filter(|s| s.ready && !s.completed && !s.pending.is_empty())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Schedulable stages that still have *unclaimed* pending tasks — the
+    /// ready set as of the current point in an assignment batch.
+    pub fn assignable_stages(&self, shadow: &ScheduleShadow) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .filter(|s| {
+                s.ready && !s.completed && s.pending.len() as u32 > shadow.claimed_count(s.id)
+            })
             .map(|s| s.id)
             .collect()
     }
@@ -84,130 +187,60 @@ impl<'a> SimView<'a> {
     /// `preferredLocations`); wide-only tasks have no preference → `Any`.
     /// The level is the *worst* tier among the task's locality blocks.
     pub fn task_locality(&self, s: StageId, k: u32, e: ExecId) -> Locality {
-        let tv = &self.tasks[s.index()][k as usize];
-        if tv.loc_blocks.is_empty() {
-            return Locality::Any;
-        }
-        let node = self.topo.node_of_exec(e);
-        let rack = self.topo.rack_of_node(node);
-        let mut worst = Locality::Process;
-        for &b in &tv.loc_blocks {
-            let l = if self.data.is_cached_in(b, e) {
-                Locality::Process
-            } else if self.data.disk_nodes(b).contains(&node)
-                || self
-                    .data
-                    .cached_execs(b)
-                    .iter()
-                    .any(|x| self.topo.node_of_exec(*x) == node)
-            {
-                Locality::Node
-            } else if self
-                .data
-                .disk_nodes(b)
-                .iter()
-                .any(|n| self.topo.rack_of_node(*n) == rack)
-                || self
-                    .data
-                    .cached_execs(b)
-                    .iter()
-                    .any(|x| self.topo.rack_of_exec(*x) == rack)
-            {
-                Locality::Rack
-            } else {
-                Locality::Any
-            };
-            worst = worst.max(l);
-            if worst == Locality::Any {
-                break;
-            }
-        }
-        worst
+        self.index.task_locality(s.index(), k, e)
     }
 
     /// The best locality task `(s, k)` can achieve on *any* executor —
     /// what the BlockManagerMaster's location registry tells the scheduler.
     pub fn task_best_level(&self, s: StageId, k: u32) -> Locality {
-        let mut best = Locality::Any;
-        for e in self.execs {
-            let l = self.task_locality(s, k, e.id);
-            if l < best {
-                best = l;
-                if best == Locality::Process {
-                    break;
-                }
-            }
-        }
-        best
+        self.index.task_best_level(s.index(), k)
     }
 
-    /// First pending task of `s` achieving exactly `level` on `e` whose
-    /// best achievable level anywhere is no better than `level` — i.e. a
-    /// task that launching here does not rob of a better home.
+    /// First unclaimed pending task of `s` achieving exactly `level` on
+    /// `e` whose best achievable level anywhere is no better than `level`
+    /// — i.e. a task that launching here does not rob of a better home.
     pub fn pending_with_locality_strict(
         &self,
         s: StageId,
         e: ExecId,
         level: Locality,
+        shadow: &ScheduleShadow,
+    ) -> Option<u32> {
+        self.stages[s.index()].pending.iter().find(|&k| {
+            !shadow.is_claimed(s, k)
+                && self.task_locality(s, k, e) == level
+                && self.task_best_level(s, k) >= level
+        })
+    }
+
+    /// First unclaimed pending task of `s` achieving exactly `level` on `e`.
+    pub fn pending_with_locality(
+        &self,
+        s: StageId,
+        e: ExecId,
+        level: Locality,
+        shadow: &ScheduleShadow,
     ) -> Option<u32> {
         self.stages[s.index()]
             .pending
             .iter()
-            .copied()
-            .find(|&k| {
-                self.task_locality(s, k, e) == level && self.task_best_level(s, k) >= level
-            })
+            .find(|&k| !shadow.is_claimed(s, k) && self.task_locality(s, k, e) == level)
     }
 
-    /// First pending task of `s` achieving exactly `level` on `e`.
-    pub fn pending_with_locality(&self, s: StageId, e: ExecId, level: Locality) -> Option<u32> {
-        self.stages[s.index()]
-            .pending
-            .iter()
-            .copied()
-            .find(|&k| self.task_locality(s, k, e) == level)
-    }
-
-    /// Best (lowest-level) pending task of `s` on `e`, with its level.
-    pub fn best_pending(&self, s: StageId, e: ExecId) -> Option<(u32, Locality)> {
-        let mut best: Option<(u32, Locality)> = None;
-        for &k in &self.stages[s.index()].pending {
-            let l = self.task_locality(s, k, e);
-            match best {
-                Some((_, bl)) if bl <= l => {}
-                _ => best = Some((k, l)),
-            }
-            if matches!(best, Some((_, Locality::Process))) {
-                break;
-            }
-        }
-        best
-    }
-
-    /// Locality levels for which stage `s` has at least one pending task on
-    /// *some* executor — the "valid locality levels" of Alg. 2 / Spark's
-    /// `computeValidLocalityLevels`. Always includes `Any` if any task is
-    /// pending.
-    pub fn valid_levels(&self, s: StageId) -> Vec<Locality> {
+    /// Locality levels for which stage `s` has at least one unclaimed
+    /// pending task on *some* executor — the "valid locality levels" of
+    /// Alg. 2 / Spark's `computeValidLocalityLevels`. Always includes
+    /// `Any` if any task is pending. Memoized per stage per round in the
+    /// [`LocalityIndex`].
+    pub fn valid_levels(&self, s: StageId, shadow: &ScheduleShadow) -> Vec<Locality> {
         let st = &self.stages[s.index()];
-        if st.pending.is_empty() {
-            return Vec::new();
-        }
-        let mut present = [false; 4];
-        present[Locality::Any.index()] = true;
-        for &k in &st.pending {
-            for e in self.execs {
-                let l = self.task_locality(s, k, e.id);
-                present[l.index()] = true;
-                if l == Locality::Process {
-                    break;
-                }
-            }
-            if present[0] && present[1] && present[2] {
-                break;
-            }
-        }
-        Locality::ALL.into_iter().filter(|l| present[l.index()]).collect()
+        let (levels, n) = self.index.valid_levels(
+            s.index(),
+            &st.pending,
+            shadow.claim_bits(s),
+            shadow.claimed_count(s),
+        );
+        levels[..n].to_vec()
     }
 
     /// Average duration of finished attempts of `s` at locality `l`
@@ -224,17 +257,24 @@ impl<'a> SimView<'a> {
     /// Eq. (7): earliest completion time of stage `s`,
     /// `ect_i = ⌈ptn_i / tp_i⌉ × t̄d_i`, relative to now. `fallback_td` is
     /// used before any task of the stage has finished (e.g. the profiler's
-    /// duration estimate).
+    /// duration estimate). Claimed tasks count as running, not pending.
     ///
     /// `tp_i` is the *achievable* task parallelism: at least the currently
     /// running count, at most the stage's cluster-wide slot capacity — the
     /// paper's "current task parallelism" read literally degenerates at
     /// stage start (one running task would predict a 224-wave stage).
-    pub fn earliest_completion_ms(&self, s: StageId, fallback_td: f64) -> f64 {
+    pub fn earliest_completion_ms(
+        &self,
+        s: StageId,
+        fallback_td: f64,
+        shadow: &ScheduleShadow,
+    ) -> f64 {
         let st = &self.stages[s.index()];
-        let ptn = st.pending.len() as f64;
+        let claimed = shadow.claimed_count(s);
+        let ptn = st.pending.len().saturating_sub(claimed as usize) as f64;
         let slots = self.stage_slots(s).max(1);
-        let tp = (st.running.max(1) as f64).max((ptn.min(slots as f64)).max(1.0));
+        let running = st.running + claimed;
+        let tp = (running.max(1) as f64).max((ptn.min(slots as f64)).max(1.0));
         let td = self.avg_duration(s).unwrap_or(fallback_td);
         (ptn / tp).ceil() * td
     }
@@ -242,7 +282,10 @@ impl<'a> SimView<'a> {
     /// Cluster-wide concurrent-task capacity for stage `s`'s demand.
     pub fn stage_slots(&self, s: StageId) -> u32 {
         let demand = self.dag.stage(s).demand;
-        self.execs.iter().map(|e| e.capacity.capacity_for(demand)).sum()
+        self.execs
+            .iter()
+            .map(|e| e.capacity.capacity_for(demand))
+            .sum()
     }
 
     /// Total MiB of narrow input one task of `s` reads (its locality
@@ -269,7 +312,7 @@ mod tests {
     struct Fixture {
         dag: JobDag,
         topo: Topology,
-        data: DataMap,
+        index: LocalityIndex,
         execs: Vec<ExecView>,
         stages: Vec<StageRuntime>,
         tasks: Vec<Vec<TaskView>>,
@@ -281,7 +324,13 @@ mod tests {
     fn fixture() -> Fixture {
         let mut b = DagBuilder::new("f");
         let src = b.hdfs_rdd("in", 4, 64.0);
-        let _ = b.stage("s").tasks(4).demand_cpus(2).cpu_ms(1000).reads_narrow(src).build();
+        let _ = b
+            .stage("s")
+            .tasks(4)
+            .demand_cpus(2)
+            .cpu_ms(1000)
+            .reads_narrow(src)
+            .build();
         let dag = b.build().unwrap();
         let topo = Topology::build(&[2, 2], 1);
         let mut data = DataMap::default();
@@ -300,18 +349,21 @@ mod tests {
             id: StageId(0),
             ready: true,
             completed: false,
-            pending: vec![0, 1, 2, 3],
+            pending: PendingSet::full(4),
             running: 0,
             finished: 0,
         }];
-        let tasks = vec![(0..4)
-            .map(|k| TaskView { loc_blocks: vec![BlockId::new(RddId(0), k)] })
+        let tasks: Vec<Vec<TaskView>> = vec![(0..4)
+            .map(|k| TaskView {
+                loc_blocks: vec![BlockId::new(RddId(0), k)],
+            })
             .collect()];
+        let index = LocalityIndex::new(&dag, &topo, data, &tasks);
         Fixture {
             metrics: Metrics::new(dag.num_stages(), 4, false),
             dag,
             topo,
-            data,
+            index,
             execs,
             stages,
             tasks,
@@ -329,7 +381,7 @@ mod tests {
             execs: &f.execs,
             stages: &f.stages,
             tasks: &f.tasks,
-            data: &f.data,
+            index: &f.index,
             metrics: &f.metrics,
         }
     }
@@ -348,7 +400,7 @@ mod tests {
     #[test]
     fn caching_upgrades_to_process_local() {
         let mut f = fixture();
-        f.data.add_cached(BlockId::new(RddId(0), 0), ExecId(0));
+        f.index.add_cached(BlockId::new(RddId(0), 0), ExecId(0));
         let v = view(&f);
         assert_eq!(v.task_locality(StageId(0), 0, ExecId(0)), Locality::Process);
         // Another exec on the same node would be Node; here exec1 is on a
@@ -360,22 +412,54 @@ mod tests {
     #[test]
     fn pending_queries_respect_level_and_strictness() {
         let mut f = fixture();
-        f.data.add_cached(BlockId::new(RddId(0), 1), ExecId(1));
+        f.index.add_cached(BlockId::new(RddId(0), 1), ExecId(1));
         let v = view(&f);
+        let shadow = ScheduleShadow::new(&v);
         // On exec1: task 1 is Process; tasks 0 is Rack.
-        assert_eq!(v.pending_with_locality(StageId(0), ExecId(1), Locality::Process), Some(1));
-        assert_eq!(v.pending_with_locality(StageId(0), ExecId(1), Locality::Node), None);
+        assert_eq!(
+            v.pending_with_locality(StageId(0), ExecId(1), Locality::Process, &shadow),
+            Some(1)
+        );
+        assert_eq!(
+            v.pending_with_locality(StageId(0), ExecId(1), Locality::Node, &shadow),
+            None
+        );
         // Strict at Rack on exec1: task 0's best anywhere is Node (its disk
         // node) → not strict-eligible at Rack... best(0) = Node < Rack.
         assert_eq!(
-            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Rack),
+            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Rack, &shadow),
             None
         );
         // Task 2's block is on node 2 (other rack): on exec1 it's Any; its
         // best anywhere is Node → not strict at Any either.
         assert_eq!(
-            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Any),
+            v.pending_with_locality_strict(StageId(0), ExecId(1), Locality::Any, &shadow),
             None
+        );
+    }
+
+    #[test]
+    fn claims_hide_tasks_from_pending_queries() {
+        let mut f = fixture();
+        f.index.add_cached(BlockId::new(RddId(0), 1), ExecId(1));
+        let v = view(&f);
+        let mut shadow = ScheduleShadow::new(&v);
+        shadow.claim(&v, StageId(0), 1, ExecId(1));
+        // Task 1 claimed: the Process-level query no longer finds it.
+        assert_eq!(
+            v.pending_with_locality(StageId(0), ExecId(1), Locality::Process, &shadow),
+            None
+        );
+        assert!(shadow.is_claimed(StageId(0), 1));
+        assert_eq!(shadow.claimed_count(StageId(0)), 1);
+        // Shadow resources were decremented by the stage demand (2 cpus).
+        assert_eq!(shadow.free_of(ExecId(1)).cpus, 2);
+        // Reset restores everything.
+        shadow.reset(&v);
+        assert_eq!(shadow.claimed_count(StageId(0)), 0);
+        assert_eq!(
+            v.pending_with_locality(StageId(0), ExecId(1), Locality::Process, &shadow),
+            Some(1)
         );
     }
 
@@ -383,7 +467,8 @@ mod tests {
     fn valid_levels_include_any_and_reachable_tiers() {
         let f = fixture();
         let v = view(&f);
-        let levels = v.valid_levels(StageId(0));
+        let shadow = ScheduleShadow::new(&v);
+        let levels = v.valid_levels(StageId(0), &shadow);
         assert!(levels.contains(&Locality::Node));
         assert!(levels.contains(&Locality::Any));
         assert!(!levels.contains(&Locality::Process));
@@ -393,10 +478,11 @@ mod tests {
     fn ect_caps_parallelism_at_stage_slots() {
         let f = fixture();
         let v = view(&f);
+        let shadow = ScheduleShadow::new(&v);
         // 4 pending, slots = 4 execs × (4/2) = 8 → tp = min(4, 8) = 4 →
         // one wave.
         assert_eq!(v.stage_slots(StageId(0)), 8);
-        let ect = v.earliest_completion_ms(StageId(0), 1000.0);
+        let ect = v.earliest_completion_ms(StageId(0), 1000.0, &shadow);
         assert_eq!(ect, 1000.0);
         assert_eq!(v.narrow_input_mb(StageId(0)), 64.0);
     }
@@ -407,5 +493,17 @@ mod tests {
         assert_eq!(view(&f).schedulable_stages(), vec![StageId(0)]);
         f.stages[0].pending.clear();
         assert!(view(&f).schedulable_stages().is_empty());
+    }
+
+    #[test]
+    fn assignable_stages_excludes_fully_claimed() {
+        let f = fixture();
+        let v = view(&f);
+        let mut shadow = ScheduleShadow::new(&v);
+        assert_eq!(v.assignable_stages(&shadow), vec![StageId(0)]);
+        for k in 0..4 {
+            shadow.claim(&v, StageId(0), k, ExecId(k));
+        }
+        assert!(v.assignable_stages(&shadow).is_empty());
     }
 }

@@ -6,9 +6,9 @@
 //! variant fast enough for CI tests (same shapes, smaller magnitudes).
 
 use dagon_cluster::{ClusterConfig, Locality, LocalityWait, SimResult, TimePoint};
-use rayon::prelude::*;
 use dagon_dag::{JobDag, StageId, SEC_MS};
 use dagon_workloads::{Scale, Workload};
+use rayon::prelude::*;
 
 use crate::runner::run_system;
 use crate::system::{PlaceKind, SchedKind, System};
@@ -37,7 +37,11 @@ impl ExpConfig {
         // local work. SparkBench deployments commonly run low replication
         // to fit the datasets; we keep 1 throughout the evaluation.
         cluster.hdfs_replication = 1;
-        Self { cluster, scale: Scale::paper(), seeds: 3 }
+        Self {
+            cluster,
+            scale: Scale::paper(),
+            seeds: 3,
+        }
     }
 
     /// Scaled-down: 4 nodes × 2 executors × 4 cores, small workloads.
@@ -49,13 +53,25 @@ impl ExpConfig {
         cluster.execs_per_node = 2;
         cluster.exec_cache_mb = 640.0;
         cluster.sched_tick_ms = 100;
-        Self { cluster, scale: Scale { tasks: 48, block_mb: 96.0, iterations: 5 }, seeds: 1 }
+        Self {
+            cluster,
+            scale: Scale {
+                tasks: 48,
+                block_mb: 96.0,
+                iterations: 5,
+            },
+            seeds: 1,
+        }
     }
 
     /// The §II-A case-study cluster (7 nodes, 112 cores) running the
     /// 18-stage KMeans.
     pub fn case_study() -> Self {
-        Self { cluster: ClusterConfig::case_study(), scale: Scale::case_study(), seeds: 1 }
+        Self {
+            cluster: ClusterConfig::case_study(),
+            scale: Scale::case_study(),
+            seeds: 1,
+        }
     }
 }
 
@@ -104,11 +120,12 @@ pub fn fig3(cfg: &ExpConfig) -> Vec<Fig3Row> {
             let out = run_system(&dag, &cluster, &System::stock_spark());
             let stage_durations_s = dag
                 .stage_ids()
-                .map(|s| {
-                    out.result.stage_duration(s).unwrap_or(0) as f64 / 1000.0
-                })
+                .map(|s| out.result.stage_duration(s).unwrap_or(0) as f64 / 1000.0)
                 .collect();
-            Fig3Row { wait_s: w, stage_durations_s }
+            Fig3Row {
+                wait_s: w,
+                stage_durations_s,
+            }
         })
         .collect()
 }
@@ -247,7 +264,10 @@ pub fn fig8(cfg: &ExpConfig, workloads: &[Workload]) -> Vec<Fig8Row> {
                 .iter()
                 .map(|sys| run_cell(&dag, &cfg.cluster, sys, cfg.seeds))
                 .collect();
-            Fig8Row { workload: *w, cells }
+            Fig8Row {
+                workload: *w,
+                cells,
+            }
         })
         .collect()
 }
@@ -275,7 +295,11 @@ pub fn fig9(cfg: &ExpConfig, workloads: &[Workload]) -> Fig9 {
     let systems = [
         System::ordering_only(SchedKind::Fifo),
         System::ordering_only(SchedKind::Graphene),
-        System::new(SchedKind::Dagon, PlaceKind::Sensitivity, dagon_cache::PolicyKind::None),
+        System::new(
+            SchedKind::Dagon,
+            PlaceKind::Sensitivity,
+            dagon_cache::PolicyKind::None,
+        ),
     ];
     let names = ["FIFO", "Graphene", "Dagon-TA"];
     let jct: Vec<(Workload, Vec<(String, f64)>)> = workloads
@@ -285,7 +309,12 @@ pub fn fig9(cfg: &ExpConfig, workloads: &[Workload]) -> Fig9 {
             let row = systems
                 .iter()
                 .zip(names)
-                .map(|(sys, n)| (n.to_string(), mean_jct_s(&dag, &cfg.cluster, sys, cfg.seeds)))
+                .map(|(sys, n)| {
+                    (
+                        n.to_string(),
+                        mean_jct_s(&dag, &cfg.cluster, sys, cfg.seeds),
+                    )
+                })
                 .collect();
             (*w, row)
         })
@@ -295,12 +324,31 @@ pub fn fig9(cfg: &ExpConfig, workloads: &[Workload]) -> Fig9 {
     let mut dt_busy_cores = Vec::new();
     for (sys, n) in systems.iter().zip(names) {
         let out = run_system(&dt, &cfg.cluster, sys);
-        dt_parallelism
-            .push((n.to_string(), out.result.metrics.running_tasks.timeline.clone().unwrap_or_default()));
-        dt_busy_cores
-            .push((n.to_string(), out.result.metrics.busy_cores.timeline.clone().unwrap_or_default()));
+        dt_parallelism.push((
+            n.to_string(),
+            out.result
+                .metrics
+                .running_tasks
+                .timeline
+                .clone()
+                .unwrap_or_default(),
+        ));
+        dt_busy_cores.push((
+            n.to_string(),
+            out.result
+                .metrics
+                .busy_cores
+                .timeline
+                .clone()
+                .unwrap_or_default(),
+        ));
     }
-    Fig9 { jct, dt_parallelism, dt_busy_cores, total_cores: cfg.cluster.total_cores() }
+    Fig9 {
+        jct,
+        dt_parallelism,
+        dt_busy_cores,
+        total_cores: cfg.cluster.total_cores(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -328,11 +376,14 @@ pub fn fig10(cfg: &ExpConfig, workloads: &[Workload]) -> Vec<Fig10Row> {
             let dag = w.build(&cfg.scale);
             let insens = insensitive_stages(&dag, &cfg.cluster);
             // Average over seeds; locality counts from the base seed.
-            let run = |place| {
-                run_system(&dag, &cfg.cluster, &System::placement_only(place))
-            };
+            let run = |place| run_system(&dag, &cfg.cluster, &System::placement_only(place));
             let jct = |place| {
-                mean_jct_s(&dag, &cfg.cluster, &System::placement_only(place), cfg.seeds)
+                mean_jct_s(
+                    &dag,
+                    &cfg.cluster,
+                    &System::placement_only(place),
+                    cfg.seeds,
+                )
             };
             let d = run(PlaceKind::NativeDelay);
             let s = run(PlaceKind::Sensitivity);
@@ -405,7 +456,10 @@ pub fn fig11(cfg: &ExpConfig, workloads: &[Workload]) -> Vec<Fig11Row> {
                     }
                 })
                 .collect();
-            Fig11Row { workload: *w, cells }
+            Fig11Row {
+                workload: *w,
+                cells,
+            }
         })
         .collect()
 }

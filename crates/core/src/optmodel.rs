@@ -91,13 +91,22 @@ fn flatten(dag: &JobDag) -> Flat {
             tasks.push((s.index(), st.demand.cpus, st.task_cpu_ms(k)));
         }
     }
-    let parents = dag.stage_ids().map(|s| {
-        dag.parents(s).iter().map(|p| p.index()).collect()
-    }).collect();
+    let parents = dag
+        .stage_ids()
+        .map(|s| dag.parents(s).iter().map(|p| p.index()).collect())
+        .collect();
     let cp = CriticalPath::compute(dag, |s| {
-        (0..dag.stage(s).num_tasks).map(|k| dag.stage(s).task_cpu_ms(k)).max().unwrap_or(0)
+        (0..dag.stage(s).num_tasks)
+            .map(|k| dag.stage(s).task_cpu_ms(k))
+            .max()
+            .unwrap_or(0)
     });
-    Flat { tasks, stage_tasks, parents, bottom_ms: cp.bottom_level }
+    Flat {
+        tasks,
+        stage_tasks,
+        parents,
+        bottom_ms: cp.bottom_level,
+    }
 }
 
 struct Bb<'a> {
@@ -116,16 +125,16 @@ impl Bb<'_> {
         if self.nodes > self.node_limit {
             return; // budget exhausted; `best` is an upper bound
         }
-        let unscheduled: Vec<usize> =
-            (0..self.f.tasks.len()).filter(|i| start[*i].is_none()).collect();
+        let unscheduled: Vec<usize> = (0..self.f.tasks.len())
+            .filter(|i| start[*i].is_none())
+            .collect();
         if unscheduled.is_empty() {
             let mk = finish.iter().map(|f| f.unwrap()).max().unwrap_or(0);
             self.best = self.best.min(mk);
             return;
         }
         // Lower bound: remaining work / capacity + deepest remaining path.
-        let sched_mk =
-            finish.iter().flatten().copied().max().unwrap_or(0);
+        let sched_mk = finish.iter().flatten().copied().max().unwrap_or(0);
         let rem_work: u64 = unscheduled
             .iter()
             .map(|&i| self.f.tasks[i].1 as u64 * self.f.tasks[i].2)
@@ -167,7 +176,7 @@ impl Bb<'_> {
             loop {
                 let used: u32 = (0..self.f.tasks.len())
                     .filter(|&j| {
-                        start[j].map_or(false, |sj| sj <= t) && finish[j].map_or(false, |fj| fj > t)
+                        start[j].is_some_and(|sj| sj <= t) && finish[j].is_some_and(|fj| fj > t)
                     })
                     .map(|j| self.f.tasks[j].1)
                     .sum();
@@ -202,7 +211,13 @@ pub fn optimal_makespan(dag: &JobDag, rc: u32, node_limit: u64) -> (u64, bool) {
         f.tasks.iter().all(|t| t.1 <= rc),
         "a task demands more than the executor capacity"
     );
-    let mut bb = Bb { f: &f, rc, best: u64::MAX, nodes: 0, node_limit };
+    let mut bb = Bb {
+        f: &f,
+        rc,
+        best: u64::MAX,
+        nodes: 0,
+        node_limit,
+    };
     let mut start = vec![None; bb.f.tasks.len()];
     let mut finish = vec![None; bb.f.tasks.len()];
     bb.dfs(&mut start, &mut finish);
@@ -239,7 +254,7 @@ pub fn snap_to_minutes(dag: &JobDag) -> JobDag {
             .stage(&st.name)
             .tasks(st.num_tasks)
             .demand(st.demand)
-            .cpu_ms(((st.cpu_ms + MIN_MS - 1) / MIN_MS).max(1) * MIN_MS);
+            .cpu_ms(st.cpu_ms.div_ceil(MIN_MS).max(1) * MIN_MS);
         for input in &st.inputs {
             let mapped = rdd_map[&input.rdd];
             sb = match input.kind {
@@ -264,11 +279,17 @@ mod tests {
         let (q, d) = fig5_profile();
         let v = profile_check(&q, d, 0.5, 2);
         // Case 1: the 6→0 cliff at t=2 (rate 1.0 > r).
-        assert!(v.iter().any(|x| matches!(x, ProfileViolation::DropRate { t: 2, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ProfileViolation::DropRate { t: 2, .. })));
         // Case 2: odd allocations (3 mod 2 ≠ 0) leave a vCPU unusable.
-        assert!(v.iter().any(|x| matches!(x, ProfileViolation::Indivisible { q: 3, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ProfileViolation::Indivisible { q: 3, .. })));
         // Fragmentation: the 2,4,3 tail changes every period (< l = 2).
-        assert!(v.iter().any(|x| matches!(x, ProfileViolation::ShortInterval { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ProfileViolation::ShortInterval { .. })));
     }
 
     #[test]
@@ -299,8 +320,19 @@ mod tests {
     #[test]
     fn exact_solver_trivial_cases() {
         let mut b = DagBuilder::new("two");
-        let (_, r) = b.stage("a").tasks(2).demand_cpus(2).cpu_ms(2 * MIN_MS).build();
-        let _ = b.stage("b").tasks(1).demand_cpus(1).cpu_ms(MIN_MS).reads_wide(r).build();
+        let (_, r) = b
+            .stage("a")
+            .tasks(2)
+            .demand_cpus(2)
+            .cpu_ms(2 * MIN_MS)
+            .build();
+        let _ = b
+            .stage("b")
+            .tasks(1)
+            .demand_cpus(1)
+            .cpu_ms(MIN_MS)
+            .reads_wide(r)
+            .build();
         let dag = b.build().unwrap();
         // 4 cpus: both a-tasks parallel (2 min) + b (1 min) = 3 min.
         let (opt, ex) = optimal_makespan(&dag, 4, 100_000);

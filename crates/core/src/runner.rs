@@ -30,7 +30,11 @@ pub fn run_system_with_estimates(
     let mut sched = system.build_scheduler(dag, est);
     let sim = Simulation::new(dag.clone(), cluster.clone(), || system.cache.build());
     let result = sim.run(sched.as_mut());
-    RunOutcome { system: system.label(), workload: dag.name().to_string(), result }
+    RunOutcome {
+        system: system.label(),
+        workload: dag.name().to_string(),
+        result,
+    }
 }
 
 /// Run with a default slightly-noisy AppProfiler (10% duration error,

@@ -50,7 +50,11 @@ pub struct System {
 
 impl System {
     pub const fn new(sched: SchedKind, place: PlaceKind, cache: PolicyKind) -> Self {
-        Self { sched, place, cache }
+        Self {
+            sched,
+            place,
+            cache,
+        }
     }
 
     /// Stock Spark: FIFO scheduler, delay scheduling, LRU caching — the
@@ -94,7 +98,12 @@ impl System {
 
     /// The four systems of the headline Fig. 8 comparison, in plot order.
     pub fn fig8_lineup() -> Vec<System> {
-        vec![Self::stock_spark(), Self::graphene_lru(), Self::graphene_mrd(), Self::dagon()]
+        vec![
+            Self::stock_spark(),
+            Self::graphene_lru(),
+            Self::graphene_mrd(),
+            Self::dagon(),
+        ]
     }
 
     pub fn label(&self) -> String {

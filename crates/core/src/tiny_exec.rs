@@ -52,8 +52,11 @@ pub fn run_tiny(dag: &JobDag, rc: u32, mode: Mode) -> TinyRun {
     let mut tracker = PriorityTracker::from_dag(dag);
     let mut free = rc;
     let mut now: u64 = 0;
-    let mut pending: Vec<Vec<u32>> =
-        dag.stages().iter().map(|s| (0..s.num_tasks).collect()).collect();
+    let mut pending: Vec<Vec<u32>> = dag
+        .stages()
+        .iter()
+        .map(|s| (0..s.num_tasks).collect())
+        .collect();
     let mut finished_tasks = vec![0u32; n];
     let mut stage_done = vec![false; n];
     // (finish_time, task, cpus)
@@ -95,11 +98,19 @@ pub fn run_tiny(dag: &JobDag, rc: u32, mode: Mode) -> TinyRun {
                     let task = TaskId::new(s, k);
                     free -= st.demand.cpus;
                     running.push((now + dur, task, st.demand.cpus));
-                    launches.push(TinyLaunch { t: now, task, cpus: st.demand.cpus, dur });
+                    launches.push(TinyLaunch {
+                        t: now,
+                        task,
+                        cpus: st.demand.cpus,
+                        dur,
+                    });
                     tracker.on_task_launched(task, st.task_work(k));
                     trace.push(TraceRow {
                         chosen: s,
-                        w: dag.stage_ids().map(|x| tracker.remaining_work(x) / unit).collect(),
+                        w: dag
+                            .stage_ids()
+                            .map(|x| tracker.remaining_work(x) / unit)
+                            .collect(),
                         pv: dag.stage_ids().map(|x| tracker.pv(x) / unit).collect(),
                         free_cpus: free,
                     });
@@ -112,7 +123,11 @@ pub fn run_tiny(dag: &JobDag, rc: u32, mode: Mode) -> TinyRun {
             }
         }
         // Advance to the next finish.
-        let next = running.iter().map(|(t, _, _)| *t).min().expect("tasks still running");
+        let next = running
+            .iter()
+            .map(|(t, _, _)| *t)
+            .min()
+            .expect("tasks still running");
         now = next;
         let mut i = 0;
         while i < running.len() {
@@ -129,7 +144,11 @@ pub fn run_tiny(dag: &JobDag, rc: u32, mode: Mode) -> TinyRun {
             }
         }
     }
-    TinyRun { makespan: now, launches, trace }
+    TinyRun {
+        makespan: now,
+        launches,
+        trace,
+    }
 }
 
 /// Render a launch list as an ASCII Gantt, one row per stage.
@@ -148,7 +167,12 @@ pub fn gantt(dag: &JobDag, run: &TinyRun, rc: u32) -> String {
                 };
             }
         }
-        let _ = writeln!(out, "  {:>3} |{}|", s.to_string(), String::from_utf8(row).unwrap());
+        let _ = writeln!(
+            out,
+            "  {:>3} |{}|",
+            s.to_string(),
+            String::from_utf8(row).unwrap()
+        );
     }
     let mut usage = vec![0u32; span];
     for l in &run.launches {
@@ -159,7 +183,10 @@ pub fn gantt(dag: &JobDag, run: &TinyRun, rc: u32) -> String {
     let _ = writeln!(
         out,
         "  cpus|{}| (of {rc})",
-        usage.iter().map(|u| char::from_digit((*u).min(15) as u32, 16).unwrap()).collect::<String>()
+        usage
+            .iter()
+            .map(|u| char::from_digit((*u).min(15), 16).unwrap())
+            .collect::<String>()
     );
     out
 }

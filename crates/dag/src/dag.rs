@@ -14,7 +14,12 @@ pub enum DagError {
     /// A cycle was found among the stages (so it isn't a DAG at all).
     Cycle,
     /// A narrow dependency joins RDDs with different partition counts.
-    NarrowPartitionMismatch { stage: StageId, rdd: RddId, rdd_parts: u32, tasks: u32 },
+    NarrowPartitionMismatch {
+        stage: StageId,
+        rdd: RddId,
+        rdd_parts: u32,
+        tasks: u32,
+    },
     /// A stage declares zero tasks.
     EmptyStage(StageId),
     /// A stage has a zero-CPU demand, which would let infinitely many tasks
@@ -28,7 +33,12 @@ impl fmt::Display for DagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DagError::Cycle => write!(f, "stage graph contains a cycle"),
-            DagError::NarrowPartitionMismatch { stage, rdd, rdd_parts, tasks } => write!(
+            DagError::NarrowPartitionMismatch {
+                stage,
+                rdd,
+                rdd_parts,
+                tasks,
+            } => write!(
                 f,
                 "{stage} reads {rdd} narrowly but has {tasks} tasks vs {rdd_parts} partitions"
             ),
@@ -108,12 +118,16 @@ impl JobDag {
 
     /// Stages with no parents (runnable at t=0).
     pub fn roots(&self) -> Vec<StageId> {
-        self.stage_ids().filter(|s| self.parents(*s).is_empty()).collect()
+        self.stage_ids()
+            .filter(|s| self.parents(*s).is_empty())
+            .collect()
     }
 
     /// Stages with no children.
     pub fn leaves(&self) -> Vec<StageId> {
-        self.stage_ids().filter(|s| self.children(*s).is_empty()).collect()
+        self.stage_ids()
+            .filter(|s| self.children(*s).is_empty())
+            .collect()
     }
 
     /// All stages that read `rdd` as an input, with the dependency kind.
@@ -183,13 +197,19 @@ impl<'a> StageBuilder<'a> {
 
     /// Add a narrow input.
     pub fn reads_narrow(mut self, rdd: RddId) -> Self {
-        self.inputs.push(StageInput { rdd, kind: DepKind::Narrow });
+        self.inputs.push(StageInput {
+            rdd,
+            kind: DepKind::Narrow,
+        });
         self
     }
 
     /// Add a wide (shuffle) input.
     pub fn reads_wide(mut self, rdd: RddId) -> Self {
-        self.inputs.push(StageInput { rdd, kind: DepKind::Wide });
+        self.inputs.push(StageInput {
+            rdd,
+            kind: DepKind::Wide,
+        });
         self
     }
 
@@ -255,7 +275,11 @@ pub struct DagBuilder {
 
 impl DagBuilder {
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), stages: Vec::new(), rdds: Vec::new() }
+        Self {
+            name: name.into(),
+            stages: Vec::new(),
+            rdds: Vec::new(),
+        }
     }
 
     /// Declare an HDFS-resident source RDD.
@@ -368,7 +392,13 @@ impl DagBuilder {
         if topo.len() != n {
             return Err(DagError::Cycle);
         }
-        Ok(JobDag { name: self.name, stages: self.stages, rdds: self.rdds, children, topo })
+        Ok(JobDag {
+            name: self.name,
+            stages: self.stages,
+            rdds: self.rdds,
+            children,
+            topo,
+        })
     }
 }
 
@@ -384,9 +414,27 @@ mod tests {
     fn diamond() -> JobDag {
         let mut b = DagBuilder::new("diamond");
         let a = b.hdfs_rdd("A", 4, 64.0);
-        let (s0, r0) = b.stage("scan").tasks(4).demand_cpus(1).cpu_ms(1000).reads_narrow(a).build();
-        let (_s1, r1) = b.stage("l").tasks(4).demand_cpus(2).cpu_ms(2000).reads_narrow(r0).build();
-        let (_s2, r2) = b.stage("r").tasks(2).demand_cpus(1).cpu_ms(500).reads_wide(r0).build();
+        let (s0, r0) = b
+            .stage("scan")
+            .tasks(4)
+            .demand_cpus(1)
+            .cpu_ms(1000)
+            .reads_narrow(a)
+            .build();
+        let (_s1, r1) = b
+            .stage("l")
+            .tasks(4)
+            .demand_cpus(2)
+            .cpu_ms(2000)
+            .reads_narrow(r0)
+            .build();
+        let (_s2, r2) = b
+            .stage("r")
+            .tasks(2)
+            .demand_cpus(1)
+            .cpu_ms(500)
+            .reads_wide(r0)
+            .build();
         let (s3, _) = b
             .stage("join")
             .tasks(2)
@@ -415,7 +463,10 @@ mod tests {
     #[test]
     fn topo_order_respects_dependencies_and_ids() {
         let d = diamond();
-        assert_eq!(d.topo_order(), &[StageId(0), StageId(1), StageId(2), StageId(3)]);
+        assert_eq!(
+            d.topo_order(),
+            &[StageId(0), StageId(1), StageId(2), StageId(3)]
+        );
     }
 
     #[test]
@@ -462,8 +513,19 @@ mod tests {
     #[test]
     fn total_work_sums_stages() {
         let mut b = DagBuilder::new("w");
-        let (_, r) = b.stage("a").tasks(3).demand_cpus(4).cpu_ms(4 * MIN_MS).build();
-        let _ = b.stage("b").tasks(1).demand_cpus(1).cpu_ms(4 * MIN_MS).reads_wide(r).build();
+        let (_, r) = b
+            .stage("a")
+            .tasks(3)
+            .demand_cpus(4)
+            .cpu_ms(4 * MIN_MS)
+            .build();
+        let _ = b
+            .stage("b")
+            .tasks(1)
+            .demand_cpus(1)
+            .cpu_ms(4 * MIN_MS)
+            .reads_wide(r)
+            .build();
         let d = b.build().unwrap();
         assert_eq!(d.total_work() / MIN_MS, 48 + 4);
     }

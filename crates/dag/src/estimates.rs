@@ -23,15 +23,20 @@ impl StageEstimates {
     /// Ground-truth estimates straight from the DAG (a perfect profiler).
     pub fn exact(dag: &JobDag) -> Self {
         Self {
-            mean_task_ms: dag.stages().iter().map(|s| s.mean_task_cpu_ms() as f64).collect(),
+            mean_task_ms: dag
+                .stages()
+                .iter()
+                .map(|s| s.mean_task_cpu_ms() as f64)
+                .collect(),
             demand: dag.stages().iter().map(|s| s.demand).collect(),
         }
     }
 
     /// Estimated work of one task of stage `s` in vCPU-ms.
     pub fn task_work(&self, s: StageId) -> u64 {
-        (self.demand[s.index()].cpus as f64 * self.mean_task_ms[s.index()]).round().max(0.0)
-            as u64
+        (self.demand[s.index()].cpus as f64 * self.mean_task_ms[s.index()])
+            .round()
+            .max(0.0) as u64
     }
 
     /// Estimated mean task duration of stage `s`, ms.

@@ -76,7 +76,13 @@ pub fn tiny_chain(tasks: u32, cpu_ms: u64) -> JobDag {
         .reads_narrow(a)
         .cache_output()
         .build();
-    let _ = b.stage("agg").tasks(tasks.max(1) / 2 + 1).demand_cpus(1).cpu_ms(cpu_ms / 2).reads_wide(r).build();
+    let _ = b
+        .stage("agg")
+        .tasks(tasks.max(1) / 2 + 1)
+        .demand_cpus(1)
+        .cpu_ms(cpu_ms / 2)
+        .reads_wide(r)
+        .build();
     b.build().unwrap()
 }
 

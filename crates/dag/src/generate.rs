@@ -79,11 +79,15 @@ pub fn random_dag(params: &GenParams, seed: u64) -> JobDag {
         let mut narrow_parent: Option<RddId> = None;
         let mut wide_parents: Vec<RddId> = Vec::new();
         if !outputs.is_empty() {
-            let nparents = rng.gen_range(1..=params.max_parents.max(1)).min(outputs.len());
+            let nparents = rng
+                .gen_range(1..=params.max_parents.max(1))
+                .min(outputs.len());
             // Choose distinct parents biased toward recent stages (chains).
             let mut chosen: Vec<usize> = Vec::new();
             for _ in 0..nparents {
-                let idx = outputs.len() - 1 - (rng.gen::<f64>().powi(2) * outputs.len() as f64) as usize % outputs.len();
+                let idx = outputs.len()
+                    - 1
+                    - (rng.gen::<f64>().powi(2) * outputs.len() as f64) as usize % outputs.len();
                 if !chosen.contains(&idx) {
                     chosen.push(idx);
                 }
@@ -101,7 +105,11 @@ pub fn random_dag(params: &GenParams, seed: u64) -> JobDag {
         let scans_source = outputs.is_empty() || rng.gen_bool(params.source_prob);
         let source = if scans_source && narrow_parent.is_none() {
             let parts = sb_tasks;
-            Some(b.hdfs_rdd(&format!("src{i}"), parts, sample_u64(&mut rng, (16, 256)) as f64))
+            Some(b.hdfs_rdd(
+                &format!("src{i}"),
+                parts,
+                sample_u64(&mut rng, (16, 256)) as f64,
+            ))
         } else {
             None
         };
@@ -151,7 +159,10 @@ mod tests {
 
     #[test]
     fn generated_dags_are_valid_across_seeds() {
-        let p = GenParams { stages: 25, ..Default::default() };
+        let p = GenParams {
+            stages: 25,
+            ..Default::default()
+        };
         for seed in 0..50 {
             let d = random_dag(&p, seed);
             assert_eq!(d.num_stages(), 25);
@@ -169,7 +180,10 @@ mod tests {
 
     #[test]
     fn single_stage_param_works() {
-        let p = GenParams { stages: 1, ..Default::default() };
+        let p = GenParams {
+            stages: 1,
+            ..Default::default()
+        };
         let d = random_dag(&p, 7);
         assert_eq!(d.num_stages(), 1);
         assert!(d.parents(crate::ids::StageId(0)).is_empty());

@@ -63,12 +63,17 @@ impl Closure {
     /// Iterate members of `a`'s closure in id order.
     pub fn members(&self, a: StageId) -> impl Iterator<Item = StageId> + '_ {
         let row = &self.words[a.index()];
-        (0..self.n).filter(move |i| (row[i / 64] >> (i % 64)) & 1 == 1).map(|i| StageId(i as u32))
+        (0..self.n)
+            .filter(move |i| (row[i / 64] >> (i % 64)) & 1 == 1)
+            .map(|i| StageId(i as u32))
     }
 
     /// Number of members in `a`'s closure.
     pub fn count(&self, a: StageId) -> usize {
-        self.words[a.index()].iter().map(|w| w.count_ones() as usize).sum()
+        self.words[a.index()]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 
@@ -91,7 +96,12 @@ impl CriticalPath {
         let n = dag.num_stages();
         let mut bottom = vec![0u64; n];
         for &s in dag.topo_order().iter().rev() {
-            let best_child = dag.children(s).iter().map(|c| bottom[c.index()]).max().unwrap_or(0);
+            let best_child = dag
+                .children(s)
+                .iter()
+                .map(|c| bottom[c.index()])
+                .max()
+                .unwrap_or(0);
             bottom[s.index()] = len(s) + best_child;
         }
         let mut top = vec![0u64; n];
@@ -104,7 +114,10 @@ impl CriticalPath {
                 .unwrap_or(0);
             top[s.index()] = best_parent;
         }
-        CriticalPath { bottom_level: bottom, top_level: top }
+        CriticalPath {
+            bottom_level: bottom,
+            top_level: top,
+        }
     }
 
     /// Length of the whole critical path.
@@ -118,7 +131,10 @@ impl CriticalPath {
 /// bound used by critical-path ranking and the optimality-gap study.
 pub fn ideal_stage_duration(dag: &JobDag, s: StageId) -> SimTime {
     let st = dag.stage(s);
-    (0..st.num_tasks).map(|k| st.task_cpu_ms(k)).max().unwrap_or(0)
+    (0..st.num_tasks)
+        .map(|k| st.task_cpu_ms(k))
+        .max()
+        .unwrap_or(0)
 }
 
 /// DAG depth: number of stages on the longest chain.
@@ -130,9 +146,7 @@ pub fn depth(dag: &JobDag) -> usize {
 /// Stages that become runnable given a set of completed stages.
 pub fn ready_stages(dag: &JobDag, completed: &[bool]) -> Vec<StageId> {
     dag.stage_ids()
-        .filter(|s| {
-            !completed[s.index()] && dag.parents(*s).iter().all(|p| completed[p.index()])
-        })
+        .filter(|s| !completed[s.index()] && dag.parents(*s).iter().all(|p| completed[p.index()]))
         .collect()
 }
 
@@ -145,8 +159,20 @@ mod tests {
     fn chain_plus() -> JobDag {
         let mut b = DagBuilder::new("c");
         let (_, r0) = b.stage("s0").tasks(2).demand_cpus(1).cpu_ms(100).build();
-        let (_, r1) = b.stage("s1").tasks(2).demand_cpus(1).cpu_ms(200).reads_narrow(r0).build();
-        let _ = b.stage("s2").tasks(2).demand_cpus(1).cpu_ms(300).reads_wide(r1).build();
+        let (_, r1) = b
+            .stage("s1")
+            .tasks(2)
+            .demand_cpus(1)
+            .cpu_ms(200)
+            .reads_narrow(r0)
+            .build();
+        let _ = b
+            .stage("s2")
+            .tasks(2)
+            .demand_cpus(1)
+            .cpu_ms(300)
+            .reads_wide(r1)
+            .build();
         let _ = b.stage("s3").tasks(1).demand_cpus(1).cpu_ms(50).build();
         b.build().unwrap()
     }

@@ -69,9 +69,7 @@ impl JobSet {
                 // own copies; cross-job data sharing is out of scope).
                 for input in &st.inputs {
                     let rdd = dag.rdd(input.rdd);
-                    if matches!(rdd.source, RddSource::Hdfs)
-                        && !rdd_map.contains_key(&rdd.id)
-                    {
+                    if matches!(rdd.source, RddSource::Hdfs) && !rdd_map.contains_key(&rdd.id) {
                         let new = b.hdfs_rdd_cached(
                             &format!("j{job_idx}_{}", rdd.name),
                             rdd.num_partitions,

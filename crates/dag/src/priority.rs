@@ -50,16 +50,26 @@ impl PriorityTracker {
         let mut work = vec![Work::default(); n];
         for s in dag.stage_ids() {
             let total: u64 = (0..dag.stage(s).num_tasks).map(|k| task_work(s, k)).sum();
-            work[s.index()] = Work { remaining: total, initial: total };
+            work[s.index()] = Work {
+                remaining: total,
+                initial: total,
+            };
         }
         let successors = Closure::successors(dag);
         let mut pv = vec![0u64; n];
         for s in dag.stage_ids() {
             pv[s.index()] = work[s.index()].remaining
-                + successors.members(s).map(|j| work[j.index()].remaining).sum::<u64>();
+                + successors
+                    .members(s)
+                    .map(|j| work[j.index()].remaining)
+                    .sum::<u64>();
         }
         let ancestors = Closure::ancestors(dag);
-        Self { work, pv, ancestors }
+        Self {
+            work,
+            pv,
+            ancestors,
+        }
     }
 
     /// Ground-truth tracker straight from the DAG's own durations.
@@ -81,7 +91,11 @@ impl PriorityTracker {
 
     /// All (stage, pv) pairs.
     pub fn snapshot(&self) -> Vec<(StageId, u64)> {
-        self.pv.iter().enumerate().map(|(i, &p)| (StageId(i as u32), p)).collect()
+        self.pv
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (StageId(i as u32), p))
+            .collect()
     }
 
     /// Record that `task` was launched, consuming `work` vCPU-ms from its
@@ -138,12 +152,12 @@ mod tests {
         let mut t = PriorityTracker::from_dag(&d);
         let s1 = StageId(0); // paper's "stage 1"
         let s2 = StageId(1); // paper's "stage 2"
-        // Step 1: one stage-2 task ⟨6 vCPU, 2 min⟩ = 12 vCPU-min.
+                             // Step 1: one stage-2 task ⟨6 vCPU, 2 min⟩ = 12 vCPU-min.
         t.on_task_launched(TaskId::new(s2, 0), 12 * MIN_MS);
         assert_eq!(t.remaining_work(s2) / MIN_MS, 24);
         assert_eq!(t.pv(s2) / MIN_MS, 52);
         assert_eq!(t.pv(s1) / MIN_MS, 52); // unchanged: s2 not a successor of s1
-        // Step 2: one stage-1 task ⟨4 vCPU, 4 min⟩ = 16 vCPU-min.
+                                           // Step 2: one stage-1 task ⟨4 vCPU, 4 min⟩ = 16 vCPU-min.
         t.on_task_launched(TaskId::new(s1, 0), 16 * MIN_MS);
         assert_eq!(t.remaining_work(s1) / MIN_MS, 32);
         assert_eq!(t.pv(s1) / MIN_MS, 36);
@@ -161,7 +175,13 @@ mod tests {
         // chain a -> b: launching b's task lowers pv_a too.
         let mut bld = DagBuilder::new("c");
         let (_, r) = bld.stage("a").tasks(1).demand_cpus(1).cpu_ms(1000).build();
-        let _ = bld.stage("b").tasks(2).demand_cpus(1).cpu_ms(1000).reads_wide(r).build();
+        let _ = bld
+            .stage("b")
+            .tasks(2)
+            .demand_cpus(1)
+            .cpu_ms(1000)
+            .reads_wide(r)
+            .build();
         let d = bld.build().unwrap();
         let mut t = PriorityTracker::from_dag(&d);
         assert_eq!(t.pv(StageId(0)), 3000);

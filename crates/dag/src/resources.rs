@@ -35,13 +35,19 @@ impl Resources {
     /// convenient for workload generators that don't care about memory.
     #[inline]
     pub fn cpus(cpus: u32) -> Self {
-        Self { cpus, mem_mb: cpus as u64 * 1024 }
+        Self {
+            cpus,
+            mem_mb: cpus as u64 * 1024,
+        }
     }
 
     /// Component-wise `self + other`.
     #[inline]
     pub fn plus(self, other: Resources) -> Resources {
-        Resources { cpus: self.cpus + other.cpus, mem_mb: self.mem_mb + other.mem_mb }
+        Resources {
+            cpus: self.cpus + other.cpus,
+            mem_mb: self.mem_mb + other.mem_mb,
+        }
     }
 
     /// Component-wise saturating `self - other`.
@@ -66,12 +72,11 @@ impl Resources {
         if demand.cpus == 0 && demand.mem_mb == 0 {
             return u32::MAX;
         }
-        let by_cpu = if demand.cpus == 0 { u32::MAX } else { self.cpus / demand.cpus };
-        let by_mem = if demand.mem_mb == 0 {
-            u32::MAX
-        } else {
-            (self.mem_mb / demand.mem_mb).min(u32::MAX as u64) as u32
-        };
+        let by_cpu = self.cpus.checked_div(demand.cpus).unwrap_or(u32::MAX);
+        let by_mem = self
+            .mem_mb
+            .checked_div(demand.mem_mb)
+            .map_or(u32::MAX, |m| m.min(u32::MAX as u64) as u32);
         by_cpu.min(by_mem)
     }
 }

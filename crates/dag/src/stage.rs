@@ -103,7 +103,10 @@ mod tests {
             demand: Resources::cpus(4),
             cpu_ms: 4 * crate::MIN_MS,
             skew: vec![1.0],
-            inputs: vec![StageInput { rdd: RddId(0), kind: DepKind::Narrow }],
+            inputs: vec![StageInput {
+                rdd: RddId(0),
+                kind: DepKind::Narrow,
+            }],
             output: RddId(1),
             parents: vec![],
             release_ms: 0,

@@ -2,7 +2,7 @@
 //! generated DAG must satisfy, and the algebra of priority values.
 
 use dagon_dag::generate::{random_dag, GenParams};
-use dagon_dag::graph::{depth, ready_stages, CriticalPath, Closure};
+use dagon_dag::graph::{depth, ready_stages, Closure, CriticalPath};
 use dagon_dag::{PriorityTracker, StageId, TaskId};
 use proptest::prelude::*;
 
@@ -10,7 +10,12 @@ fn params() -> impl Strategy<Value = (GenParams, u64)> {
     (2usize..30, 1usize..4, 0.0f64..1.0, any::<u64>()).prop_map(
         |(stages, max_parents, wide_prob, seed)| {
             (
-                GenParams { stages, max_parents, wide_prob, ..Default::default() },
+                GenParams {
+                    stages,
+                    max_parents,
+                    wide_prob,
+                    ..Default::default()
+                },
                 seed,
             )
         },

@@ -40,7 +40,10 @@ pub struct AppProfiler {
 impl AppProfiler {
     /// An oracle profiler (zero error).
     pub fn perfect() -> Self {
-        Self { noise_frac: 0.0, seed: 0 }
+        Self {
+            noise_frac: 0.0,
+            seed: 0,
+        }
     }
 
     /// A realistic profiler with `noise_frac` relative duration error.
@@ -71,7 +74,10 @@ mod tests {
     #[test]
     fn perfect_profiler_matches_ground_truth() {
         let dag = fig1();
-        assert_eq!(AppProfiler::perfect().estimate(&dag), StageEstimates::exact(&dag));
+        assert_eq!(
+            AppProfiler::perfect().estimate(&dag),
+            StageEstimates::exact(&dag)
+        );
     }
 
     #[test]

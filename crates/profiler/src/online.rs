@@ -17,9 +17,16 @@ pub struct OnlineEstimator {
 
 impl OnlineEstimator {
     pub fn new(prior: StageEstimates, alpha: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0, 1]"
+        );
         let n = prior.num_stages();
-        Self { est: prior, alpha, observed: vec![0; n] }
+        Self {
+            est: prior,
+            alpha,
+            observed: vec![0; n],
+        }
     }
 
     /// Record one finished task of `stage` with the given wall duration.

@@ -41,7 +41,10 @@ pub fn profile_by_sampling(small: &JobDag, full: &JobDag, cfg: &ClusterConfig) -
         })
         .collect();
     let demand: Vec<Resources> = full.stages().iter().map(|st| st.demand).collect();
-    StageEstimates { mean_task_ms, demand }
+    StageEstimates {
+        mean_task_ms,
+        demand,
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,21 @@
 //! [`OrderedScheduler`]; the placement half (native vs sensitivity-aware
 //! delay scheduling) is orthogonal, mirroring the paper's design where
 //! Alg. 1 line 7 calls into delay scheduling and Alg. 2 later replaces it.
+//!
+//! ## Batched assignment
+//!
+//! One `schedule` call fills *every* free slot: the pick loop runs against
+//! a [`ScheduleShadow`] (free resources minus claims), re-ranking the
+//! ready stages between picks so Table III's per-step re-sort semantics
+//! are preserved exactly. Order policies fold the batch's unconfirmed
+//! claims into their keys (e.g. Dagon subtracts `claimed × est_work` from
+//! a stage's priority value), and placement-state mutations are journaled
+//! so a partially-discarded batch can be rolled back to its last confirmed
+//! assignment — the batched loop is bit-for-bit equivalent to the old
+//! one-assignment-per-call loop, minus the per-pick view rebuilds.
 
-use dagon_cluster::{Assignment, Scheduler, SimView};
-use dagon_dag::{Resources, SimTime, StageId, TaskId};
+use dagon_cluster::{Assignment, ScheduleShadow, Scheduler, SimView};
+use dagon_dag::{SimTime, StageId, TaskId};
 
 use crate::placement::Placement;
 
@@ -15,8 +27,16 @@ use crate::placement::Placement;
 pub trait OrderPolicy {
     fn order_name(&self) -> &'static str;
 
-    /// Rank the schedulable stages, highest priority first.
-    fn rank(&mut self, view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId>;
+    /// Rank the schedulable stages, highest priority first. `shadow`
+    /// carries the current batch's unconfirmed claims; policies whose keys
+    /// depend on launches must account for them (confirmations only arrive
+    /// after the batch is applied).
+    fn rank(
+        &mut self,
+        view: &SimView<'_>,
+        ready: &[StageId],
+        shadow: &ScheduleShadow,
+    ) -> Vec<StageId>;
 
     fn on_task_launched(&mut self, _t: TaskId, _work: u64) {}
     fn on_stage_ready(&mut self, _s: StageId) {}
@@ -30,57 +50,130 @@ pub trait OrderPolicy {
 
 /// `ordering × placement` composed into a full [`Scheduler`].
 ///
-/// Emits one assignment per `schedule` call; the simulator re-invokes until
-/// no assignment is produced, which realizes Alg. 1's
-/// "repeat … until no task can be assigned" loop with priorities refreshed
-/// between steps (Table III's per-step re-sort).
+/// Emits a whole batch of assignments per `schedule` call; the simulator
+/// applies them in order, confirming each via
+/// [`Scheduler::on_task_launched`], and discards the rest of the batch if
+/// block residency changed mid-application (a cache insert/evict at launch
+/// time). [`reconcile`](OrderedScheduler::reconcile) then rolls placement
+/// state back to the last confirmed assignment before the next round.
 pub struct OrderedScheduler {
     order: Box<dyn OrderPolicy>,
     placement: Box<dyn Placement>,
+    shadow: Option<ScheduleShadow>,
+    /// `(stage, task)` of each assignment emitted in the open batch.
+    emitted: Vec<(StageId, u32)>,
+    /// Placement journal length right after each emitted pick.
+    marks: Vec<usize>,
+    /// Prefix of `emitted` the simulator confirmed.
+    confirmed: usize,
 }
 
 impl OrderedScheduler {
     pub fn new(order: Box<dyn OrderPolicy>, placement: Box<dyn Placement>) -> Self {
-        Self { order, placement }
+        Self {
+            order,
+            placement,
+            shadow: None,
+            emitted: Vec::new(),
+            marks: Vec::new(),
+            confirmed: 0,
+        }
+    }
+
+    /// Settle the previous batch: keep placement mutations up to the last
+    /// confirmed pick, undo everything after it (including any trailing
+    /// failed pick-round — if nothing actually changed, the next round
+    /// replays it identically against the same state).
+    fn reconcile(&mut self) {
+        let keep = if self.emitted.is_empty() {
+            // No assignments were produced: the round's wait-clock
+            // mutations stand, exactly as they did when the sequential
+            // loop returned empty.
+            self.placement.journal_len()
+        } else if self.confirmed == 0 {
+            0
+        } else {
+            self.marks[self.confirmed - 1]
+        };
+        self.placement.reconcile_journal(keep);
+        self.emitted.clear();
+        self.marks.clear();
+        self.confirmed = 0;
     }
 }
 
 impl Scheduler for OrderedScheduler {
     fn name(&self) -> String {
-        format!("{}+{}", self.order.order_name(), self.placement.placement_name())
+        format!(
+            "{}+{}",
+            self.order.order_name(),
+            self.placement.placement_name()
+        )
     }
 
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        self.reconcile();
         if !view.any_free_resource() {
             return Vec::new();
         }
-        let ready = view.schedulable_stages();
-        if ready.is_empty() {
-            return Vec::new();
+        if self.shadow.is_none() {
+            self.shadow = Some(ScheduleShadow::new(view));
         }
-        let shadow: Vec<Resources> = view.execs.iter().map(|e| e.free).collect();
-        for s in self.order.rank(view, &ready) {
-            if let Some((k, exec, locality)) = self.placement.pick(s, view, &shadow) {
-                // Optimistic wait-clock update; the simulator applies the
-                // assignment unless it is stale (it never is within one
-                // event batch).
-                self.placement.on_launch(s, locality, view.now);
-                return vec![Assignment { stage: s, task_index: k, exec, locality }];
+        let shadow = self.shadow.as_mut().unwrap();
+        shadow.reset(view);
+        let mut out = Vec::new();
+        loop {
+            let ready = view.assignable_stages(shadow);
+            if ready.is_empty() {
+                break;
+            }
+            let mut choice = None;
+            for s in self.order.rank(view, &ready, shadow) {
+                if let Some((k, exec, locality)) = self.placement.pick(s, view, shadow) {
+                    choice = Some(Assignment {
+                        stage: s,
+                        task_index: k,
+                        exec,
+                        locality,
+                    });
+                    break;
+                }
+            }
+            let Some(a) = choice else { break };
+            self.placement.on_launch(a.stage, a.locality, view.now);
+            shadow.claim(view, a.stage, a.task_index, a.exec);
+            self.marks.push(self.placement.journal_len());
+            self.emitted.push((a.stage, a.task_index));
+            out.push(a);
+            if !shadow.any_free() {
+                break;
             }
         }
-        Vec::new()
+        out
     }
 
     fn on_stage_ready(&mut self, s: StageId, now: SimTime) {
+        self.reconcile();
         self.placement.on_stage_ready(s, now);
         self.order.on_stage_ready(s);
     }
 
     fn on_stage_complete(&mut self, s: StageId, _now: SimTime) {
+        self.reconcile();
         self.order.on_stage_complete(s);
     }
 
     fn on_task_launched(&mut self, t: TaskId, work: u64, _now: SimTime) {
+        if self.confirmed < self.emitted.len() && self.emitted[self.confirmed] == (t.stage, t.index)
+        {
+            self.confirmed += 1;
+        } else {
+            debug_assert!(
+                false,
+                "launch confirmation out of order: {:?} at batch position {}",
+                t, self.confirmed
+            );
+        }
         self.order.on_task_launched(t, work);
     }
 

@@ -3,7 +3,7 @@
 //! stages by descending critical-path length (bottom level) through ideal
 //! stage durations, ignoring per-task resource demands.
 
-use dagon_cluster::SimView;
+use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::graph::{ideal_stage_duration, CriticalPath};
 use dagon_dag::{JobDag, StageId};
 
@@ -17,7 +17,9 @@ pub struct CpOrder {
 impl CpOrder {
     pub fn new(dag: &JobDag) -> Self {
         let cp = CriticalPath::compute(dag, |s| ideal_stage_duration(dag, s));
-        Self { bottom: cp.bottom_level }
+        Self {
+            bottom: cp.bottom_level,
+        }
     }
 }
 
@@ -26,7 +28,12 @@ impl OrderPolicy for CpOrder {
         "cpath"
     }
 
-    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+    fn rank(
+        &mut self,
+        _view: &SimView<'_>,
+        ready: &[StageId],
+        _shadow: &ScheduleShadow,
+    ) -> Vec<StageId> {
         let mut v = ready.to_vec();
         v.sort_by_key(|s| (std::cmp::Reverse(self.bottom[s.index()]), *s));
         v
@@ -36,6 +43,7 @@ impl OrderPolicy for CpOrder {
 pub struct CriticalPathScheduler;
 
 impl CriticalPathScheduler {
+    #[allow(clippy::new_ret_no_self)] // factory namespace: builds the generic driver
     pub fn new(dag: &JobDag) -> OrderedScheduler {
         OrderedScheduler::new(Box::new(CpOrder::new(dag)), Box::new(NativeDelay::new()))
     }

@@ -7,7 +7,7 @@
 //! repeats until no task fits. Priorities are computed from the
 //! AppProfiler's *estimates*, not ground truth, exactly as deployed.
 
-use dagon_cluster::SimView;
+use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::{JobDag, PriorityTracker, StageEstimates, StageId, TaskId};
 
 use crate::assign::{OrderPolicy, OrderedScheduler};
@@ -23,7 +23,10 @@ impl DagonOrder {
     pub fn new(dag: &JobDag, est: &StageEstimates) -> Self {
         let tracker = PriorityTracker::new(dag, |s, _k| est.task_work(s));
         let est_task_work = dag.stage_ids().map(|s| est.task_work(s)).collect();
-        Self { tracker, est_task_work }
+        Self {
+            tracker,
+            est_task_work,
+        }
     }
 
     pub fn pv(&self, s: StageId) -> u64 {
@@ -36,12 +39,29 @@ impl OrderPolicy for DagonOrder {
         "dagon"
     }
 
-    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+    fn rank(
+        &mut self,
+        _view: &SimView<'_>,
+        ready: &[StageId],
+        shadow: &ScheduleShadow,
+    ) -> Vec<StageId> {
         // Alg. 1 line 5: sort SQ by pv_i descending (ties: stage id — the
         // paper's Table III picks stage 2 over stage 1 on the 52/52 tie by
         // keeping the previously-higher stage first; ascending id matches).
+        //
+        // The tracker only hears about *confirmed* launches, so within a
+        // batch the claims are folded in here: each claimed task of `s`
+        // would have decremented pv by its estimated work (Table III),
+        // clamped at the stage's remaining work exactly as the tracker
+        // clamps — ready stages are mutually non-ancestral, so no claim
+        // can touch another ready stage's pv.
         let mut v = ready.to_vec();
-        v.sort_by_key(|s| (std::cmp::Reverse(self.tracker.pv(*s)), *s));
+        v.sort_by_key(|s| {
+            let claimed = shadow.claimed_count(*s) as u64;
+            let delta =
+                (claimed * self.est_task_work[s.index()]).min(self.tracker.remaining_work(*s));
+            (std::cmp::Reverse(self.tracker.pv(*s) - delta), *s)
+        });
         v
     }
 
@@ -60,6 +80,7 @@ pub struct DagonScheduler;
 
 impl DagonScheduler {
     /// The full Dagon scheduler: Alg. 1 ordering + Alg. 2 placement.
+    #[allow(clippy::new_ret_no_self)] // factory namespace: builds the generic driver
     pub fn new(dag: &JobDag, est: &StageEstimates) -> OrderedScheduler {
         Self::with_placement(dag, est, Box::new(SensitivityAware::new(est.clone())))
     }

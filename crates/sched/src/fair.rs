@@ -3,7 +3,7 @@
 //! realize by preferring the stage with the fewest running tasks (least
 //! current share), breaking ties by id.
 
-use dagon_cluster::SimView;
+use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::StageId;
 
 use crate::assign::{OrderPolicy, OrderedScheduler};
@@ -17,9 +17,16 @@ impl OrderPolicy for FairOrder {
         "fair"
     }
 
-    fn rank(&mut self, view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+    fn rank(
+        &mut self,
+        view: &SimView<'_>,
+        ready: &[StageId],
+        shadow: &ScheduleShadow,
+    ) -> Vec<StageId> {
+        // Claims count as running: within a batch a claimed task raises
+        // the stage's current share exactly as its launch will.
         let mut v = ready.to_vec();
-        v.sort_by_key(|s| (view.stage(*s).running, *s));
+        v.sort_by_key(|s| (view.stage(*s).running + shadow.claimed_count(*s), *s));
         v
     }
 }

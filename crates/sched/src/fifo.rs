@@ -1,6 +1,6 @@
 //! FIFO: stock Spark's default scheduler — stages in submission (id) order.
 
-use dagon_cluster::SimView;
+use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::StageId;
 
 use crate::assign::{OrderPolicy, OrderedScheduler};
@@ -15,7 +15,12 @@ impl OrderPolicy for FifoOrder {
         "fifo"
     }
 
-    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+    fn rank(
+        &mut self,
+        _view: &SimView<'_>,
+        ready: &[StageId],
+        _shadow: &ScheduleShadow,
+    ) -> Vec<StageId> {
         let mut v = ready.to_vec();
         v.sort_unstable();
         v

@@ -14,7 +14,7 @@
 //! touch Spark's locality logic — that gap is what Dagon's Fig. 10
 //! exploits).
 
-use dagon_cluster::SimView;
+use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::graph::CriticalPath;
 use dagon_dag::{JobDag, StageEstimates, StageId};
 
@@ -70,10 +70,16 @@ impl GraphenePlan {
                 let better = match best {
                     None => true,
                     Some(b) => {
-                        let key_s =
-                            (troublesome[s.index()], cp.bottom_level[s.index()], std::cmp::Reverse(s));
-                        let key_b =
-                            (troublesome[b.index()], cp.bottom_level[b.index()], std::cmp::Reverse(b));
+                        let key_s = (
+                            troublesome[s.index()],
+                            cp.bottom_level[s.index()],
+                            std::cmp::Reverse(s),
+                        );
+                        let key_b = (
+                            troublesome[b.index()],
+                            cp.bottom_level[b.index()],
+                            std::cmp::Reverse(b),
+                        );
                         key_s > key_b
                     }
                 };
@@ -85,7 +91,10 @@ impl GraphenePlan {
             emitted[s.index()] = true;
             position[s.index()] = rank;
         }
-        Self { position, troublesome }
+        Self {
+            position,
+            troublesome,
+        }
     }
 }
 
@@ -98,7 +107,12 @@ impl OrderPolicy for GrapheneOrder {
         "graphene"
     }
 
-    fn rank(&mut self, _view: &SimView<'_>, ready: &[StageId]) -> Vec<StageId> {
+    fn rank(
+        &mut self,
+        _view: &SimView<'_>,
+        ready: &[StageId],
+        _shadow: &ScheduleShadow,
+    ) -> Vec<StageId> {
         let mut v = ready.to_vec();
         v.sort_by_key(|s| self.plan.position[s.index()]);
         v
@@ -110,6 +124,7 @@ pub struct GrapheneScheduler;
 impl GrapheneScheduler {
     /// GRAPHENE as evaluated in the paper: offline plan + native delay
     /// scheduling.
+    #[allow(clippy::new_ret_no_self)] // factory namespace: builds the generic driver
     pub fn new(dag: &JobDag, est: &StageEstimates) -> OrderedScheduler {
         Self::with_placement(dag, est, Box::new(NativeDelay::new()))
     }
@@ -120,7 +135,9 @@ impl GrapheneScheduler {
         placement: Box<dyn Placement>,
     ) -> OrderedScheduler {
         OrderedScheduler::new(
-            Box::new(GrapheneOrder { plan: GraphenePlan::build(dag, est) }),
+            Box::new(GrapheneOrder {
+                plan: GraphenePlan::build(dag, est),
+            }),
             placement,
         )
     }

@@ -1,17 +1,33 @@
 //! Task placement within a chosen stage: native delay scheduling [Zaharia
 //! et al., EuroSys'10] vs Dagon's locality-sensitivity-aware variant
 //! (Alg. 2 of the paper).
+//!
+//! Placement state (wait clocks, the resource-offer rotation cursor) is
+//! mutated *optimistically* while a batch of assignments is computed, and
+//! every mutation is recorded in an undo journal. If the simulator later
+//! discards part of the batch (block residency changed mid-application),
+//! [`OrderedScheduler`](crate::assign::OrderedScheduler) rolls the journal
+//! back to the last confirmed assignment so the re-computed picks see
+//! exactly the state the one-pick-per-call sequential loop would have.
 
 use std::collections::HashMap;
 
-use dagon_cluster::{ExecId, Locality, SimView};
-use dagon_dag::{Resources, SimTime, StageEstimates, StageId};
+use dagon_cluster::{ExecId, Locality, ScheduleShadow, SimView};
+use dagon_dag::{SimTime, StageEstimates, StageId};
 
 use crate::waits::WaitClock;
 
+/// One optimistic placement-state mutation (its prior value).
+enum JournalEntry {
+    /// Wait-clock of a stage before the mutation (`None` = absent).
+    Clock(StageId, Option<WaitClock>),
+    /// Resource-offer rotation cursor before the mutation.
+    Offer(usize),
+}
+
 /// Picks `(task, executor, locality)` for one stage, or `None` if the stage
-/// should wait. `shadow_free` is the caller's view of free executor
-/// resources (decremented across a multi-assignment round).
+/// should wait. `shadow` is the caller's view of free executor resources
+/// and already-claimed tasks, maintained across a multi-assignment batch.
 pub trait Placement {
     fn placement_name(&self) -> &'static str;
 
@@ -19,14 +35,23 @@ pub trait Placement {
         &mut self,
         stage: StageId,
         view: &SimView<'_>,
-        shadow_free: &[Resources],
+        shadow: &ScheduleShadow,
     ) -> Option<(u32, ExecId, Locality)>;
 
-    /// The simulator confirmed a launch of `stage` at `level`.
+    /// A launch of `stage` at `level` was picked (optimistically; it is
+    /// confirmed by the simulator, or rolled back via the journal).
     fn on_launch(&mut self, stage: StageId, level: Locality, now: SimTime);
 
-    /// A stage became pending (create its wait clock).
+    /// A stage became pending (create its wait clock). Never called with
+    /// an open journal — the batch is reconciled first.
     fn on_stage_ready(&mut self, stage: StageId, now: SimTime);
+
+    /// Current undo-journal length (a rollback mark).
+    fn journal_len(&self) -> usize;
+
+    /// Undo every journaled mutation past `keep` (in reverse), then drop
+    /// the journal: entries up to `keep` are confirmed-permanent.
+    fn reconcile_journal(&mut self, keep: usize);
 }
 
 /// Native delay scheduling: launch strictly at or below the allowed
@@ -41,23 +66,38 @@ pub trait Placement {
 pub struct NativeDelay {
     clocks: HashMap<StageId, WaitClock>,
     offer_start: usize,
+    journal: Vec<JournalEntry>,
 }
 
 impl NativeDelay {
     pub fn new() -> Self {
-        Self { clocks: HashMap::new(), offer_start: 0 }
+        Self {
+            clocks: HashMap::new(),
+            offer_start: 0,
+            journal: Vec::new(),
+        }
     }
 
-    fn allowed(&mut self, stage: StageId, view: &SimView<'_>) -> (Locality, Vec<Locality>) {
+    fn allowed(
+        &mut self,
+        stage: StageId,
+        view: &SimView<'_>,
+        shadow: &ScheduleShadow,
+    ) -> (Locality, Vec<Locality>) {
         let valid = {
-            let v = view.valid_levels(stage);
+            let v = view.valid_levels(stage, shadow);
             if v.is_empty() {
                 vec![Locality::Any]
             } else {
                 v
             }
         };
-        let clock = self.clocks.entry(stage).or_insert_with(|| WaitClock::new(view.now));
+        self.journal
+            .push(JournalEntry::Clock(stage, self.clocks.get(&stage).cloned()));
+        let clock = self
+            .clocks
+            .entry(stage)
+            .or_insert_with(|| WaitClock::new(view.now));
         let allowed = clock.allowed(view.now, &view.locality_wait, &valid);
         (allowed, valid)
     }
@@ -78,21 +118,22 @@ impl Placement for NativeDelay {
         &mut self,
         stage: StageId,
         view: &SimView<'_>,
-        shadow_free: &[Resources],
+        shadow: &ScheduleShadow,
     ) -> Option<(u32, ExecId, Locality)> {
-        let (allowed, valid) = self.allowed(stage, view);
+        let (allowed, valid) = self.allowed(stage, view, shadow);
         let demand = view.dag.stage(stage).demand;
         // Per-executor offers (rotating start), each taking its own best
         // task within the allowed level.
         let n = view.execs.len();
+        self.journal.push(JournalEntry::Offer(self.offer_start));
         self.offer_start = (self.offer_start + 1) % n.max(1);
         for off in 0..n {
             let e = &view.execs[(self.offer_start + off) % n];
-            if !shadow_free[e.id.index()].fits(demand) {
+            if !shadow.fits(e.id, demand) {
                 continue;
             }
             for &level in valid.iter().filter(|l| **l <= allowed) {
-                if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
                     return Some((k, e.id, level));
                 }
             }
@@ -101,13 +142,39 @@ impl Placement for NativeDelay {
     }
 
     fn on_launch(&mut self, stage: StageId, level: Locality, now: SimTime) {
+        self.journal
+            .push(JournalEntry::Clock(stage, self.clocks.get(&stage).cloned()));
         if let Some(c) = self.clocks.get_mut(&stage) {
             c.on_launch(level, now);
         }
     }
 
     fn on_stage_ready(&mut self, stage: StageId, now: SimTime) {
+        debug_assert!(
+            self.journal.is_empty(),
+            "stage-ready with an open batch journal"
+        );
         self.clocks.insert(stage, WaitClock::new(now));
+    }
+
+    fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    fn reconcile_journal(&mut self, keep: usize) {
+        let keep = keep.min(self.journal.len());
+        for e in self.journal.drain(keep..).rev() {
+            match e {
+                JournalEntry::Clock(s, Some(c)) => {
+                    self.clocks.insert(s, c);
+                }
+                JournalEntry::Clock(s, None) => {
+                    self.clocks.remove(&s);
+                }
+                JournalEntry::Offer(prior) => self.offer_start = prior,
+            }
+        }
+        self.journal.clear();
     }
 }
 
@@ -131,7 +198,11 @@ pub struct SensitivityAware {
 
 impl SensitivityAware {
     pub fn new(est: StageEstimates) -> Self {
-        Self { delay: NativeDelay::new(), est, insensitivity_factor: 1.15 }
+        Self {
+            delay: NativeDelay::new(),
+            est,
+            insensitivity_factor: 1.15,
+        }
     }
 
     /// Expected duration of a stage-`stage` task at `level`: the measured
@@ -162,12 +233,12 @@ impl Placement for SensitivityAware {
         &mut self,
         stage: StageId,
         view: &SimView<'_>,
-        shadow_free: &[Resources],
+        shadow: &ScheduleShadow,
     ) -> Option<(u32, ExecId, Locality)> {
-        let (allowed, valid) = self.delay.allowed(stage, view);
+        let (allowed, valid) = self.delay.allowed(stage, view, shadow);
         let demand = view.dag.stage(stage).demand;
         let fallback = self.est_finish_ms(stage, valid[0], view);
-        let ect = view.earliest_completion_ms(stage, fallback);
+        let ect = view.earliest_completion_ms(stage, fallback, shadow);
         // A low-locality launch is harmless when (a) the stage's backlog
         // means it cannot finish sooner anyway (Eq. 7), or (b) the stage is
         // insensitive at that level (§II-A's rack ≈ node ≈ process case).
@@ -176,12 +247,12 @@ impl Placement for SensitivityAware {
         // Alg. 2 line 3-12: executors outer, locality levels (ascending)
         // inner.
         for e in view.execs {
-            if !shadow_free[e.id.index()].fits(demand) {
+            if !shadow.fits(e.id, demand) {
                 continue;
             }
             for &level in &valid {
                 if level <= allowed {
-                    if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                    if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
                         return Some((k, e.id, level));
                     }
                     continue;
@@ -190,10 +261,13 @@ impl Placement for SensitivityAware {
                 // this level has no better home to wait for: launching it
                 // here can only help, whatever the wait clock says (the
                 // master's block registry makes this check possible).
-                if let Some(k) = view.pending_with_locality_strict(stage, e.id, level) {
+                if let Some(k) = view.pending_with_locality_strict(stage, e.id, level, shadow) {
                     return Some((k, e.id, level));
                 }
-                if view.pending_with_locality(stage, e.id, level).is_none() {
+                if view
+                    .pending_with_locality(stage, e.id, level, shadow)
+                    .is_none()
+                {
                     continue;
                 }
                 // Remaining candidates at this level have a better home
@@ -202,7 +276,7 @@ impl Placement for SensitivityAware {
                 // sooner without it (Eq. 7) or is insensitive at this level
                 // (§II-A's rack ≈ node ≈ process case).
                 if self.est_finish_ms(stage, level, view) < threshold {
-                    if let Some(k) = view.pending_with_locality(stage, e.id, level) {
+                    if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
                         return Some((k, e.id, level));
                     }
                 }
@@ -220,5 +294,13 @@ impl Placement for SensitivityAware {
 
     fn on_stage_ready(&mut self, stage: StageId, now: SimTime) {
         self.delay.on_stage_ready(stage, now);
+    }
+
+    fn journal_len(&self) -> usize {
+        self.delay.journal_len()
+    }
+
+    fn reconcile_journal(&mut self, keep: usize) {
+        self.delay.reconcile_journal(keep);
     }
 }

@@ -21,7 +21,10 @@ pub struct WaitClock {
 
 impl WaitClock {
     pub fn new(created_at: SimTime) -> Self {
-        Self { current: Locality::Process, last_launch: created_at }
+        Self {
+            current: Locality::Process,
+            last_launch: created_at,
+        }
     }
 
     /// The most relaxed locality currently allowed, given the stage's valid

@@ -8,7 +8,11 @@ use dagon_sched::{
     CriticalPathScheduler, DagonScheduler, FairScheduler, FifoScheduler, GrapheneScheduler,
 };
 
-fn run(dag: dagon_dag::JobDag, cfg: ClusterConfig, sched: &mut dyn dagon_cluster::Scheduler) -> dagon_cluster::SimResult {
+fn run(
+    dag: dagon_dag::JobDag,
+    cfg: ClusterConfig,
+    sched: &mut dyn dagon_cluster::Scheduler,
+) -> dagon_cluster::SimResult {
     Simulation::new(dag, cfg, || Box::new(NoCache)).run(sched)
 }
 
@@ -17,14 +21,42 @@ fn run(dag: dagon_dag::JobDag, cfg: ClusterConfig, sched: &mut dyn dagon_cluster
 fn bait_dag() -> dagon_dag::JobDag {
     let mut b = DagBuilder::new("bait");
     // Short chain: one saturating stage (8 × 2 = 16 cpus).
-    let (_, short) = b.stage("short").tasks(8).demand_cpus(2).cpu_ms(4_000).build();
+    let (_, short) = b
+        .stage("short")
+        .tasks(8)
+        .demand_cpus(2)
+        .cpu_ms(4_000)
+        .build();
     // Long chain: four stages that *under-fill* the 16-cpu cluster
     // (6 × 2 = 12 cpus), leaving spare capacity only a DAG-aware order can
     // fill with the short chain's tasks — the Fig. 2 condition.
-    let (_, a) = b.stage("long_a").tasks(6).demand_cpus(2).cpu_ms(4_000).build();
-    let (_, bb) = b.stage("long_b").tasks(6).demand_cpus(2).cpu_ms(4_000).reads_wide(a).build();
-    let (_, cc) = b.stage("long_c").tasks(6).demand_cpus(2).cpu_ms(4_000).reads_wide(bb).build();
-    let (_, dd) = b.stage("long_d").tasks(6).demand_cpus(2).cpu_ms(4_000).reads_wide(cc).build();
+    let (_, a) = b
+        .stage("long_a")
+        .tasks(6)
+        .demand_cpus(2)
+        .cpu_ms(4_000)
+        .build();
+    let (_, bb) = b
+        .stage("long_b")
+        .tasks(6)
+        .demand_cpus(2)
+        .cpu_ms(4_000)
+        .reads_wide(a)
+        .build();
+    let (_, cc) = b
+        .stage("long_c")
+        .tasks(6)
+        .demand_cpus(2)
+        .cpu_ms(4_000)
+        .reads_wide(bb)
+        .build();
+    let (_, dd) = b
+        .stage("long_d")
+        .tasks(6)
+        .demand_cpus(2)
+        .cpu_ms(4_000)
+        .reads_wide(cc)
+        .build();
     let _ = b
         .stage("join")
         .tasks(2)
@@ -48,8 +80,16 @@ fn small_cluster() -> ClusterConfig {
 fn dagon_prioritizes_the_long_chain_over_fifo_order() {
     let dag = bait_dag();
     let est = StageEstimates::exact(&dag);
-    let fifo = run(dag.clone(), small_cluster(), &mut FifoScheduler::spark_default());
-    let dagon = run(dag.clone(), small_cluster(), &mut DagonScheduler::new(&dag, &est));
+    let fifo = run(
+        dag.clone(),
+        small_cluster(),
+        &mut FifoScheduler::spark_default(),
+    );
+    let dagon = run(
+        dag.clone(),
+        small_cluster(),
+        &mut DagonScheduler::new(&dag, &est),
+    );
     // FIFO burns capacity on the short chain first, then serializes the
     // long chain; Dagon overlaps the short chain into the long chain's
     // spare capacity.
@@ -64,8 +104,16 @@ fn dagon_prioritizes_the_long_chain_over_fifo_order() {
 #[test]
 fn critical_path_also_beats_fifo_on_the_bait() {
     let dag = bait_dag();
-    let fifo = run(dag.clone(), small_cluster(), &mut FifoScheduler::spark_default());
-    let cp = run(dag.clone(), small_cluster(), &mut CriticalPathScheduler::new(&dag));
+    let fifo = run(
+        dag.clone(),
+        small_cluster(),
+        &mut FifoScheduler::spark_default(),
+    );
+    let cp = run(
+        dag.clone(),
+        small_cluster(),
+        &mut CriticalPathScheduler::new(&dag),
+    );
     assert!(cp.jct <= fifo.jct, "cp {} vs fifo {}", cp.jct, fifo.jct);
 }
 
@@ -75,9 +123,18 @@ fn graphene_matches_or_beats_fifo_on_fig1() {
     let est = StageEstimates::exact(&dag);
     let mut cfg = ClusterConfig::tiny(1, 16);
     cfg.locality_wait = LocalityWait::disabled();
-    let fifo = run(dag.clone(), cfg.clone(), &mut FifoScheduler::spark_default());
+    let fifo = run(
+        dag.clone(),
+        cfg.clone(),
+        &mut FifoScheduler::spark_default(),
+    );
     let graphene = run(dag.clone(), cfg, &mut GrapheneScheduler::new(&dag, &est));
-    assert!(graphene.jct <= fifo.jct, "graphene {} vs fifo {}", graphene.jct, fifo.jct);
+    assert!(
+        graphene.jct <= fifo.jct,
+        "graphene {} vs fifo {}",
+        graphene.jct,
+        fifo.jct
+    );
 }
 
 #[test]
@@ -122,11 +179,21 @@ fn fair_spreads_across_ready_stages() {
     let cfg = ClusterConfig::tiny(1, 4);
     let res = run(dag, cfg, &mut FairScheduler::spark_fair());
     // In the first wave (4 slots), both stages must have launches.
-    let first_wave: Vec<_> =
-        res.metrics.task_runs.iter().filter(|r| r.start == 0).collect();
+    let first_wave: Vec<_> = res
+        .metrics
+        .task_runs
+        .iter()
+        .filter(|r| r.start == 0)
+        .collect();
     assert_eq!(first_wave.len(), 4);
-    let x = first_wave.iter().filter(|r| r.task.stage == StageId(0)).count();
-    let y = first_wave.iter().filter(|r| r.task.stage == StageId(1)).count();
+    let x = first_wave
+        .iter()
+        .filter(|r| r.task.stage == StageId(0))
+        .count();
+    let y = first_wave
+        .iter()
+        .filter(|r| r.task.stage == StageId(1))
+        .count();
     assert_eq!(x, 2, "{x} vs {y}");
     assert_eq!(y, 2);
 }
@@ -138,7 +205,12 @@ fn all_schedulers_complete_a_chain_identically() {
     let dag = tiny_chain(8, 1_000);
     let est = StageEstimates::exact(&dag);
     let cfg = small_cluster();
-    let base = run(dag.clone(), cfg.clone(), &mut FifoScheduler::spark_default()).jct;
+    let base = run(
+        dag.clone(),
+        cfg.clone(),
+        &mut FifoScheduler::spark_default(),
+    )
+    .jct;
     for mut s in [
         Box::new(FairScheduler::spark_fair()) as Box<dyn dagon_cluster::Scheduler>,
         Box::new(CriticalPathScheduler::new(&dag)),

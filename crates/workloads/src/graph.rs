@@ -140,13 +140,29 @@ fn supersteps(
 /// workload where the paper reports Dagon's biggest wins (42% JCT, 46%
 /// CPU-utilization vs GRAPHENE+MRD).
 pub fn connected_component(scale: &Scale) -> JobDag {
-    supersteps("ConnectedComponent", scale, scale.block_mb * 1.5, 500, 800, 16.0, 1)
+    supersteps(
+        "ConnectedComponent",
+        scale,
+        scale.block_mb * 1.5,
+        500,
+        800,
+        16.0,
+        1,
+    )
 }
 
 /// PregelOperation (I/O-intensive): generic Pregel compute with moderately
 /// heavier per-superstep compute and bigger messages than CC.
 pub fn pregel_operation(scale: &Scale) -> JobDag {
-    supersteps("PregelOperation", scale, scale.block_mb * 1.5, 600, 1_100, 24.0, 2)
+    supersteps(
+        "PregelOperation",
+        scale,
+        scale.block_mb * 1.5,
+        600,
+        1_100,
+        24.0,
+        2,
+    )
 }
 
 /// PageRank (I/O-intensive; the Fig. 11 cache study's classic): rank
@@ -163,7 +179,7 @@ mod tests {
     #[test]
     fn supersteps_chain_through_state_and_reread_edges() {
         let dag = connected_component(&Scale::tiny()); // 3 iters + 1 extra
-        // load + 4×(superstep + progress) + collect = 10 stages.
+                                                       // load + 4×(superstep + progress) + collect = 10 stages.
         assert_eq!(dag.num_stages(), 10);
         let edges = dag.stage(StageId(0)).output;
         for i in 0..4u32 {
@@ -171,12 +187,17 @@ mod tests {
             let st = dag.stage(step);
             assert!(st.name.starts_with("superstep"), "{}", st.name);
             assert!(
-                st.inputs.iter().any(|x| x.rdd == edges && x.kind == DepKind::Narrow),
+                st.inputs
+                    .iter()
+                    .any(|x| x.rdd == edges && x.kind == DepKind::Narrow),
                 "superstep {i} must re-read edges"
             );
             if i > 0 {
                 let prev_out = dag.stage(StageId(1 + 2 * (i - 1))).output;
-                assert!(st.inputs.iter().any(|x| x.rdd == prev_out && x.kind == DepKind::Wide));
+                assert!(st
+                    .inputs
+                    .iter()
+                    .any(|x| x.rdd == prev_out && x.kind == DepKind::Wide));
             }
         }
     }

@@ -48,23 +48,39 @@ pub struct Scale {
 impl Scale {
     /// Testbed-sized: tuned for the 18-node / 288-core paper cluster.
     pub fn paper() -> Self {
-        Self { tasks: 224, block_mb: 128.0, iterations: 8 }
+        Self {
+            tasks: 224,
+            block_mb: 128.0,
+            iterations: 8,
+        }
     }
 
     /// Small and fast, for unit tests: a handful of tasks and iterations.
     pub fn tiny() -> Self {
-        Self { tasks: 8, block_mb: 64.0, iterations: 3 }
+        Self {
+            tasks: 8,
+            block_mb: 64.0,
+            iterations: 3,
+        }
     }
 
     /// The §II-A case-study scale (7-node cluster, 112 cores): KMeans with
     /// ~2 waves per iteration stage.
     pub fn case_study() -> Self {
-        Self { tasks: 224, block_mb: 128.0, iterations: 15 }
+        Self {
+            tasks: 224,
+            block_mb: 128.0,
+            iterations: 15,
+        }
     }
 
     /// A profiling-run variant: same stage structure, fewer tasks.
     pub fn profiling_of(full: &Scale) -> Self {
-        Self { tasks: (full.tasks / 8).max(2), block_mb: full.block_mb, iterations: full.iterations }
+        Self {
+            tasks: (full.tasks / 8).max(2),
+            block_mb: full.block_mb,
+            iterations: full.iterations,
+        }
     }
 }
 
@@ -167,7 +183,10 @@ mod tests {
 
     #[test]
     fn all_workloads_build_valid_dags_at_all_scales() {
-        for w in Workload::PAPER_SEVEN.into_iter().chain([Workload::PageRank]) {
+        for w in Workload::PAPER_SEVEN
+            .into_iter()
+            .chain([Workload::PageRank])
+        {
             for scale in [Scale::tiny(), Scale::paper()] {
                 let dag = w.build(&scale);
                 assert!(dag.num_stages() >= 3, "{w} too small");
@@ -180,15 +199,27 @@ mod tests {
 
     #[test]
     fn categories_match_paper_grouping() {
-        assert_eq!(Workload::LinearRegression.category(), Category::CpuIntensive);
+        assert_eq!(
+            Workload::LinearRegression.category(),
+            Category::CpuIntensive
+        );
         assert_eq!(Workload::KMeans.category(), Category::Mixed);
-        assert_eq!(Workload::ConnectedComponent.category(), Category::IoIntensive);
+        assert_eq!(
+            Workload::ConnectedComponent.category(),
+            Category::IoIntensive
+        );
     }
 
     #[test]
     fn iterative_workloads_scale_with_iterations() {
-        let a = Workload::ConnectedComponent.build(&Scale { iterations: 3, ..Scale::tiny() });
-        let b = Workload::ConnectedComponent.build(&Scale { iterations: 6, ..Scale::tiny() });
+        let a = Workload::ConnectedComponent.build(&Scale {
+            iterations: 3,
+            ..Scale::tiny()
+        });
+        let b = Workload::ConnectedComponent.build(&Scale {
+            iterations: 6,
+            ..Scale::tiny()
+        });
         assert!(b.num_stages() > a.num_stages());
     }
 
@@ -208,8 +239,12 @@ mod tests {
     #[test]
     fn io_workloads_persist_large_rdds() {
         let dag = Workload::ConnectedComponent.build(&Scale::paper());
-        let cached_mb: f64 =
-            dag.rdds().iter().filter(|r| r.cached).map(|r| r.total_mb()).sum();
+        let cached_mb: f64 = dag
+            .rdds()
+            .iter()
+            .filter(|r| r.cached)
+            .map(|r| r.total_mb())
+            .sum();
         assert!(cached_mb > 10_000.0, "CC caches only {cached_mb} MiB");
     }
 }

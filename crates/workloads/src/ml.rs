@@ -168,12 +168,26 @@ fn regression(
 /// LinearRegression: training chain of 8 SGD stages (⟨1 vCPU, 4 s⟩ over the
 /// cached points) plus the test-evaluation branch.
 pub fn linear_regression(scale: &Scale) -> JobDag {
-    regression("LinearRegression", scale, scale.iterations.max(1), 4_000, 1, 2_500)
+    regression(
+        "LinearRegression",
+        scale,
+        scale.iterations.max(1),
+        4_000,
+        1,
+        2_500,
+    )
 }
 
 /// LogisticRegression: more, slightly cheaper iterations.
 pub fn logistic_regression(scale: &Scale) -> JobDag {
-    regression("LogisticRegression", scale, scale.iterations + 2, 3_200, 1, 2_200)
+    regression(
+        "LogisticRegression",
+        scale,
+        scale.iterations + 2,
+        3_200,
+        1,
+        2_200,
+    )
 }
 
 /// DecisionTree: the branchy CPU-intensive DAG of Fig. 9's deep-dive. After
@@ -285,8 +299,10 @@ mod tests {
         assert!(dag.rdd(points).cached);
         for i in 1..=3u32 {
             let st = dag.stage(StageId(i));
-            assert!(st.inputs.iter().any(|inp| inp.rdd == points
-                && inp.kind == dagon_dag::DepKind::Narrow));
+            assert!(st
+                .inputs
+                .iter()
+                .any(|inp| inp.rdd == points && inp.kind == dagon_dag::DepKind::Narrow));
         }
     }
 
@@ -326,7 +342,11 @@ mod tests {
         let dag = decision_tree(&Scale::paper());
         // The two branch chains come off root_split (stage 2): at least two
         // children.
-        assert!(dag.children(StageId(2)).len() >= 2, "{:?}", dag.children(StageId(2)));
+        assert!(
+            dag.children(StageId(2)).len() >= 2,
+            "{:?}",
+            dag.children(StageId(2))
+        );
         assert!(depth(&dag) >= 5);
         // Heterogeneous demands present.
         let demands: std::collections::HashSet<u32> =
@@ -338,7 +358,10 @@ mod tests {
     fn regressions_are_cpu_dominated() {
         // CPU time per task must dwarf the per-task input I/O (~1 s at
         // 128 MB / 120 MBps) for the CPU-intensive label to be honest.
-        for dag in [linear_regression(&Scale::paper()), logistic_regression(&Scale::paper())] {
+        for dag in [
+            linear_regression(&Scale::paper()),
+            logistic_regression(&Scale::paper()),
+        ] {
             let grad_stages: Vec<_> = dag
                 .stages()
                 .iter()
@@ -356,7 +379,11 @@ mod tests {
         // 288-core testbed: chain stages must not saturate it, so overlap
         // decisions (not raw capacity) determine fragmentation.
         let dag = linear_regression(&Scale::paper());
-        for s in dag.stages().iter().filter(|s| s.name.starts_with("gradient")) {
+        for s in dag
+            .stages()
+            .iter()
+            .filter(|s| s.name.starts_with("gradient"))
+        {
             let demand = s.num_tasks * s.demand.cpus;
             assert!(demand < 288, "{}: {demand}", s.name);
             assert!(demand > 150, "{}: {demand}", s.name);
@@ -373,7 +400,11 @@ mod tests {
             decision_tree(&Scale::paper()),
         ] {
             let mins = dag.total_work() / MIN_MS;
-            assert!((20..20_000).contains(&mins), "{}: {mins} core-min", dag.name());
+            assert!(
+                (20..20_000).contains(&mins),
+                "{}: {mins} core-min",
+                dag.name()
+            );
         }
     }
 }

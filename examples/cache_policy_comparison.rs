@@ -16,15 +16,25 @@ fn main() {
     println!(
         "PageRank: {} stages, {:.1} GiB cache-eligible data, {:.1} GiB aggregate cache\n",
         dag.num_stages(),
-        dag.rdds().iter().filter(|r| r.cached).map(|r| r.total_mb()).sum::<f64>() / 1024.0,
+        dag.rdds()
+            .iter()
+            .filter(|r| r.cached)
+            .map(|r| r.total_mb())
+            .sum::<f64>()
+            / 1024.0,
         cfg.cluster.exec_cache_mb * cfg.cluster.total_execs() as f64 / 1024.0,
     );
     println!(
         "{:<8} {:>8} {:>10} {:>8} {:>10} {:>10}",
         "policy", "JCT (s)", "hit ratio", "evicted", "prefetched", "pf-used"
     );
-    for cache in [PolicyKind::None, PolicyKind::Lru, PolicyKind::Lrc, PolicyKind::Mrd, PolicyKind::Lrp]
-    {
+    for cache in [
+        PolicyKind::None,
+        PolicyKind::Lru,
+        PolicyKind::Lrc,
+        PolicyKind::Mrd,
+        PolicyKind::Lrp,
+    ] {
         let sys = System::new(SchedKind::Dagon, PlaceKind::Sensitivity, cache);
         let out = run_system(&dag, &cfg.cluster, &sys);
         let c = &out.result.metrics.cache;

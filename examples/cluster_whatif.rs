@@ -13,12 +13,23 @@ use dagon_workloads::Workload;
 fn main() {
     let base = ExpConfig::quick();
     let dag = Workload::ConnectedComponent.build(&base.scale);
-    let data_gb =
-        dag.rdds().iter().filter(|r| r.cached).map(|r| r.total_mb()).sum::<f64>() / 1024.0;
-    println!("ConnectedComponent: {:.1} GiB cache-eligible working set\n", data_gb);
+    let data_gb = dag
+        .rdds()
+        .iter()
+        .filter(|r| r.cached)
+        .map(|r| r.total_mb())
+        .sum::<f64>()
+        / 1024.0;
+    println!(
+        "ConnectedComponent: {:.1} GiB cache-eligible working set\n",
+        data_gb
+    );
 
     println!("-- executors per node (cache per executor fixed) --");
-    println!("{:>6} {:>7} {:>9} {:>10}", "execs", "cores", "JCT (s)", "CPU util");
+    println!(
+        "{:>6} {:>7} {:>9} {:>10}",
+        "execs", "cores", "JCT (s)", "CPU util"
+    );
     for epn in [1u32, 2, 4] {
         let mut cfg = base.clone();
         cfg.cluster.execs_per_node = epn;
@@ -33,7 +44,10 @@ fn main() {
     }
 
     println!("\n-- BlockManager memory per executor --");
-    println!("{:>10} {:>9} {:>10} {:>10}", "cache MiB", "JCT (s)", "hit ratio", "agg/data");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10}",
+        "cache MiB", "JCT (s)", "hit ratio", "agg/data"
+    );
     for cache_mb in [128.0, 320.0, 640.0, 1280.0, 2560.0] {
         let mut cfg = base.clone();
         cfg.cluster.exec_cache_mb = cache_mb;

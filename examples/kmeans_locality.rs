@@ -17,7 +17,10 @@ fn main() {
 
     let dag = Workload::KMeans.build(&cfg.scale);
     let insens = insensitive_stages(&dag, &cfg.cluster);
-    println!("KMeans: {} stages; locality-insensitive: {insens:?}\n", dag.num_stages());
+    println!(
+        "KMeans: {} stages; locality-insensitive: {insens:?}\n",
+        dag.num_stages()
+    );
 
     let rows = fig3(&cfg);
     print!("{:>8}", "stage");
@@ -30,7 +33,11 @@ fn main() {
         for r in &rows {
             print!("{:>10.2}", r.stage_durations_s[s]);
         }
-        let tag = if insens.iter().any(|x| x.index() == s) { "  <- insensitive" } else { "" };
+        let tag = if insens.iter().any(|x| x.index() == s) {
+            "  <- insensitive"
+        } else {
+            ""
+        };
         println!("{tag}");
     }
     println!("\nPattern to expect (paper Fig. 3): waiting helps the iteration stages");

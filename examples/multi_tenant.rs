@@ -7,9 +7,9 @@
 //! cargo run --example multi_tenant --release
 //! ```
 
+use dagon_cache::PolicyKind;
 use dagon_core::experiments::{multi_tenant, ExpConfig};
 use dagon_core::system::{PlaceKind, SchedKind, System};
-use dagon_cache::PolicyKind;
 
 fn main() {
     let mut cfg = ExpConfig::quick();

@@ -22,7 +22,10 @@ fn tiny_cluster() -> ClusterConfig {
 fn every_system_completes_every_workload_at_tiny_scale() {
     let cluster = tiny_cluster();
     let scale = Scale::tiny();
-    for w in Workload::PAPER_SEVEN.into_iter().chain([Workload::PageRank]) {
+    for w in Workload::PAPER_SEVEN
+        .into_iter()
+        .chain([Workload::PageRank])
+    {
         let dag = w.build(&scale);
         for sched in [
             SchedKind::Fifo,
@@ -31,14 +34,25 @@ fn every_system_completes_every_workload_at_tiny_scale() {
             SchedKind::Graphene,
             SchedKind::Dagon,
         ] {
-            for cache in [PolicyKind::None, PolicyKind::Lru, PolicyKind::Lrc, PolicyKind::Mrd, PolicyKind::Lrp] {
+            for cache in [
+                PolicyKind::None,
+                PolicyKind::Lru,
+                PolicyKind::Lrc,
+                PolicyKind::Mrd,
+                PolicyKind::Lrp,
+            ] {
                 let sys = System::new(sched, PlaceKind::NativeDelay, cache);
                 let out = run_system(&dag, &cluster, &sys);
                 assert!(out.result.jct > 0, "{w} under {sys}");
                 // Every task ran exactly once as a winner.
                 let total: u32 = dag.stages().iter().map(|s| s.num_tasks).sum();
-                let winners =
-                    out.result.metrics.task_runs.iter().filter(|r| r.winner).count() as u32;
+                let winners = out
+                    .result
+                    .metrics
+                    .task_runs
+                    .iter()
+                    .filter(|r| r.winner)
+                    .count() as u32;
                 assert_eq!(winners, total, "{w} under {sys}");
             }
         }
@@ -66,7 +80,10 @@ fn fig2_exact_makespans_hold_through_the_full_simulator() {
     let fifo = run_system(&fig1(), &cluster, &System::stock_spark());
     let dagon = run_system(&fig1(), &cluster, &System::dagon());
     let ratio = fifo.result.jct as f64 / dagon.result.jct as f64;
-    assert!(ratio > 1.15, "expected ≥15% improvement, got ratio {ratio:.3}");
+    assert!(
+        ratio > 1.15,
+        "expected ≥15% improvement, got ratio {ratio:.3}"
+    );
     // Abstract model is exact.
     let a = tiny_exec::run_tiny(&fig1(), 16, tiny_exec::Mode::Fifo);
     let b = tiny_exec::run_tiny(&fig1(), 16, tiny_exec::Mode::DagAware);
@@ -125,13 +142,28 @@ fn speculation_bounds_straggler_damage() {
         .skew(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 8.0])
         .reads_narrow(src)
         .build();
-    let _ = b.stage("agg").tasks(2).demand_cpus(1).cpu_ms(500).reads_wide(r).build();
+    let _ = b
+        .stage("agg")
+        .tasks(2)
+        .demand_cpus(1)
+        .cpu_ms(500)
+        .reads_wide(r)
+        .build();
     let dag = b.build().unwrap();
     let mut cluster = tiny_cluster();
-    cluster.speculation = Some(dagon_cluster::SpeculationConfig { multiplier: 1.5, quantile: 0.5 });
+    cluster.speculation = Some(dagon_cluster::SpeculationConfig {
+        multiplier: 1.5,
+        quantile: 0.5,
+    });
     let out = run_system(&dag, &cluster, &System::stock_spark());
     assert!(out.result.metrics.speculative_launched >= 1);
-    let winners = out.result.metrics.task_runs.iter().filter(|r| r.winner).count();
+    let winners = out
+        .result
+        .metrics
+        .task_runs
+        .iter()
+        .filter(|r| r.winner)
+        .count();
     assert_eq!(winners, 18);
 }
 
@@ -180,8 +212,10 @@ fn machine_stragglers_are_mitigated_by_speculation() {
     cfg.straggler_prob = 0.08;
     cfg.speculation = None;
     let plain = run_system(&dag, &cfg, &System::stock_spark());
-    cfg.speculation =
-        Some(dagon_cluster::SpeculationConfig { multiplier: 1.5, quantile: 0.5 });
+    cfg.speculation = Some(dagon_cluster::SpeculationConfig {
+        multiplier: 1.5,
+        quantile: 0.5,
+    });
     let spec = run_system(&dag, &cfg, &System::stock_spark());
     assert!(spec.result.metrics.speculative_launched > 0);
     assert!(

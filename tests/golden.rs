@@ -1,0 +1,126 @@
+//! Golden simulation snapshots: same-seed runs must produce *identical*
+//! results — JCT, per-stage metrics, and locality histograms — across
+//! refactors of the scheduling fast path. The constants below were
+//! captured from the pre-LocalityIndex sequential scheduler; the batched
+//! scheduler must reproduce them bit-for-bit (ISSUE 1 acceptance
+//! criterion).
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `cargo test --release --test golden -- --ignored print_golden --nocapture`
+
+use dagon_cluster::{ClusterConfig, SimResult};
+use dagon_core::experiments::ExpConfig;
+use dagon_core::{run_system, System};
+use dagon_dag::examples::{fig1, tiny_chain};
+use dagon_dag::JobDag;
+use dagon_workloads::Workload;
+
+/// FNV-1a over every semantically-relevant field of the result: JCT,
+/// per-stage first-launch/completion times, launch and finish locality
+/// histograms, and the winner task-run locality histogram. Scheduler
+/// overhead counters are deliberately excluded — they describe how the
+/// result was computed, not what it is.
+fn fingerprint(r: &SimResult) -> (u64, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(r.jct);
+    mix(r.total_cores as u64);
+    for s in &r.metrics.per_stage {
+        mix(s.first_launch.map_or(u64::MAX, |t| t));
+        mix(s.completed_at.map_or(u64::MAX, |t| t));
+        for &c in &s.launches_by_locality {
+            mix(c as u64);
+        }
+        for &(n, ms) in &s.finished_by_locality {
+            mix(n as u64);
+            mix(ms);
+        }
+    }
+    let mut hist = [0u64; 4];
+    for run in r.metrics.task_runs.iter().filter(|t| t.winner) {
+        hist[run.locality.index()] += 1;
+    }
+    for c in hist {
+        mix(c);
+    }
+    (r.jct, h)
+}
+
+/// The four scenarios of the acceptance criterion, × the fig8 lineup.
+fn scenarios() -> Vec<(&'static str, JobDag, ClusterConfig)> {
+    let quick = ExpConfig::quick();
+    vec![
+        ("fig1", fig1(), ClusterConfig::tiny(2, 16)),
+        ("tiny_chain", tiny_chain(8, 500), ClusterConfig::tiny(2, 4)),
+        (
+            "KMeans-quick",
+            Workload::KMeans.build(&quick.scale),
+            quick.cluster.clone(),
+        ),
+        (
+            "CC-quick",
+            Workload::ConnectedComponent.build(&quick.scale),
+            quick.cluster.clone(),
+        ),
+    ]
+}
+
+fn run_all() -> Vec<(String, u64, u64)> {
+    let mut rows = Vec::new();
+    for (wname, dag, cluster) in scenarios() {
+        for sys in System::fig8_lineup() {
+            let out = run_system(&dag, &cluster, &sys);
+            let (jct, fp) = fingerprint(&out.result);
+            rows.push((format!("{wname}/{sys}"), jct, fp));
+        }
+    }
+    rows
+}
+
+/// Captured from the pre-optimization scheduler (sequential single-pick
+/// path), vendored-rand streams, seed = ClusterConfig defaults.
+const GOLDEN: &[(&str, u64, u64)] = &[
+    ("fig1/FIFO+LRU", 602314, 3311346766028599992),
+    ("fig1/Graphene+LRU", 602969, 1662238159545852579),
+    ("fig1/Graphene+MRD", 602969, 1662238159545852579),
+    ("fig1/Dagon", 602314, 3311346766028599992),
+    ("tiny_chain/FIFO+LRU", 2531, 2208728996217705522),
+    ("tiny_chain/Graphene+LRU", 2531, 2208728996217705522),
+    ("tiny_chain/Graphene+MRD", 2531, 2208728996217705522),
+    ("tiny_chain/Dagon", 2531, 2208728996217705522),
+    ("KMeans-quick/FIFO+LRU", 32538, 10615792872003016651),
+    ("KMeans-quick/Graphene+LRU", 32538, 10615792872003016651),
+    ("KMeans-quick/Graphene+MRD", 32478, 12115286035362271704),
+    ("KMeans-quick/Dagon", 33990, 16248710267207412905),
+    ("CC-quick/FIFO+LRU", 51253, 12035404264890145351),
+    ("CC-quick/Graphene+LRU", 51318, 5786794090166402431),
+    ("CC-quick/Graphene+MRD", 49135, 14090999386727238774),
+    ("CC-quick/Dagon", 50006, 14939127398690536188),
+];
+
+#[test]
+fn simulation_results_match_golden_snapshots() {
+    let rows = run_all();
+    assert_eq!(rows.len(), GOLDEN.len(), "scenario lineup changed");
+    let mut bad = Vec::new();
+    for ((name, jct, fp), (gname, gjct, gfp)) in rows.iter().zip(GOLDEN) {
+        assert_eq!(name, gname, "scenario order changed");
+        if jct != gjct || fp != gfp {
+            bad.push(format!(
+                "{name}: jct {jct} (want {gjct}), fp {fp} (want {gfp})"
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "golden mismatches:\n{}", bad.join("\n"));
+}
+
+#[test]
+#[ignore = "prints current values for updating GOLDEN"]
+fn print_golden() {
+    for (name, jct, fp) in run_all() {
+        println!("    (\"{name}\", {jct}, {fp}),");
+    }
+}

@@ -6,10 +6,10 @@ use dagon_cache::PolicyKind;
 use dagon_cluster::ClusterConfig;
 use dagon_core::runner::run_system_with_estimates;
 use dagon_core::system::{PlaceKind, SchedKind, System};
+use dagon_dag::{StageEstimates, StageId};
 use dagon_profiler::online::OnlineEstimator;
 use dagon_profiler::sampling::profile_by_sampling;
 use dagon_profiler::AppProfiler;
-use dagon_dag::{StageEstimates, StageId};
 use dagon_workloads::{Scale, Workload};
 
 fn cluster() -> ClusterConfig {
@@ -25,7 +25,11 @@ fn cluster() -> ClusterConfig {
 fn profile_then_run_full_dataset() {
     // §IV: first submission runs a small dataset to obtain the profile,
     // the re-submission runs full-scale with those estimates.
-    let full_scale = Scale { tasks: 32, block_mb: 64.0, iterations: 4 };
+    let full_scale = Scale {
+        tasks: 32,
+        block_mb: 64.0,
+        iterations: 4,
+    };
     let small_scale = Scale::profiling_of(&full_scale);
     let small = Workload::KMeans.build(&small_scale);
     let full = Workload::KMeans.build(&full_scale);
@@ -34,7 +38,10 @@ fn profile_then_run_full_dataset() {
     // The sampled estimate for the heavy scan stage must be in the right
     // ballpark (compute 5.5 s + some I/O).
     let scan_est = est.mean_ms(StageId(0));
-    assert!((5_000.0..12_000.0).contains(&scan_est), "scan estimate {scan_est}");
+    assert!(
+        (5_000.0..12_000.0).contains(&scan_est),
+        "scan estimate {scan_est}"
+    );
     let out = run_system_with_estimates(&full, &cfg, &System::dagon(), &est);
     assert!(out.result.jct > 0);
 }
@@ -44,7 +51,11 @@ fn noisy_estimates_degrade_gracefully() {
     // Dagon planning with 40% duration error must still complete and stay
     // within 2x of the oracle-planned run (robustness of Alg. 1/2 to
     // profiling error).
-    let scale = Scale { tasks: 32, block_mb: 64.0, iterations: 4 };
+    let scale = Scale {
+        tasks: 32,
+        block_mb: 64.0,
+        iterations: 4,
+    };
     let dag = Workload::LinearRegression.build(&scale);
     let cfg = cluster();
     let oracle = run_system_with_estimates(
@@ -80,7 +91,10 @@ fn online_estimator_corrects_a_bad_prior() {
     }
     let corrected = oe.current().mean_ms(StageId(0));
     let truth = dag.stage(StageId(0)).cpu_ms as f64;
-    assert!((corrected - truth).abs() / truth < 0.05, "{corrected} vs {truth}");
+    assert!(
+        (corrected - truth).abs() / truth < 0.05,
+        "{corrected} vs {truth}"
+    );
 }
 
 #[test]
@@ -88,7 +102,11 @@ fn lrp_under_pressure_prefers_reused_blocks() {
     // ConnectedComponent with a cache far smaller than the edge RDD: LRP
     // must deliver at least as many byte-hits as LRU under the Dagon
     // scheduler, and must proactively drop dead message blocks.
-    let scale = Scale { tasks: 24, block_mb: 64.0, iterations: 5 };
+    let scale = Scale {
+        tasks: 24,
+        block_mb: 64.0,
+        iterations: 5,
+    };
     let dag = Workload::ConnectedComponent.build(&scale);
     let mut cfg = cluster();
     cfg.exec_cache_mb = 384.0;
@@ -118,7 +136,11 @@ fn lrp_under_pressure_prefers_reused_blocks() {
 fn prefetch_restores_evicted_blocks() {
     // With prefetching enabled and pressure, the Dagon system must issue
     // prefetches and some must be used.
-    let scale = Scale { tasks: 24, block_mb: 64.0, iterations: 6 };
+    let scale = Scale {
+        tasks: 24,
+        block_mb: 64.0,
+        iterations: 6,
+    };
     let dag = Workload::PageRank.build(&scale);
     let mut cfg = cluster();
     cfg.exec_cache_mb = 384.0;

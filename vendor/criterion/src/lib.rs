@@ -1,0 +1,255 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Same macro/entry surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `Bencher`, `BatchSize`, `black_box`)
+//! but a plain wall-clock harness underneath: each benchmark is timed
+//! over a bounded number of samples and a summary line is printed. No
+//! statistics machinery, no HTML reports. `--test` (what `cargo test`
+//! passes to `harness = false` targets) runs each benchmark body exactly
+//! once so the test suite stays fast; positional CLI args act as
+//! substring filters like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints; the shim treats them all the same.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct Mode {
+    /// Run each body exactly once and skip reporting (`--test`).
+    smoke: bool,
+    /// Substring filters from positional CLI args.
+    filters: Vec<String>,
+}
+
+impl Mode {
+    fn from_args() -> Self {
+        let mut smoke = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Self { smoke, filters }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { mode: Mode::from_args(), sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        run_bench(&self.mode, self.sample_size, &id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_bench(&self.c.mode, samples, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(mode: &Mode, samples: usize, id: &str, mut f: F) {
+    if !mode.selected(id) {
+        return;
+    }
+    let mut b = Bencher {
+        samples: if mode.smoke { 1 } else { samples },
+        smoke: mode.smoke,
+        stats: None,
+    };
+    f(&mut b);
+    if mode.smoke {
+        return;
+    }
+    match b.stats {
+        Some(s) => {
+            let n = s.times.len().max(1) as f64;
+            let mean = s.times.iter().sum::<f64>() / n;
+            let min = s.times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = s.times.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{id:<50} time: [{min:>10.4} ms {mean:>10.4} ms {max:>10.4} ms]  ({} samples)",
+                s.times.len()
+            );
+        }
+        None => println!("{id:<50} (no measurement recorded)"),
+    }
+}
+
+struct Stats {
+    /// Per-iteration wall time of each sample, in milliseconds.
+    times: Vec<f64>,
+}
+
+/// Passed to benchmark closures; `iter*` performs the measurement.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    stats: Option<Stats>,
+}
+
+/// Cap on the total measurement time of a single benchmark.
+const TIME_BUDGET: Duration = Duration::from_secs(10);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.stats = Some(Stats { times: vec![] });
+            return;
+        }
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        // Batch fast bodies so per-sample time is measurable.
+        let per_sample = ((Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)) as u64)
+            .clamp(1, 1_000_000);
+        let mut times = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            times.push(t.elapsed().as_secs_f64() * 1e3 / per_sample as f64);
+            if budget.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.stats = Some(Stats { times });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.stats = Some(Stats { times: vec![] });
+            return;
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+            if budget.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.stats = Some(Stats { times });
+    }
+}
+
+/// Declares a group-runner function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { mode: Mode { smoke: true, filters: vec![] }, sample_size: 2 };
+        quick_bench(&mut c);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let m = Mode { smoke: false, filters: vec!["abc".into()] };
+        assert!(m.selected("xx_abc_yy"));
+        assert!(!m.selected("xx_yy"));
+        let all = Mode { smoke: false, filters: vec![] };
+        assert!(all.selected("anything"));
+    }
+}

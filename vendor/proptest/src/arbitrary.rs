@@ -1,0 +1,65 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    fn arbitrary_min() -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+
+            fn arbitrary_min() -> Self {
+                0 as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn arbitrary_min() -> Self {
+        false
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+
+    fn arbitrary_min() -> Self {
+        0.0
+    }
+}
+
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn generate_min(&self) -> T {
+        T::arbitrary_min()
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}

@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Vec` strategy with a half-open length range.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: core::ops::Range<usize>,
+}
+
+pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn generate_min(&self) -> Self::Value {
+        (0..self.size.start).map(|_| self.elem.generate_min()).collect()
+    }
+}

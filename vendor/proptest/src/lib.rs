@@ -1,0 +1,141 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! `proptest!` macro, range / tuple / `any` / mapped / vec strategies,
+//! `ProptestConfig::with_cases`, and `prop_assert*`. Case generation is
+//! deterministic: each test derives its RNG seed from its own name, and
+//! case 0 always uses every strategy's minimal value (so lower range
+//! bounds — the shrunk counterexamples recorded in checked-in
+//! `.proptest-regressions` files — are exercised on every run). There is
+//! no shrinking: on failure the case index is reported and the original
+//! panic is propagated.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body; panics (no `Result` plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: a sequence of `fn name(pat in strategy, ...)`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = if __case == 0 {
+                        $crate::strategy::Strategy::generate_min(&($strat))
+                    } else {
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng)
+                    };
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "[proptest shim] property {} failed at case {}/{}",
+                        stringify!($name),
+                        __case,
+                        __config.cases
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, bool)> {
+        (1u64..100, crate::arbitrary::any::<bool>()).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges respect their bounds; case 0 hits the minimum.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in -2i32..=2, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn mapped_tuples_work((a, _b) in pair()) {
+            prop_assert_eq!(a % 2, 0);
+            prop_assert!(a >= 2);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn case_zero_is_minimal() {
+        use crate::strategy::Strategy;
+        assert_eq!((3u64..10).generate_min(), 3);
+        assert_eq!((0usize..5, 1u64..=9).generate_min(), (0, 1));
+        assert_eq!(crate::collection::vec(2u32..7, 3..5).generate_min(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Strategies: deterministic value generators with a designated minimum.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values. `generate_min` is the shim's stand-in
+/// for shrinking: case 0 of every property runs on it.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    fn generate_min(&self) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+
+    fn generate_min(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+
+    fn generate_min(&self) -> O {
+        (self.f)(self.base.generate_min())
+    }
+}
+
+/// Numeric types usable in range strategies.
+pub trait RangeValue: Copy {
+    fn pick_below(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    fn pick_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl RangeValue for $t {
+            fn pick_below(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u64;
+                assert!(span > 0, "empty strategy range");
+                ((lo as i128).wrapping_add(rng.below(span) as i128)) as $t
+            }
+
+            fn pick_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u64).wrapping_add(1);
+                let draw = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                ((lo as i128).wrapping_add(draw as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn pick_below(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+
+    fn pick_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl<T: RangeValue> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::pick_below(rng, self.start, self.end)
+    }
+
+    fn generate_min(&self) -> T {
+        self.start
+    }
+}
+
+impl<T: RangeValue> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::pick_inclusive(rng, *self.start(), *self.end())
+    }
+
+    fn generate_min(&self) -> T {
+        *self.start()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn generate_min(&self) -> Self::Value {
+                ($(self.$idx.generate_min(),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

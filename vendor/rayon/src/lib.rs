@@ -1,0 +1,105 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements exactly the pattern this workspace uses —
+//! `collection.par_iter().map(f).collect::<Vec<_>>()` — with scoped
+//! threads and order-preserving collection. Each chunk of the input is
+//! mapped on its own thread; results are concatenated in input order, so
+//! output is deterministic regardless of thread interleaving.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on `&self`, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'data> {
+    type Item;
+    type Iter;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { slice: self.slice, f }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F, R> ParMap<'data, T, F>
+where
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.slice.len();
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        if n <= 1 || threads <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let f = &self.f;
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
