@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dagon_cluster::FaultPlan;
 use dagon_core::experiments::ExpConfig;
 use dagon_core::{run_system, System};
 use dagon_workloads::Workload;
@@ -21,6 +22,7 @@ struct Row {
     wall_ms: f64,
     jct_ms: u64,
     sched: dagon_cluster::SchedulerStats,
+    faults: dagon_cluster::FaultStats,
 }
 
 fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -> Row {
@@ -44,6 +46,7 @@ fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -
         wall_ms: times[SAMPLES / 2],
         jct_ms: warm.result.jct,
         sched: warm.result.metrics.sched,
+        faults: warm.result.metrics.faults,
     }
 }
 
@@ -74,6 +77,20 @@ fn main() {
         &System::dagon(),
     ));
 
+    // Recovery overhead under a fixed chaos plan (same seed as the pinned
+    // `CC-quick+chaos11/Dagon` golden row): wall cost of retries, lineage
+    // recomputation and blacklisting on top of the fault-free CC run.
+    let cc_quick = Workload::ConnectedComponent.build(&quick.scale);
+    let mut faulty = quick.clone();
+    let n_exec = faulty.cluster.total_nodes() * faulty.cluster.execs_per_node;
+    faulty.cluster.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &cc_quick));
+    rows.push(measure(
+        "run_CC_dagon_faulty",
+        &cc_quick,
+        &faulty,
+        &System::dagon(),
+    ));
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let s = &r.sched;
@@ -83,7 +100,9 @@ fn main() {
              \"schedule_invocations\": {}, \"view_rebuilds\": {}, \
              \"batches_discarded\": {}, \"assignments_discarded\": {}, \
              \"locality_queries\": {}, \"locality_recomputes\": {}, \
-             \"index_invalidations\": {}, \"valid_level_rebuilds\": {}}}",
+             \"index_invalidations\": {}, \"valid_level_rebuilds\": {}, \
+             \"exec_crashes\": {}, \"tasks_recomputed\": {}, \
+             \"stage_resubmissions\": {}, \"task_failures\": {}}}",
             r.name,
             r.wall_ms,
             r.jct_ms,
@@ -95,6 +114,10 @@ fn main() {
             s.locality_recomputes,
             s.index_invalidations,
             s.valid_level_rebuilds,
+            r.faults.exec_crashes,
+            r.faults.tasks_recomputed,
+            r.faults.stage_resubmissions,
+            r.faults.task_failures,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

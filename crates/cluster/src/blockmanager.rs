@@ -70,8 +70,11 @@ pub trait CachePolicy {
 pub enum InsertOutcome {
     /// Block stored; these blocks were evicted to make room.
     Inserted { evicted: Vec<BlockId> },
-    /// Policy refused to make room (or block larger than capacity).
-    Rejected,
+    /// Policy refused to finish making room (or the block is larger than
+    /// capacity / the policy admits nothing). Victims evicted *before* the
+    /// refusal stay evicted, exactly as Spark drops them before discovering
+    /// the new block doesn't fit — the caller must account for them.
+    Rejected { evicted: Vec<BlockId> },
     /// Already resident.
     AlreadyCached,
 }
@@ -124,6 +127,10 @@ impl BlockManager {
         } else {
             self.free_mb() / self.capacity_mb
         }
+    }
+
+    pub fn num_resident(&self) -> usize {
+        self.resident.len()
     }
 
     pub fn resident_blocks(&self) -> Vec<BlockId> {
@@ -184,28 +191,26 @@ impl BlockManager {
         profile: &RefProfile,
     ) -> InsertOutcome {
         if !self.policy.admits() {
-            return InsertOutcome::Rejected;
+            return InsertOutcome::Rejected { evicted: vec![] };
         }
         if self.resident.contains_key(&b) {
             return InsertOutcome::AlreadyCached;
         }
         if mb > self.capacity_mb {
-            return InsertOutcome::Rejected;
+            return InsertOutcome::Rejected { evicted: vec![] };
         }
         let mut evicted = Vec::new();
         while self.used_mb + mb > self.capacity_mb + 1e-9 {
             let candidates = self.evictable();
             if candidates.is_empty() {
-                // Evicted blocks stay evicted — Spark similarly drops them
-                // before discovering the new block doesn't fit.
-                return InsertOutcome::Rejected;
+                return InsertOutcome::Rejected { evicted };
             }
             match self.policy.victim(&candidates, Some(b), profile) {
                 Some(v) => {
                     self.drop_block(v);
                     evicted.push(v);
                 }
-                None => return InsertOutcome::Rejected,
+                None => return InsertOutcome::Rejected { evicted },
             }
         }
         self.resident.insert(b, mb);
@@ -221,6 +226,26 @@ impl BlockManager {
             self.pinned.remove(&b);
             self.policy.on_evict(b);
         }
+    }
+
+    /// Forcibly drop a block regardless of pins (fault injection: block
+    /// corruption/loss). Returns whether the block was resident. Any task
+    /// currently pinning it already paid its read cost — only future reads
+    /// see the loss — so clearing the pin is safe.
+    pub fn invalidate(&mut self, b: BlockId) -> bool {
+        let was = self.resident.contains_key(&b);
+        self.drop_block(b);
+        was
+    }
+
+    /// Drop every resident block (executor crash wiping its storage
+    /// memory). Returns the blocks that were resident, in sorted order.
+    pub fn crash_clear(&mut self) -> Vec<BlockId> {
+        let blocks = self.resident_blocks();
+        for b in &blocks {
+            self.drop_block(*b);
+        }
+        blocks
     }
 
     /// Apply the policy's proactive eviction pass; returns dropped blocks.
@@ -318,7 +343,7 @@ mod tests {
         let p = RefProfile::default();
         assert_eq!(
             bm.try_insert(blk(0, 0), 11.0, 0, &p),
-            InsertOutcome::Rejected
+            InsertOutcome::Rejected { evicted: vec![] }
         );
     }
 
@@ -340,10 +365,10 @@ mod tests {
         bm.try_insert(blk(0, 0), 60.0, 0, &p);
         bm.pin(blk(0, 0));
         // 60 used, need 60 more; only candidate is pinned → rejected.
-        assert_eq!(
+        assert!(matches!(
             bm.try_insert(blk(0, 1), 60.0, 0, &p),
-            InsertOutcome::Rejected
-        );
+            InsertOutcome::Rejected { .. }
+        ));
         bm.unpin(blk(0, 0));
         assert!(matches!(
             bm.try_insert(blk(0, 1), 60.0, 0, &p),
@@ -365,12 +390,38 @@ mod tests {
         let mut bm = BlockManager::new(100.0, Box::new(NoCache));
         let p = RefProfile::default();
         assert!(!bm.caches_on_miss());
-        assert_eq!(
+        assert!(matches!(
             bm.try_insert(blk(0, 0), 60.0, 0, &p),
-            InsertOutcome::Rejected
-        );
+            InsertOutcome::Rejected { .. }
+        ));
         assert!(!bm.contains(blk(0, 0)));
         assert_eq!(bm.used_mb(), 0.0);
+    }
+
+    #[test]
+    fn invalidate_drops_even_pinned_blocks() {
+        let mut bm = BlockManager::new(100.0, Box::new(FifoTest));
+        let p = RefProfile::default();
+        bm.try_insert(blk(0, 0), 30.0, 0, &p);
+        bm.pin(blk(0, 0));
+        assert!(bm.invalidate(blk(0, 0)));
+        assert!(!bm.contains(blk(0, 0)));
+        assert_eq!(bm.used_mb(), 0.0);
+        assert!(!bm.invalidate(blk(0, 0))); // already gone
+        bm.unpin(blk(0, 0)); // stale unpin after loss is a no-op
+    }
+
+    #[test]
+    fn crash_clear_empties_storage() {
+        let mut bm = BlockManager::new(100.0, Box::new(FifoTest));
+        let p = RefProfile::default();
+        bm.try_insert(blk(0, 1), 30.0, 0, &p);
+        bm.try_insert(blk(0, 0), 30.0, 0, &p);
+        bm.pin(blk(0, 0));
+        let lost = bm.crash_clear();
+        assert_eq!(lost, vec![blk(0, 0), blk(0, 1)]);
+        assert_eq!(bm.used_mb(), 0.0);
+        assert!(bm.crash_clear().is_empty());
     }
 
     #[test]

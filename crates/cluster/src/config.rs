@@ -2,6 +2,8 @@
 
 use dagon_dag::{Resources, SimTime, SEC_MS};
 
+use crate::fault::FaultPlan;
+
 /// Delay-scheduling wait budgets, one per locality downgrade — Spark's
 /// `spark.locality.wait.{process,node,rack}`. The default (3 s each)
 /// matches Spark 2.2 and the paper's case study.
@@ -182,6 +184,10 @@ pub struct ClusterConfig {
     /// Record the (executor, block) cache-access trace for offline
     /// (clairvoyant) cache analysis; costs memory.
     pub trace_accesses: bool,
+    /// Deterministic fault schedule ([`FaultPlan`]). `None` (the default
+    /// everywhere) is guaranteed bit-identical to a build without fault
+    /// support: no events are queued and the fault RNG is never drawn.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -205,6 +211,7 @@ impl ClusterConfig {
             seed: 1,
             trace_executors: false,
             trace_accesses: false,
+            faults: None,
         }
     }
 
@@ -229,6 +236,7 @@ impl ClusterConfig {
             seed: 1,
             trace_executors: true,
             trace_accesses: false,
+            faults: None,
         }
     }
 
@@ -252,6 +260,7 @@ impl ClusterConfig {
             seed: 1,
             trace_executors: false,
             trace_accesses: false,
+            faults: None,
         }
     }
 

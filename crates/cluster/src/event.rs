@@ -34,6 +34,26 @@ pub enum Event {
     /// Periodic scheduler wake-up (delay-scheduling timeouts, speculation
     /// checks, prefetch scans).
     Tick,
+    /// Fault injection: the executor dies. Its running attempts fail and
+    /// are re-offered, its cache and locally written output files are
+    /// lost; `restart_at` is the absolute time a cold replacement with the
+    /// same id re-registers (if any).
+    ExecCrash {
+        exec: ExecId,
+        restart_at: Option<SimTime>,
+    },
+    /// A previously crashed executor re-registers, empty.
+    ExecRestart { exec: ExecId },
+    /// Fault injection: a cached block is corrupted/dropped on one
+    /// executor. No-op if it isn't resident there.
+    BlockLoss { block: BlockId, exec: ExecId },
+    /// A doomed task attempt (picked by the fault RNG at launch) dies
+    /// partway through its compute phase instead of finishing.
+    TaskFail {
+        task: TaskId,
+        exec: ExecId,
+        attempt: u32,
+    },
 }
 
 /// Min-heap of `(time, seq, event)`. The monotonically increasing `seq`

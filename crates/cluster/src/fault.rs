@@ -1,0 +1,284 @@
+//! Deterministic fault injection: the failure modes Spark's recovery
+//! machinery (task retry, lineage recomputation, executor blacklisting)
+//! exists for, injected as first-class simulator events.
+//!
+//! A [`FaultPlan`] is pure data — a seeded, reproducible schedule of
+//! executor crashes and cached-block corruptions plus a per-attempt
+//! failure probability — attached to [`crate::ClusterConfig`]. The
+//! simulator compiles it into a [`FaultRuntime`] holding executor
+//! liveness/blacklist state and a **dedicated fault RNG**: fault rolls
+//! never touch the main simulation RNG stream, so a run with
+//! `faults: None` (or an empty plan) is bit-identical to a build without
+//! fault support at all. The golden-fingerprint suite pins that guarantee.
+//!
+//! What is modeled, per fault:
+//!
+//! * **Executor crash** — running attempts are killed and re-offered, the
+//!   executor's cache and locally written output/shuffle files are lost,
+//!   and (optionally) the executor restarts cold after a delay.
+//! * **Task failure** — an attempt dies partway through its compute phase
+//!   with probability `task_fail_prob`; bounded retries, consecutive
+//!   failures blacklist the executor.
+//! * **Block loss** — a cached block is corrupted/dropped on one executor
+//!   (disk replicas are unaffected).
+//!
+//! Whenever a loss leaves a still-needed block with no replica anywhere,
+//! the simulator resubmits the producing stage's minimal task set
+//! (lineage recomputation), transitively.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dagon_dag::{BlockId, JobDag, SimTime};
+
+use crate::topology::ExecId;
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The executor dies at the event time: running attempts fail, its
+    /// cache and locally written output files are lost. With
+    /// `restart_after_ms` set, a fresh (cold-cache) executor with the same
+    /// id re-registers that much later.
+    ExecCrash {
+        exec: ExecId,
+        restart_after_ms: Option<SimTime>,
+    },
+    /// A cached block is corrupted/dropped on one executor. No-op if the
+    /// block isn't resident there at the event time.
+    BlockLoss { block: BlockId, exec: ExecId },
+}
+
+/// A fault at an absolute simulation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// A complete, seeded fault schedule for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Time-scheduled faults (order irrelevant; the event queue sorts).
+    pub events: Vec<FaultEvent>,
+    /// Probability that any single task attempt fails partway through its
+    /// compute phase (Spark: lost JVM, OOM, bad disk — `p` per attempt).
+    pub task_fail_prob: f64,
+    /// How many *injected* failures one task tolerates before the job is
+    /// aborted (Spark's `spark.task.maxFailures - 1`). Executor-loss kills
+    /// don't count against it — the machine's fault, not the task's.
+    pub max_task_retries: u32,
+    /// Blacklist an executor after this many consecutive injected task
+    /// failures on it (0 = blacklisting disabled). The last usable
+    /// executor is never blacklisted.
+    pub blacklist_after: u32,
+    /// Seed of the dedicated fault RNG (failure rolls and fail-point
+    /// fractions). Independent of `ClusterConfig::seed` by construction.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: fault machinery armed but injecting nothing. Runs
+    /// bit-identically to `faults: None`.
+    pub fn none() -> Self {
+        Self {
+            events: Vec::new(),
+            task_fail_prob: 0.0,
+            max_task_retries: 3,
+            blacklist_after: 0,
+            seed: 0,
+        }
+    }
+
+    /// Probabilistic task failures only.
+    pub fn with_task_failures(p: f64, seed: u64) -> Self {
+        Self {
+            task_fail_prob: p,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Add a scheduled fault (builder style).
+    pub fn and(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.task_fail_prob <= 0.0
+    }
+
+    /// A seeded random chaos plan for `num_execs` executors over roughly
+    /// `horizon_ms` of simulated time: 1–2 executor crashes (always with
+    /// restart, so the cluster can't wedge), a few cached-block
+    /// corruptions, and sometimes a small per-attempt failure rate.
+    /// Deterministic in `seed`.
+    pub fn chaos(seed: u64, num_execs: u32, horizon_ms: SimTime, dag: &JobDag) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a0_55e5);
+        let lo = (horizon_ms / 10).max(1);
+        let hi = horizon_ms.max(lo + 1);
+        let mut events = Vec::new();
+        let crashes = if num_execs > 1 {
+            rng.gen_range(1..=2)
+        } else {
+            1
+        };
+        for _ in 0..crashes {
+            events.push(FaultEvent {
+                at: rng.gen_range(lo..hi),
+                kind: FaultKind::ExecCrash {
+                    exec: ExecId(rng.gen_range(0..num_execs)),
+                    restart_after_ms: Some(rng.gen_range(2_000..20_000)),
+                },
+            });
+        }
+        let cached_blocks: Vec<BlockId> = dag
+            .rdds()
+            .iter()
+            .filter(|r| r.cached)
+            .flat_map(|r| r.blocks())
+            .collect();
+        if !cached_blocks.is_empty() {
+            for _ in 0..rng.gen_range(1..=3u32) {
+                events.push(FaultEvent {
+                    at: rng.gen_range(lo..hi),
+                    kind: FaultKind::BlockLoss {
+                        block: cached_blocks[rng.gen_range(0..cached_blocks.len())],
+                        exec: ExecId(rng.gen_range(0..num_execs)),
+                    },
+                });
+            }
+        }
+        let task_fail_prob = [0.0, 0.01, 0.03][rng.gen_range(0..3usize)];
+        Self {
+            events,
+            task_fail_prob,
+            // Generous: injected failures must not abort chaos-test jobs.
+            max_task_retries: 16,
+            blacklist_after: 0,
+            seed,
+        }
+    }
+}
+
+/// Mutable fault state of one running simulation. Always present (sized to
+/// the cluster) so liveness checks are branch-predictable no-ops in
+/// fault-free runs; the plan and RNG are only consulted when a plan exists.
+#[derive(Debug)]
+pub struct FaultRuntime {
+    plan: Option<FaultPlan>,
+    rng: SmallRng,
+    pub alive: Vec<bool>,
+    pub blacklisted: Vec<bool>,
+    /// Consecutive injected task failures per executor (reset on success).
+    pub consec_failures: Vec<u32>,
+}
+
+impl FaultRuntime {
+    pub fn new(plan: Option<FaultPlan>, n_exec: usize) -> Self {
+        let seed = plan.as_ref().map(|p| p.seed).unwrap_or(0);
+        Self {
+            plan,
+            rng: SmallRng::seed_from_u64(seed ^ 0xfa17_c0de),
+            alive: vec![true; n_exec],
+            blacklisted: vec![false; n_exec],
+            consec_failures: vec![0; n_exec],
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    #[inline]
+    pub fn usable(&self, e: ExecId) -> bool {
+        self.usable_idx(e.index())
+    }
+
+    #[inline]
+    pub fn usable_idx(&self, i: usize) -> bool {
+        self.alive[i] && !self.blacklisted[i]
+    }
+
+    pub fn usable_count(&self) -> usize {
+        self.alive
+            .iter()
+            .zip(&self.blacklisted)
+            .filter(|(a, b)| **a && !**b)
+            .count()
+    }
+
+    /// Roll the per-attempt failure die. `Some(f)` dooms the attempt to
+    /// fail after fraction `f` of its compute phase. Draws nothing when no
+    /// plan (or a zero probability) is configured, keeping the fault RNG
+    /// stream untouched and the run bit-identical to a fault-free build.
+    pub fn roll_task_failure(&mut self) -> Option<f64> {
+        let p = self.plan.as_ref().map_or(0.0, |p| p.task_fail_prob);
+        if p <= 0.0 || !self.rng.gen_bool(p.min(1.0)) {
+            return None;
+        }
+        Some(self.rng.gen_range(0.05..0.95))
+    }
+
+    pub fn max_task_retries(&self) -> u32 {
+        self.plan.as_ref().map_or(u32::MAX, |p| p.max_task_retries)
+    }
+
+    pub fn blacklist_after(&self) -> u32 {
+        self.plan.as_ref().map_or(0, |p| p.blacklist_after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::examples::fig1;
+
+    #[test]
+    fn empty_plan_is_empty_and_rolls_nothing() {
+        let mut rt = FaultRuntime::new(Some(FaultPlan::none()), 4);
+        assert!(FaultPlan::none().is_empty());
+        assert!(rt.enabled());
+        for _ in 0..100 {
+            assert_eq!(rt.roll_task_failure(), None);
+        }
+        assert_eq!(rt.usable_count(), 4);
+        assert!(rt.usable(ExecId(3)));
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_in_seed() {
+        let dag = fig1();
+        let a = FaultPlan::chaos(7, 8, 60_000, &dag);
+        let b = FaultPlan::chaos(7, 8, 60_000, &dag);
+        let c = FaultPlan::chaos(8, 8, 60_000, &dag);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+        assert!(a.events.iter().any(|e| matches!(
+            e.kind,
+            FaultKind::ExecCrash {
+                restart_after_ms: Some(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn blacklist_state_tracks_usability() {
+        let mut rt = FaultRuntime::new(None, 3);
+        rt.alive[0] = false;
+        rt.blacklisted[1] = true;
+        assert_eq!(rt.usable_count(), 1);
+        assert!(!rt.usable(ExecId(0)));
+        assert!(!rt.usable(ExecId(1)));
+        assert!(rt.usable(ExecId(2)));
+        assert!(!rt.enabled());
+        assert_eq!(rt.max_task_retries(), u32::MAX);
+    }
+}

@@ -84,6 +84,18 @@ impl DataMap {
         }
     }
 
+    /// Remove a node's disk replica (executor crash taking its local
+    /// shuffle/output files with it). Source-RDD HDFS replicas are never
+    /// removed by the simulator — only derived outputs are.
+    pub fn remove_disk(&mut self, b: BlockId, node: NodeId) {
+        if let Some(v) = self.on_disk.get_mut(&b) {
+            v.retain(|n| *n != node);
+            if v.is_empty() {
+                self.on_disk.remove(&b);
+            }
+        }
+    }
+
     /// Does the block exist on some disk yet?
     pub fn materialized(&self, b: BlockId) -> bool {
         self.on_disk.contains_key(&b)
@@ -174,5 +186,19 @@ mod tests {
         dm.add_disk(b, NodeId(2));
         assert_eq!(dm.disk_nodes(b), &[NodeId(2)]);
         assert!(dm.materialized(b));
+    }
+
+    #[test]
+    fn disk_remove_drops_replica_and_materialization() {
+        let mut dm = DataMap::default();
+        let b = BlockId::new(RddId(1), 0);
+        dm.add_disk(b, NodeId(2));
+        dm.add_disk(b, NodeId(4));
+        dm.remove_disk(b, NodeId(2));
+        assert_eq!(dm.disk_nodes(b), &[NodeId(4)]);
+        assert!(dm.materialized(b));
+        dm.remove_disk(b, NodeId(4));
+        assert!(!dm.materialized(b));
+        dm.remove_disk(b, NodeId(4)); // absent: no-op
     }
 }

@@ -15,7 +15,10 @@
 //! * pluggable **schedulers** driven through the [`Scheduler`] trait
 //!   ([`scheduler`]),
 //! * task **locality levels** and the I/O cost of each ([`locality`]),
-//! * **speculative execution** for long-tail tasks (§IV of the paper), and
+//! * **speculative execution** for long-tail tasks (§IV of the paper),
+//! * deterministic **fault injection** (executor crashes, task failures,
+//!   cached-block loss) with Spark's recovery machinery: bounded task
+//!   retry, lineage recomputation, executor blacklisting ([`fault`]), and
 //! * an event-driven core with exact busy-core integration and rich
 //!   per-run metrics ([`sim`], [`metrics`]).
 //!
@@ -25,6 +28,7 @@
 pub mod blockmanager;
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod hdfs;
 pub mod locality;
 pub mod locality_index;
@@ -39,9 +43,10 @@ pub mod view;
 pub use blockmanager::{BlockManager, CachePolicy, NoCache};
 pub use config::{ClusterConfig, CostModel, LocalityWait, SpeculationConfig};
 pub use event::{Event, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use locality::Locality;
 pub use locality_index::{IndexStats, LocalityIndex};
-pub use metrics::{CacheStats, Metrics, SchedulerStats, SimResult, TaskRun, TimePoint};
+pub use metrics::{CacheStats, FaultStats, Metrics, SchedulerStats, SimResult, TaskRun, TimePoint};
 pub use pending::PendingSet;
 pub use refprofile::{RefProfile, StageRef};
 pub use scheduler::{Assignment, Scheduler};

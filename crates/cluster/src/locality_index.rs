@@ -320,6 +320,25 @@ impl LocalityIndex {
         self.data.remove_cached(b, exec);
     }
 
+    /// Remove a node's disk replica (executor crash losing local output
+    /// files). Bumps generations exactly like the other mutations so
+    /// memoized localities go stale correctly.
+    pub fn remove_disk(&mut self, b: BlockId, node: NodeId) {
+        let bi = self.flat_id(b) as usize;
+        if get_bit(self.disk_row(bi), node.0) {
+            clear_bit(self.disk_row_mut(bi), node.0);
+            self.bump(bi);
+        }
+        self.data.remove_disk(b, node);
+    }
+
+    /// Does any disk replica of the block exist?
+    pub fn on_disk_anywhere(&self, b: BlockId) -> bool {
+        self.disk_row(self.flat_id(b) as usize)
+            .iter()
+            .any(|w| *w != 0)
+    }
+
     // ------------------------------------------------------------------
     // Residency queries
     // ------------------------------------------------------------------
@@ -629,6 +648,31 @@ mod tests {
         let g3 = idx.generation();
         idx.remove_cached(b, ExecId(2)); // absent: no invalidation
         assert_eq!(idx.generation(), g3);
+    }
+
+    #[test]
+    fn remove_disk_invalidates_and_matches_brute_force() {
+        let (_dag, topo, mut idx) = build();
+        let b2 = BlockId::new(RddId(0), 2);
+        // Warm the memos.
+        for e in 0..8u32 {
+            let _ = idx.task_locality(0, 2, ExecId(e));
+        }
+        let g0 = idx.generation();
+        let node = *idx.data().disk_nodes(b2).first().unwrap();
+        idx.remove_disk(b2, node);
+        assert!(idx.generation() > g0);
+        assert!(!idx.on_disk_anywhere(b2));
+        for e in 0..8u32 {
+            assert_eq!(
+                idx.task_locality(0, 2, ExecId(e)),
+                brute_locality(idx.data(), &topo, b2, ExecId(e)),
+                "exec {e}"
+            );
+        }
+        let g1 = idx.generation();
+        idx.remove_disk(b2, node); // absent: no invalidation
+        assert_eq!(idx.generation(), g1);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct TaskRun {
     pub speculative: bool,
     /// Did this attempt's result count (first finisher)?
     pub winner: bool,
+    /// Did this attempt die (injected task failure or executor crash)
+    /// rather than run to completion? Implies `!winner`.
+    pub failed: bool,
 }
 
 /// Aggregated cache behaviour across all executors.
@@ -43,6 +46,13 @@ pub struct CacheStats {
     pub prefetches: u64,
     /// Prefetched blocks that later produced at least one hit.
     pub prefetch_used: u64,
+    /// Cached blocks destroyed by faults (executor crashes, injected
+    /// block loss) rather than evicted by policy.
+    pub lost: u64,
+    /// Blocks still resident across all executors when the job finished.
+    /// Balances the ledger: `insertions == evictions +
+    /// proactive_evictions + lost + resident_end`.
+    pub resident_end: u64,
 }
 
 impl CacheStats {
@@ -196,6 +206,28 @@ pub struct SchedulerStats {
     pub valid_level_rebuilds: u64,
 }
 
+/// Fault-injection and recovery counters. All zero in fault-free runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Executor crash events applied.
+    pub exec_crashes: u64,
+    /// Crashed executors that re-registered.
+    pub exec_restarts: u64,
+    /// Injected task-attempt failures (the `task_fail_prob` die).
+    pub task_failures: u64,
+    /// Running attempts killed because their executor crashed.
+    pub attempts_killed: u64,
+    /// Disk (output/shuffle) block replicas lost to executor crashes.
+    pub disk_blocks_lost: u64,
+    /// Completed tasks resubmitted to regenerate a lost block (lineage
+    /// recomputation).
+    pub tasks_recomputed: u64,
+    /// Completed stages reopened by lineage recomputation.
+    pub stage_resubmissions: u64,
+    /// Executors blacklisted for consecutive task failures.
+    pub execs_blacklisted: u64,
+}
+
 /// Everything measured during one run.
 #[derive(Clone, Debug)]
 pub struct Metrics {
@@ -214,6 +246,8 @@ pub struct Metrics {
     pub speculative_won: u32,
     /// Scheduling fast-path overhead counters.
     pub sched: SchedulerStats,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultStats,
 }
 
 impl Metrics {
@@ -233,6 +267,7 @@ impl Metrics {
             speculative_launched: 0,
             speculative_won: 0,
             sched: SchedulerStats::default(),
+            faults: FaultStats::default(),
         }
     }
 }
@@ -248,6 +283,42 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// FNV-1a over every semantically-relevant field of the result: JCT,
+    /// per-stage first-launch/completion times, launch and finish locality
+    /// histograms, and the winner task-run locality histogram. Scheduler
+    /// overhead counters are deliberately excluded — they describe how the
+    /// result was computed, not what it is. This is the exact mixing order
+    /// the golden snapshot suite pinned its constants with; changing it
+    /// invalidates them all.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.jct);
+        mix(self.total_cores as u64);
+        for s in &self.metrics.per_stage {
+            mix(s.first_launch.map_or(u64::MAX, |t| t));
+            mix(s.completed_at.map_or(u64::MAX, |t| t));
+            for &c in &s.launches_by_locality {
+                mix(c as u64);
+            }
+            for &(n, ms) in &s.finished_by_locality {
+                mix(n as u64);
+                mix(ms);
+            }
+        }
+        let mut hist = [0u64; 4];
+        for run in self.metrics.task_runs.iter().filter(|t| t.winner) {
+            hist[run.locality.index()] += 1;
+        }
+        for c in hist {
+            mix(c);
+        }
+        h
+    }
+
     /// Mean CPU utilization over the job: busy-core-time / (cores × JCT).
     pub fn cpu_utilization(&self) -> f64 {
         if self.jct == 0 {

@@ -69,6 +69,35 @@ impl PendingSet {
         true
     }
 
+    /// Re-insert `k` (a failed task re-offered to the scheduler, or a
+    /// completed task resubmitted by lineage recovery); returns whether it
+    /// was absent. Splices `k` back so iteration order stays ascending.
+    pub fn insert(&mut self, k: u32) -> bool {
+        if self.contains(k) {
+            return false;
+        }
+        let sentinel = self.present.len() as u32;
+        // Previous present member (or the sentinel): walk backwards from k.
+        // O(n) worst case, but insertion only happens on the rare
+        // failure-recovery path, never in the scheduling hot loop.
+        let mut p = sentinel;
+        for i in (0..k).rev() {
+            if self.present[i as usize] {
+                p = i;
+                break;
+            }
+        }
+        let nx = self.next[p as usize];
+        self.next[p as usize] = k;
+        self.prev[k as usize] = p;
+        self.next[k as usize] = nx;
+        self.prev[nx as usize] = k;
+        self.present[k as usize] = true;
+        self.len += 1;
+        self.version += 1;
+        true
+    }
+
     /// Remove every member (used by tests resetting fixtures).
     pub fn clear(&mut self) {
         let n = self.present.len() as u32;
@@ -154,6 +183,38 @@ mod tests {
         s2.clear();
         assert!(s2.is_empty());
         assert_eq!(s2.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_restores_ascending_order() {
+        let mut s = PendingSet::full(6);
+        for k in [0, 2, 3, 5] {
+            assert!(s.remove(k));
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4]);
+        let v0 = s.version();
+        assert!(s.insert(3));
+        assert!(!s.insert(3)); // already present
+        assert!(s.version() > v0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert!(s.insert(0));
+        assert!(s.insert(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4, 5]);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(5));
+    }
+
+    #[test]
+    fn insert_into_emptied_set() {
+        let mut s = PendingSet::full(3);
+        for k in 0..3 {
+            s.remove(k);
+        }
+        assert!(s.insert(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(s.insert(2));
+        assert!(s.insert(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -126,6 +126,13 @@ impl RefProfile {
         }
     }
 
+    /// Re-add one use entry of `stage` for block `b` — the inverse of
+    /// [`remove_use`](Self::remove_use), for lineage recovery resubmitting
+    /// a finished task whose reads come back.
+    pub fn add_use(&mut self, b: BlockId, stage: StageId) {
+        self.uses.entry(b).or_default().push(StageRef { stage });
+    }
+
     /// Does any future use remain?
     pub fn is_live(&self, b: BlockId) -> bool {
         self.uses.get(&b).map(|v| !v.is_empty()).unwrap_or(false)

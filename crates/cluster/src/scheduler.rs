@@ -41,6 +41,13 @@ pub trait Scheduler {
     /// truth vCPU-ms consumed from the stage's remaining workload.
     fn on_task_launched(&mut self, _t: TaskId, _work: u64, _now: SimTime) {}
 
+    /// A previously launched (or even completed) task is back in the
+    /// pending set: its attempt failed, its executor crashed, or lineage
+    /// recovery resubmitted it. `work` is the vCPU-ms returned to the
+    /// stage's remaining workload. Stateless schedulers (which recompute
+    /// pending work from the view each call) can ignore this.
+    fn on_task_requeued(&mut self, _t: TaskId, _work: u64, _now: SimTime) {}
+
     /// Current stage priority values, if this scheduler maintains Eq. (6)
     /// (the Dagon scheduler does; others return `None` and the master falls
     /// back to its own ground-truth tracker).

@@ -6,7 +6,7 @@
 //! all randomness is seeded, and schedulers see a consistent [`SimView`]
 //! snapshot between event batches.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -16,6 +16,7 @@ use dagon_dag::{BlockId, JobDag, PriorityTracker, Resources, SimTime, StageId, T
 use crate::blockmanager::{BlockManager, CachePolicy, InsertOutcome};
 use crate::config::{ClusterConfig, ReadTier};
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultKind, FaultRuntime};
 use crate::hdfs::DataMap;
 use crate::locality::Locality;
 use crate::locality_index::LocalityIndex;
@@ -64,7 +65,13 @@ pub struct Simulation {
     queue: EventQueue,
     metrics: Metrics,
     now: SimTime,
-    running: HashMap<(TaskId, u32), RunningAttempt>,
+    /// Live attempts, keyed `(task, attempt)`. A BTreeMap so every
+    /// iteration (crash kill lists, speculation candidates, loser scans)
+    /// is in deterministic key order by construction.
+    running: BTreeMap<(TaskId, u32), RunningAttempt>,
+    /// Attempt keys whose still-queued finish/fail event must be swallowed
+    /// (cancelled losers, crash victims). Membership-only: never iterated,
+    /// so a HashSet can't leak nondeterminism.
     cancelled: HashSet<(TaskId, u32)>,
     spec_launched: HashSet<TaskId>,
     prefetch_inflight: Vec<Option<(BlockId, f64)>>,
@@ -73,6 +80,25 @@ pub struct Simulation {
     rng: SmallRng,
     /// Scratch per-executor views, refreshed in place each scheduling round.
     exec_views: Vec<ExecView>,
+    /// Fault-injection state (liveness, blacklist, dedicated fault RNG).
+    faults: FaultRuntime,
+    /// stage → task → next attempt id. Monotone per task, so a retried
+    /// task's fresh attempt can never collide with a stale `cancelled`
+    /// entry from a dead one. Fault-free runs only ever see 0 (primary)
+    /// and 1 (speculative).
+    attempt_seq: Vec<Vec<u32>>,
+    /// stage → task → injected-failure count (bounded retry).
+    retries: Vec<Vec<u32>>,
+    /// Output blocks each executor wrote to its node's disk — the files an
+    /// executor crash destroys. Only tracked when faults are enabled.
+    outputs_by_exec: Vec<Vec<BlockId>>,
+    /// rdd → producing stage (`None` for sources), for lineage recovery.
+    producer_of_rdd: Vec<Option<StageId>>,
+    /// Blocks evicted from some cache since the last lineage check — an
+    /// eviction can drop the *last* copy of a block whose disk replica a
+    /// crash destroyed. Drained between scheduler batches; only populated
+    /// when faults are enabled.
+    lost_pending: Vec<BlockId>,
 }
 
 impl Simulation {
@@ -148,6 +174,17 @@ impl Simulation {
         profile.rebuild(&dag, &|_, _| false, &|_| false);
         let metrics = Metrics::new(dag.num_stages(), n_exec, cfg.trace_executors);
         let data = LocalityIndex::new(&dag, &topo, data, &task_views);
+        let attempt_seq: Vec<Vec<u32>> = dag
+            .stages()
+            .iter()
+            .map(|s| vec![0; s.num_tasks as usize])
+            .collect();
+        let retries = attempt_seq.clone();
+        let mut producer_of_rdd: Vec<Option<StageId>> = vec![None; dag.rdds().len()];
+        for st in dag.stages() {
+            producer_of_rdd[st.output.index()] = Some(st.id);
+        }
+        let faults = FaultRuntime::new(cfg.faults.clone(), n_exec);
         Self {
             dag,
             exec_free: vec![cfg.exec_capacity; n_exec],
@@ -165,7 +202,7 @@ impl Simulation {
             queue: EventQueue::new(),
             metrics,
             now: 0,
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             cancelled: HashSet::new(),
             spec_launched: HashSet::new(),
             prefetch_inflight: vec![None; n_exec],
@@ -173,6 +210,12 @@ impl Simulation {
             completed_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
             exec_views: Vec::with_capacity(n_exec),
+            faults,
+            attempt_seq,
+            retries,
+            outputs_by_exec: vec![Vec::new(); n_exec],
+            lost_pending: Vec::new(),
+            producer_of_rdd,
             topo,
             cfg,
         }
@@ -202,6 +245,25 @@ impl Simulation {
                 );
             }
         }
+        // Compile the fault plan into first-class simulator events. With
+        // `faults: None` this queues nothing and touches no RNG: the run is
+        // bit-identical to one without fault support.
+        if let Some(plan) = &self.cfg.faults {
+            for fe in &plan.events {
+                let at = fe.at.max(1);
+                let ev = match fe.kind {
+                    FaultKind::ExecCrash {
+                        exec,
+                        restart_after_ms,
+                    } => Event::ExecCrash {
+                        exec,
+                        restart_at: restart_after_ms.map(|d| at + d),
+                    },
+                    FaultKind::BlockLoss { block, exec } => Event::BlockLoss { block, exec },
+                };
+                self.queue.push(at, ev);
+            }
+        }
         self.queue.push(self.cfg.sched_tick_ms.max(1), Event::Tick);
         self.do_schedule(sched);
         while self.completed_count < self.dag.num_stages() {
@@ -228,6 +290,7 @@ impl Simulation {
         let jct = self.now;
         self.metrics.busy_cores.finish(jct);
         self.metrics.running_tasks.finish(jct);
+        self.metrics.cache.resident_end = self.bms.iter().map(|bm| bm.num_resident() as u64).sum();
         let is = self.data.stats();
         self.metrics.sched.locality_queries = is.locality_queries;
         self.metrics.sched.locality_recomputes = is.memo_recomputes;
@@ -299,6 +362,25 @@ impl Simulation {
                     }
                 }
             }
+            Event::TaskFail {
+                task,
+                exec,
+                attempt,
+            } => {
+                if self.cancelled.remove(&(task, attempt)) {
+                    return; // attempt already torn down (lost race / crash)
+                }
+                self.fail_attempt(task, exec, attempt, true, sched);
+                // The requeued task may need a block an *earlier* fault
+                // destroyed (it had already read it when the fault hit);
+                // re-close the lineage worklist before it can relaunch.
+                if self.faults.enabled() {
+                    self.recover_lost_blocks(sched);
+                }
+            }
+            Event::ExecCrash { exec, restart_at } => self.exec_crash(exec, restart_at, sched),
+            Event::ExecRestart { exec } => self.exec_restart(exec),
+            Event::BlockLoss { block, exec } => self.block_loss(block, exec, sched),
         }
     }
 
@@ -309,11 +391,21 @@ impl Simulation {
     fn refresh_exec_views(&mut self) {
         self.exec_views.clear();
         let cap = self.cfg.exec_capacity;
+        let faults = &self.faults;
         self.exec_views
-            .extend(self.exec_free.iter().enumerate().map(|(i, f)| ExecView {
-                id: ExecId(i as u32),
-                free: *f,
-                capacity: cap,
+            .extend(self.exec_free.iter().enumerate().map(|(i, f)| {
+                // Dead or blacklisted executors advertise zero free and
+                // zero capacity: no placement policy can target them.
+                let (free, capacity) = if faults.usable_idx(i) {
+                    (*f, cap)
+                } else {
+                    (Resources::ZERO, Resources::ZERO)
+                };
+                ExecView {
+                    id: ExecId(i as u32),
+                    free,
+                    capacity,
+                }
             }));
     }
 
@@ -324,6 +416,7 @@ impl Simulation {
     /// generation bump) the rest of the batch was computed against stale
     /// locality state and is discarded, falling back to a fresh call.
     fn do_schedule(&mut self, sched: &mut dyn Scheduler) {
+        self.drain_lost_pending(sched);
         loop {
             self.metrics.sched.schedule_invocations += 1;
             self.metrics.sched.view_rebuilds += 1;
@@ -358,9 +451,29 @@ impl Simulation {
                 self.launch(a, false, sched);
                 applied += 1;
             }
+            // A launch can evict the last copy of a block a crash already
+            // de-replicated; settle lineage before the next batch.
+            self.drain_lost_pending(sched);
             if applied == 0 {
                 return;
             }
+        }
+    }
+
+    /// If any recently-evicted block is now materialized nowhere, re-run
+    /// the lineage worklist. Called only between scheduler batches (never
+    /// mid-application: resubmission calls `on_stage_ready`, which would
+    /// reconcile a half-confirmed emit journal).
+    fn drain_lost_pending(&mut self, sched: &mut dyn Scheduler) {
+        if self.lost_pending.is_empty() {
+            return;
+        }
+        let blocks = std::mem::take(&mut self.lost_pending);
+        if blocks
+            .iter()
+            .any(|b| !self.data.on_disk_anywhere(*b) && !self.data.is_cached_anywhere(*b))
+        {
+            self.recover_lost_blocks(sched);
         }
     }
 
@@ -369,6 +482,7 @@ impl Simulation {
         st.ready
             && !st.completed
             && st.pending.contains(a.task_index)
+            && self.faults.usable(a.exec)
             && self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
     }
 
@@ -423,12 +537,25 @@ impl Simulation {
                             for e in evicted {
                                 self.data.remove_cached(e, exec);
                                 self.prefetched[exec.index()].remove(&e);
+                                if self.faults.enabled() {
+                                    self.lost_pending.push(e);
+                                }
                             }
                             self.data.add_cached(b, exec);
                             self.bms[exec.index()].pin(b);
                             pinned.push(b);
                         }
-                        InsertOutcome::AlreadyCached | InsertOutcome::Rejected => {}
+                        InsertOutcome::Rejected { evicted } => {
+                            // Victims dropped before the policy gave up
+                            // stay dropped (as in Spark). Only the
+                            // storage ledger records them: the locality
+                            // index keeps serving the stale entry (the
+                            // long-pinned golden behavior), so reads
+                            // still resolve and lineage recovery never
+                            // needs to trigger for these.
+                            self.metrics.cache.evictions += evicted.len() as u64;
+                        }
+                        InsertOutcome::AlreadyCached => {}
                     }
                 }
             }
@@ -452,7 +579,18 @@ impl Simulation {
         let io_phase_ms = io_ms.round().max(0.0) as SimTime;
         let cpu_phase_ms = (task_cpu_ms as f64 * jitter * hiccup).round().max(1.0) as SimTime;
 
-        let attempt = if speculative { 1 } else { 0 };
+        // The fault die (a *separate* RNG stream — the jitter draws above
+        // came from the main one) decides up front whether this attempt is
+        // doomed; `None` whenever faults are disabled.
+        let doom = self.faults.roll_task_failure();
+
+        // Monotone per-task attempt ids: a retried task's fresh attempt
+        // can never collide with a stale `cancelled` entry. Fault-free
+        // runs produce exactly the old numbering (0 primary,
+        // 1 speculative).
+        let seq = &mut self.attempt_seq[a.stage.index()][a.task_index as usize];
+        let attempt = *seq;
+        *seq += 1;
         self.running.insert(
             (task, attempt),
             RunningAttempt {
@@ -483,14 +621,28 @@ impl Simulation {
         sm.first_launch.get_or_insert(self.now);
         sm.launches_by_locality[locality.index()] += 1;
 
-        self.queue.push(
-            self.now + io_phase_ms + cpu_phase_ms,
-            Event::TaskFinish {
-                task,
-                exec,
-                attempt,
-            },
-        );
+        if let Some(frac) = doom {
+            // Die partway through the compute phase (strictly after IoDone,
+            // at or before the would-be finish time).
+            let fail_cpu = ((cpu_phase_ms as f64 * frac).round() as SimTime).clamp(1, cpu_phase_ms);
+            self.queue.push(
+                self.now + io_phase_ms + fail_cpu,
+                Event::TaskFail {
+                    task,
+                    exec,
+                    attempt,
+                },
+            );
+        } else {
+            self.queue.push(
+                self.now + io_phase_ms + cpu_phase_ms,
+                Event::TaskFinish {
+                    task,
+                    exec,
+                    attempt,
+                },
+            );
+        }
 
         if !speculative {
             let srt = &mut self.stages[a.stage.index()];
@@ -499,22 +651,7 @@ impl Simulation {
             let work = task_work;
             self.tracker.on_task_launched(task, work);
             sched.on_task_launched(task, work, self.now);
-            // The master's reference profile takes priority values from the
-            // scheduler when it maintains Eq. (6) (the paper's TaskScheduler
-            // feeds BlockManagerMaster); otherwise from the ground-truth
-            // tracker.
-            match sched.stage_priorities() {
-                Some(pvs) => {
-                    for (s, pv) in pvs {
-                        self.profile.pv[s.index()] = pv;
-                    }
-                }
-                None => {
-                    for s in self.dag.stage_ids() {
-                        self.profile.pv[s.index()] = self.tracker.pv(s);
-                    }
-                }
-            }
+            self.sync_priorities(sched);
         } else {
             self.metrics.speculative_launched += 1;
         }
@@ -535,7 +672,10 @@ impl Simulation {
             locality: ra.locality,
             speculative: ra.speculative,
             winner: true,
+            failed: false,
         });
+        // A success breaks the executor's consecutive-failure streak.
+        self.faults.consec_failures[exec.index()] = 0;
         let sm = &mut self.metrics.per_stage[task.stage.index()];
         let slot = &mut sm.finished_by_locality[ra.locality.index()];
         slot.0 += 1;
@@ -545,9 +685,16 @@ impl Simulation {
             self.metrics.speculative_won += 1;
         }
 
-        // Cancel the losing attempt, if any.
-        let other = if attempt == 0 { 1 } else { 0 };
-        if let Some(loser) = self.running.remove(&(task, other)) {
+        // Cancel every losing attempt still in flight (under retries the
+        // other attempt's id is not simply `1 - attempt`; scan the task's
+        // key range instead).
+        let losers: Vec<u32> = self
+            .running
+            .range((task, 0)..=(task, u32::MAX))
+            .map(|((_, a2), _)| *a2)
+            .collect();
+        for other in losers {
+            let loser = self.running.remove(&(task, other)).unwrap();
             let lexec = loser.exec;
             self.teardown_attempt(&loser, lexec);
             self.cancelled.insert((task, other));
@@ -559,6 +706,7 @@ impl Simulation {
                 locality: loser.locality,
                 speculative: loser.speculative,
                 winner: false,
+                failed: false,
             });
         }
 
@@ -579,26 +727,61 @@ impl Simulation {
         if !self.data.data().disk_nodes(out).contains(&node) {
             self.data.add_disk(out, node);
             self.disk_by_node[node.index()].push(out);
+            if self.faults.enabled() {
+                // Remember whose files these are: an executor crash
+                // destroys the outputs it wrote to its node's disk.
+                self.outputs_by_exec[exec.index()].push(out);
+            }
         }
         if self.dag.rdd(out.rdd).cached {
-            if let InsertOutcome::Inserted { evicted } = self.bms[exec.index()].try_insert(
+            match self.bms[exec.index()].try_insert(
                 out,
                 self.dag.rdd(out.rdd).block_mb,
                 self.now,
                 &self.profile,
             ) {
-                self.metrics.cache.insertions += 1;
-                self.metrics.cache.evictions += evicted.len() as u64;
-                for e in evicted {
-                    self.data.remove_cached(e, exec);
-                    self.prefetched[exec.index()].remove(&e);
+                InsertOutcome::Inserted { evicted } => {
+                    self.metrics.cache.insertions += 1;
+                    self.metrics.cache.evictions += evicted.len() as u64;
+                    for e in evicted {
+                        self.data.remove_cached(e, exec);
+                        self.prefetched[exec.index()].remove(&e);
+                        if self.faults.enabled() {
+                            self.lost_pending.push(e);
+                        }
+                    }
+                    self.data.add_cached(out, exec);
                 }
-                self.data.add_cached(out, exec);
+                InsertOutcome::Rejected { evicted } => {
+                    // Ledger-only, as in `launch`: the index keeps the
+                    // stale entries to preserve golden behavior.
+                    self.metrics.cache.evictions += evicted.len() as u64;
+                }
+                InsertOutcome::AlreadyCached => {}
             }
         }
 
         if stage_complete {
             self.complete_stage(task.stage, sched);
+        }
+    }
+
+    /// Mirror current stage priority values into the master's reference
+    /// profile: from the scheduler when it maintains Eq. (6) (the paper's
+    /// TaskScheduler feeds BlockManagerMaster), otherwise from the
+    /// ground-truth tracker.
+    fn sync_priorities(&mut self, sched: &mut dyn Scheduler) {
+        match sched.stage_priorities() {
+            Some(pvs) => {
+                for (s, pv) in pvs {
+                    self.profile.pv[s.index()] = pv;
+                }
+            }
+            None => {
+                for s in self.dag.stage_ids() {
+                    self.profile.pv[s.index()] = self.tracker.pv(s);
+                }
+            }
         }
     }
 
@@ -635,9 +818,12 @@ impl Simulation {
             .map(|x| x.0)
             .unwrap_or(self.dag.num_stages() as u32);
         sched.on_stage_complete(s, self.now);
-        // Children whose parents are now all complete become ready.
+        // Children whose parents are now all complete become ready. (The
+        // completed-guard matters only under lineage recovery: a child may
+        // have finished before its resubmitted parent re-completed.)
         for &c in self.dag.children(s) {
             if !self.stages[c.index()].ready
+                && !self.stages[c.index()].completed
                 && self
                     .dag
                     .parents(c)
@@ -669,6 +855,9 @@ impl Simulation {
             for v in victims {
                 self.data.remove_cached(v, ExecId(i as u32));
                 self.prefetched[i].remove(&v);
+                if self.faults.enabled() {
+                    self.lost_pending.push(v);
+                }
             }
         }
     }
@@ -679,6 +868,9 @@ impl Simulation {
             None => return,
         };
         for i in 0..self.bms.len() {
+            if !self.faults.usable_idx(i) {
+                continue; // dead/blacklisted executors don't prefetch
+            }
             if self.prefetch_inflight[i].is_some() {
                 continue;
             }
@@ -723,8 +915,14 @@ impl Simulation {
 
     fn prefetch_arrive(&mut self, block: BlockId, exec: ExecId) {
         let i = exec.index();
-        let inflight = self.prefetch_inflight[i].take();
-        debug_assert_eq!(inflight.map(|(b, _)| b), Some(block));
+        // Stale arrival: the executor crashed (clearing its in-flight slot)
+        // after this transfer started — and may have restarted and begun a
+        // different prefetch since. Only the transfer the slot still
+        // describes may land.
+        if self.prefetch_inflight[i].map(|(b, _)| b) != Some(block) {
+            return;
+        }
+        self.prefetch_inflight[i] = None;
         let mb = self.dag.rdd(block.rdd).block_mb;
         // Insert only into genuinely free space: prefetch never evicts.
         if !self.bms[i].contains(block)
@@ -766,13 +964,15 @@ impl Simulation {
             sorted.sort_unstable();
             let med = sorted[sorted.len() / 2] as f64;
             let threshold = spec.multiplier * med;
-            // Sort candidates: HashMap iteration order varies per process,
-            // and the launch order below consumes resources and the RNG
-            // stream — determinism requires a canonical order.
+            // BTreeMap iteration is already key-ordered, but keep the
+            // explicit sort: the launch order below consumes resources and
+            // the RNG stream, and a canonical order must not depend on the
+            // container. Primaries are `!speculative` (attempt ids are not
+            // fixed under retries).
             let mut candidates: Vec<(TaskId, &RunningAttempt)> = self
                 .running
                 .iter()
-                .filter(|((task, attempt), ra)| *attempt == 0 && task.stage == s && !ra.speculative)
+                .filter(|((task, _), ra)| task.stage == s && !ra.speculative)
                 .map(|((task, _), ra)| (*task, ra))
                 .collect();
             candidates.sort_by_key(|(t, _)| t.index);
@@ -790,7 +990,10 @@ impl Simulation {
                 let mut best: Option<(Locality, u32, ExecId)> = None;
                 for e in 0..self.exec_free.len() {
                     let exec = ExecId(e as u32);
-                    if exec == ra.exec || !self.exec_free[e].fits(st.demand) {
+                    if exec == ra.exec
+                        || !self.faults.usable_idx(e)
+                        || !self.exec_free[e].fits(st.demand)
+                    {
                         continue;
                     }
                     let l = self.locality_of(s, task.index, exec);
@@ -813,6 +1016,19 @@ impl Simulation {
             }
         }
         for (task, a) in to_launch {
+            // Candidates were collected against a snapshot of `exec_free`;
+            // earlier launches in this very loop may have consumed the last
+            // slot. Fault-free lineups keep the historical (golden-pinned)
+            // behavior, where such a transient over-subscription is absorbed
+            // by the saturating ledger; with crashes shrinking the pool the
+            // collision becomes routine and corrupts free-resource
+            // accounting, so re-check and skip without burning the task's
+            // speculation shot — it can re-arm on the next sweep.
+            if self.faults.enabled()
+                && !self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
+            {
+                continue;
+            }
             self.spec_launched.insert(task);
             // Speculative launches bypass the scheduler; a no-op scheduler
             // reference is not available here, so use a tiny shim.
@@ -826,6 +1042,286 @@ impl Simulation {
                 }
             }
             self.launch(a, true, &mut Nop);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    /// Tear down a live attempt that died — an injected task failure when
+    /// `blame`, an executor crash otherwise — and re-offer the task to the
+    /// scheduler unless another attempt of it survives. The caller
+    /// swallows the attempt's still-queued events (`TaskFail` pops its own
+    /// key; crashes insert victims into `cancelled`).
+    fn fail_attempt(
+        &mut self,
+        task: TaskId,
+        exec: ExecId,
+        attempt: u32,
+        blame: bool,
+        sched: &mut dyn Scheduler,
+    ) {
+        let Some(ra) = self.running.remove(&(task, attempt)) else {
+            return;
+        };
+        self.teardown_attempt(&ra, exec);
+        self.metrics.task_runs.push(TaskRun {
+            task,
+            exec,
+            start: ra.start,
+            end: self.now,
+            locality: ra.locality,
+            speculative: ra.speculative,
+            winner: false,
+            failed: true,
+        });
+        if blame {
+            self.metrics.faults.task_failures += 1;
+            // Bounded retry (spark.task.maxFailures): executor-loss kills
+            // are the machine's fault and don't count against the task.
+            let (si, ki) = (task.stage.index(), task.index as usize);
+            self.retries[si][ki] += 1;
+            let max = self.faults.max_task_retries();
+            if self.retries[si][ki] > max {
+                panic!(
+                    "job aborted: task {task} failed {} times (max_task_retries = {max})",
+                    self.retries[si][ki]
+                );
+            }
+            // Consecutive failures blacklist the executor — but never the
+            // last usable one.
+            let after = self.faults.blacklist_after();
+            let ei = exec.index();
+            self.faults.consec_failures[ei] += 1;
+            if after > 0
+                && self.faults.consec_failures[ei] >= after
+                && !self.faults.blacklisted[ei]
+                && self.faults.usable_count() > 1
+            {
+                self.faults.blacklisted[ei] = true;
+                self.metrics.faults.execs_blacklisted += 1;
+            }
+        } else {
+            self.metrics.faults.attempts_killed += 1;
+        }
+        // Re-offer only when no other attempt of this task is in flight —
+        // a surviving attempt (primary or speculative) carries on alone.
+        let has_other = self
+            .running
+            .range((task, 0)..=(task, u32::MAX))
+            .next()
+            .is_some();
+        if !has_other {
+            self.requeue_task(task, sched);
+        }
+    }
+
+    /// Put a task whose last live attempt died back into the pending set
+    /// and restore its work to the scheduler-side accounting.
+    fn requeue_task(&mut self, task: TaskId, sched: &mut dyn Scheduler) {
+        let srt = &mut self.stages[task.stage.index()];
+        if !srt.pending.insert(task.index) {
+            return; // already pending (both attempts died in one crash)
+        }
+        // One in-flight slot was accounted for this task (the primary's,
+        // inherited by the speculative copy if the primary died first).
+        srt.running = srt.running.saturating_sub(1);
+        self.spec_launched.remove(&task);
+        let work = self.dag.stage(task.stage).task_work(task.index);
+        self.tracker.on_task_requeued(task, work);
+        sched.on_task_requeued(task, work, self.now);
+        self.sync_priorities(sched);
+    }
+
+    fn exec_crash(&mut self, exec: ExecId, restart_at: Option<SimTime>, sched: &mut dyn Scheduler) {
+        let i = exec.index();
+        if !self.faults.alive[i] {
+            // Already down; still honor a scheduled restart.
+            if let Some(t) = restart_at {
+                self.queue
+                    .push(t.max(self.now + 1), Event::ExecRestart { exec });
+            }
+            return;
+        }
+        self.faults.alive[i] = false;
+        self.metrics.faults.exec_crashes += 1;
+        // 1. Every attempt running there dies. BTreeMap iteration gives a
+        //    deterministic kill order; victims' queued finish/fail events
+        //    are swallowed via `cancelled` (attempt ids never recur, so a
+        //    stale entry can't shadow a relaunch).
+        let victims: Vec<(TaskId, u32)> = self
+            .running
+            .iter()
+            .filter(|(_, ra)| ra.exec == exec)
+            .map(|(k, _)| *k)
+            .collect();
+        for (task, attempt) in victims {
+            self.fail_attempt(task, exec, attempt, false, sched);
+            self.cancelled.insert((task, attempt));
+        }
+        // 2. The executor's cache dies with it.
+        let lost = self.bms[i].crash_clear();
+        self.metrics.cache.lost += lost.len() as u64;
+        for b in lost {
+            self.data.remove_cached(b, exec);
+        }
+        self.prefetched[i].clear();
+        self.prefetch_inflight[i] = None; // in-flight arrival goes stale
+                                          // 3. Output/shuffle files this executor wrote to its node's disk
+                                          //    are gone (no external shuffle service is modeled).
+        let outs = std::mem::take(&mut self.outputs_by_exec[i]);
+        let node = self.topo.node_of_exec(exec);
+        self.metrics.faults.disk_blocks_lost += outs.len() as u64;
+        for b in &outs {
+            self.data.remove_disk(*b, node);
+            self.disk_by_node[node.index()].retain(|x| x != b);
+        }
+        // 4. Whatever is now unrecoverable from storage but still needed
+        //    is recomputed from lineage.
+        self.recover_lost_blocks(sched);
+        if let Some(t) = restart_at {
+            self.queue
+                .push(t.max(self.now + 1), Event::ExecRestart { exec });
+        }
+    }
+
+    fn exec_restart(&mut self, exec: ExecId) {
+        let i = exec.index();
+        if self.faults.alive[i] {
+            return;
+        }
+        self.faults.alive[i] = true;
+        self.faults.blacklisted[i] = false;
+        self.faults.consec_failures[i] = 0;
+        self.metrics.faults.exec_restarts += 1;
+        // All attempts were torn down at crash time, so the replacement
+        // registers with full capacity and an empty cache.
+        debug_assert_eq!(self.exec_free[i], self.cfg.exec_capacity);
+        debug_assert_eq!(self.bms[i].num_resident(), 0);
+    }
+
+    fn block_loss(&mut self, block: BlockId, exec: ExecId, sched: &mut dyn Scheduler) {
+        let i = exec.index();
+        if !self.faults.alive[i] || !self.bms[i].invalidate(block) {
+            return; // nothing resident to lose
+        }
+        self.metrics.cache.lost += 1;
+        self.data.remove_cached(block, exec);
+        self.prefetched[i].remove(&block);
+        // Running readers already pinned-and-read it; their stale unpins
+        // at teardown are no-ops. Future readers go through recovery.
+        self.recover_lost_blocks(sched);
+    }
+
+    /// Lineage recomputation: any block that (a) some not-yet-launched
+    /// task of an incomplete stage still reads, and (b) survives nowhere —
+    /// no disk replica, no cached copy — must be regenerated by
+    /// resubmitting exactly the task that produced it. Chasing the
+    /// resubmitted producers' own inputs yields the minimal transitive
+    /// task set, mirroring Spark's DAGScheduler resubmitting (partial)
+    /// parent stages on FetchFailed.
+    fn recover_lost_blocks(&mut self, sched: &mut dyn Scheduler) {
+        let mut check: Vec<(usize, u32)> = Vec::new();
+        for s in 0..self.stages.len() {
+            if self.stages[s].completed {
+                continue;
+            }
+            for k in self.stages[s].pending.iter() {
+                check.push((s, k));
+            }
+        }
+        let mut queued: HashSet<TaskId> = HashSet::new();
+        let mut resubmitted = false;
+        while let Some((s, k)) = check.pop() {
+            let inputs: Vec<BlockId> = self.task_inputs[s][k as usize]
+                .iter()
+                .map(|&(b, _)| b)
+                .collect();
+            for b in inputs {
+                if self.data.on_disk_anywhere(b) || self.data.is_cached_anywhere(b) {
+                    continue;
+                }
+                let Some(ps) = self.producer_of_rdd[b.rdd.index()] else {
+                    debug_assert!(false, "source block {b} lost; sources are never removed");
+                    continue;
+                };
+                let pk = b.partition;
+                let pt = TaskId::new(ps, pk);
+                if !queued.insert(pt) {
+                    continue;
+                }
+                if self.task_done[ps.index()][pk as usize] {
+                    self.resubmit_task(ps, pk, sched);
+                    resubmitted = true;
+                    check.push((ps.index(), pk));
+                } else if self.stages[ps.index()].pending.contains(pk) {
+                    // Not yet (re)launched: it will regenerate the block
+                    // when it runs, but its own inputs may be lost too.
+                    check.push((ps.index(), pk));
+                }
+                // else: currently running — it already read its inputs and
+                // materializes the block on finish.
+            }
+        }
+        if resubmitted {
+            self.sync_priorities(sched);
+        }
+    }
+
+    /// Reopen one finished task (and, if needed, its completed stage) so
+    /// the scheduler runs it again.
+    fn resubmit_task(&mut self, ps: StageId, k: u32, sched: &mut dyn Scheduler) {
+        let si = ps.index();
+        debug_assert!(self.task_done[si][k as usize]);
+        self.task_done[si][k as usize] = false;
+        self.stages[si].finished -= 1;
+        self.metrics.faults.tasks_recomputed += 1;
+        let was_completed = self.stages[si].completed;
+        if was_completed {
+            self.stages[si].completed = false;
+            self.completed_count -= 1;
+            self.metrics.per_stage[si].completed_at = None;
+            self.metrics.faults.stage_resubmissions += 1;
+            // Incomplete children must wait for this stage again.
+            for &c in self.dag.children(ps) {
+                let crt = &mut self.stages[c.index()];
+                if !crt.completed {
+                    crt.ready = false;
+                }
+            }
+            // The FIFO frontier (MRD's cursor) may move backwards.
+            self.profile.frontier = self
+                .dag
+                .stage_ids()
+                .find(|x| !self.stages[x.index()].completed)
+                .map(|x| x.0)
+                .unwrap_or(self.dag.num_stages() as u32);
+        }
+        let had_pending = !self.stages[si].pending.is_empty();
+        let inserted = self.stages[si].pending.insert(k);
+        debug_assert!(inserted);
+        // The task's input reads re-enter the master's reference profile
+        // (they were removed when it finished).
+        for (b, _) in &self.task_inputs[si][k as usize] {
+            self.profile.add_use(*b, ps);
+        }
+        let work = self.dag.stage(ps).task_work(k);
+        self.tracker.on_task_requeued(TaskId::new(ps, k), work);
+        sched.on_task_requeued(TaskId::new(ps, k), work, self.now);
+        // Readiness under the *current* parent state — a parent may itself
+        // be resubmitted later in this same recovery pass, which un-readies
+        // this stage again.
+        let ready = self
+            .dag
+            .parents(ps)
+            .iter()
+            .all(|p| self.stages[p.index()].completed);
+        self.stages[si].ready = ready;
+        if ready && (was_completed || !had_pending) {
+            // Re-entering the schedulable set: reset delay-scheduling
+            // clocks.
+            sched.on_stage_ready(ps, self.now);
         }
     }
 
@@ -883,6 +1379,35 @@ mod tests {
 
     fn run_tiny(dag: JobDag, cfg: ClusterConfig) -> SimResult {
         let sim = Simulation::new(dag, cfg, || Box::new(NoCache));
+        sim.run(&mut GreedyFifo)
+    }
+
+    /// Admit-everything policy so fault tests can exercise cached blocks
+    /// without depending on the real policies in `dagon-cache`.
+    struct AdmitAll(Vec<BlockId>);
+
+    impl CachePolicy for AdmitAll {
+        fn policy_name(&self) -> &'static str {
+            "admit-all"
+        }
+        fn on_insert(&mut self, b: BlockId, _now: SimTime) {
+            self.0.push(b);
+        }
+        fn on_evict(&mut self, b: BlockId) {
+            self.0.retain(|x| *x != b);
+        }
+        fn victim(
+            &mut self,
+            c: &[BlockId],
+            _i: Option<BlockId>,
+            _p: &RefProfile,
+        ) -> Option<BlockId> {
+            self.0.iter().find(|b| c.contains(b)).copied()
+        }
+    }
+
+    fn run_cached(dag: JobDag, cfg: ClusterConfig) -> SimResult {
+        let sim = Simulation::new(dag, cfg, || Box::new(AdmitAll(Vec::new())));
         sim.run(&mut GreedyFifo)
     }
 
@@ -952,5 +1477,166 @@ mod tests {
         let res = run_tiny(tiny_chain(6, 500), cfg);
         let total: u32 = res.metrics.per_stage[0].launches_by_locality.iter().sum();
         assert_eq!(total, 6);
+    }
+
+    // --------------------------------------------------------------
+    // Fault injection & recovery
+    // --------------------------------------------------------------
+
+    use crate::fault::{FaultKind, FaultPlan};
+
+    fn total_tasks(dag: &JobDag) -> u64 {
+        dag.stages().iter().map(|s| s.num_tasks as u64).sum()
+    }
+
+    /// The structural invariants every faulty run must satisfy.
+    fn assert_recovered(dag: &JobDag, res: &SimResult) {
+        let m = &res.metrics;
+        for (i, s) in m.per_stage.iter().enumerate() {
+            assert!(s.completed_at.is_some(), "stage {i} incomplete");
+        }
+        // Each task completes effectively once: one winning attempt per
+        // (original run + lineage recomputation).
+        let winners = m.task_runs.iter().filter(|r| r.winner).count() as u64;
+        assert_eq!(winners, total_tasks(dag) + m.faults.tasks_recomputed);
+        assert!(m.task_runs.iter().all(|r| !(r.winner && r.failed)));
+        // Cache ledger balances: every insertion is either evicted,
+        // proactively dropped, destroyed by a fault, or still resident.
+        assert_eq!(
+            m.cache.insertions,
+            m.cache.evictions + m.cache.proactive_evictions + m.cache.lost + m.cache.resident_end,
+            "cache ledger imbalance"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_none() {
+        let base = run_tiny(tiny_chain(8, 500), ClusterConfig::tiny(2, 4));
+        let mut cfg = ClusterConfig::tiny(2, 4);
+        cfg.faults = Some(FaultPlan::none());
+        let armed = run_tiny(tiny_chain(8, 500), cfg);
+        assert_eq!(base.jct, armed.jct);
+        assert_eq!(base.fingerprint(), armed.fingerprint());
+    }
+
+    #[test]
+    fn crash_mid_stage_requeues_and_recomputes_lost_outputs() {
+        // One 2-core executor; scan (8×~1s) runs in 4 waves. Crash at 3 s
+        // kills the running wave, wipes the cache and every scan output
+        // written so far; the cold restart at 5 s must rerun them.
+        let base = run_tiny(tiny_chain(8, 500), ClusterConfig::tiny(1, 2));
+        let dag = tiny_chain(8, 500);
+        let mut cfg = ClusterConfig::tiny(1, 2);
+        cfg.faults = Some(FaultPlan::none().and(
+            3000,
+            FaultKind::ExecCrash {
+                exec: ExecId(0),
+                restart_after_ms: Some(2000),
+            },
+        ));
+        let res = run_tiny(dag.clone(), cfg);
+        let f = &res.metrics.faults;
+        assert_eq!(f.exec_crashes, 1);
+        assert_eq!(f.exec_restarts, 1);
+        assert!(f.attempts_killed > 0, "no attempt was running at 3s");
+        assert!(f.tasks_recomputed > 0, "no finished output was lost");
+        assert!(res.jct >= base.jct + 2000, "{} vs {}", res.jct, base.jct);
+        assert_recovered(&dag, &res);
+    }
+
+    #[test]
+    fn crash_after_stage_completion_reopens_it_via_lineage() {
+        // Crash after the scan stage completed (~4.2 s) while the 5-task
+        // agg stage still has pending waves: the lost cached+disk scan
+        // outputs force a stage resubmission.
+        let dag = tiny_chain(8, 500);
+        let mut cfg = ClusterConfig::tiny(1, 2);
+        cfg.faults = Some(FaultPlan::none().and(
+            4500,
+            FaultKind::ExecCrash {
+                exec: ExecId(0),
+                restart_after_ms: Some(2000),
+            },
+        ));
+        let res = run_tiny(dag.clone(), cfg);
+        let f = &res.metrics.faults;
+        assert_eq!(f.exec_crashes, 1);
+        assert!(
+            f.stage_resubmissions >= 1,
+            "completed scan stage was not reopened: {f:?}"
+        );
+        assert!(f.tasks_recomputed > 0);
+        assert_recovered(&dag, &res);
+    }
+
+    #[test]
+    fn injected_task_failures_are_retried_to_completion() {
+        let dag = tiny_chain(8, 500);
+        let mut cfg = ClusterConfig::tiny(2, 4);
+        cfg.faults = Some(FaultPlan::with_task_failures(0.3, 9));
+        let res = run_tiny(dag.clone(), cfg);
+        assert!(res.metrics.faults.task_failures > 0);
+        assert!(res.metrics.task_runs.iter().any(|r| r.failed && !r.winner));
+        assert_recovered(&dag, &res);
+    }
+
+    #[test]
+    #[should_panic(expected = "job aborted")]
+    fn certain_failure_exhausts_retries_and_aborts() {
+        let mut plan = FaultPlan::with_task_failures(1.0, 1);
+        plan.max_task_retries = 2;
+        let mut cfg = ClusterConfig::tiny(1, 2);
+        cfg.faults = Some(plan);
+        let _ = run_tiny(tiny_chain(2, 300), cfg);
+    }
+
+    #[test]
+    fn consecutive_failures_blacklist_executors_but_never_the_last() {
+        let mut plan = FaultPlan::with_task_failures(0.5, 3);
+        plan.blacklist_after = 1;
+        plan.max_task_retries = 50;
+        let mut cfg = ClusterConfig::tiny(3, 2);
+        cfg.faults = Some(plan);
+        let dag = tiny_chain(10, 400);
+        let res = run_tiny(dag.clone(), cfg);
+        let blacklisted = res.metrics.faults.execs_blacklisted;
+        assert!(blacklisted >= 1, "p=0.5 produced no blacklisting");
+        assert!(blacklisted <= 2, "last usable executor was blacklisted");
+        assert_recovered(&dag, &res);
+    }
+
+    #[test]
+    fn cached_block_loss_is_reread_from_disk() {
+        // Lose a cached scan output on the only executor while the agg
+        // stage still needs it: the disk replica survives, so this is a
+        // cache miss, not a recomputation. Partition 4 is read by agg
+        // task 4, which runs in the last wave — still cached at 4.8s.
+        let dag = tiny_chain(8, 500);
+        let block = BlockId::new(dag.stage(StageId(0)).output, 4);
+        let mut cfg = ClusterConfig::tiny(1, 2);
+        cfg.faults = Some(FaultPlan::none().and(
+            4800,
+            FaultKind::BlockLoss {
+                block,
+                exec: ExecId(0),
+            },
+        ));
+        let res = run_cached(dag.clone(), cfg);
+        assert_eq!(res.metrics.cache.lost, 1, "block was not resident at 4.8s");
+        assert!(res.metrics.cache.insertions > 0);
+        assert_eq!(res.metrics.faults.tasks_recomputed, 0);
+        assert_recovered(&dag, &res);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let plan = FaultPlan::chaos(5, 2, 8000, &tiny_chain(8, 500));
+        let mut cfg = ClusterConfig::tiny(2, 4);
+        cfg.faults = Some(plan);
+        let a = run_tiny(tiny_chain(8, 500), cfg.clone());
+        let b = run_tiny(tiny_chain(8, 500), cfg);
+        assert_eq!(a.jct, b.jct);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.metrics.faults, b.metrics.faults);
     }
 }

@@ -5,7 +5,7 @@
 //! setting used by the `repro` binary, [`ExpConfig::quick`] a scaled-down
 //! variant fast enough for CI tests (same shapes, smaller magnitudes).
 
-use dagon_cluster::{ClusterConfig, Locality, LocalityWait, SimResult, TimePoint};
+use dagon_cluster::{ClusterConfig, FaultPlan, Locality, LocalityWait, SimResult, TimePoint};
 use dagon_dag::{JobDag, StageId, SEC_MS};
 use dagon_workloads::{Scale, Workload};
 use rayon::prelude::*;
@@ -500,11 +500,84 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_baseline_and_degradation() {
+        let cfg = ExpConfig::quick();
+        let rows = fig_fault_sweep(&cfg, Workload::KMeans, &[0.0, 0.05]);
+        assert_eq!(rows.len(), 2);
+        // p = 0 is the exact fault-free baseline for every system.
+        for (c, sys) in rows[0].cells.iter().zip(System::fig8_lineup()) {
+            let base = run_one(&cfg, Workload::KMeans, &sys);
+            assert_eq!(c.jct_s, base.jct as f64 / 1000.0);
+            assert_eq!(c.task_failures, 0);
+        }
+        // p > 0 injects failures and never speeds a system up.
+        for (c0, c1) in rows[0].cells.iter().zip(&rows[1].cells) {
+            assert!(c1.task_failures > 0, "{}: no failures injected", c1.system);
+            assert!(c1.jct_s >= c0.jct_s, "{}: faulty run was faster", c1.system);
+        }
+    }
+
+    #[test]
     fn mean_improvement_geometric() {
         let v = mean_improvement(&[(2.0, 1.0), (2.0, 1.0)]);
         assert!((v - 1.0).abs() < 1e-9);
         assert_eq!(mean_improvement(&[]), 0.0);
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault sweep (beyond the paper: JCT under injected failure rates)
+// ---------------------------------------------------------------------
+
+/// Per-system outcome at one injected failure probability.
+#[derive(Clone, Debug)]
+pub struct FaultSweepCell {
+    pub system: String,
+    pub jct_s: f64,
+    pub task_failures: u64,
+    pub tasks_recomputed: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct FaultSweepRow {
+    pub fail_prob: f64,
+    pub cells: Vec<FaultSweepCell>,
+}
+
+/// JCT degradation as the per-attempt injected failure probability rises,
+/// for every fig8 system on one workload. `p = 0` leaves the fault
+/// machinery disarmed — by the differential guarantee it is the exact
+/// fault-free baseline. Retries are generous (64) so the sweep measures
+/// recovery cost, not abort behavior.
+pub fn fig_fault_sweep(cfg: &ExpConfig, w: Workload, probs: &[f64]) -> Vec<FaultSweepRow> {
+    let dag = w.build(&cfg.scale);
+    probs
+        .par_iter()
+        .map(|&p| {
+            let cells = System::fig8_lineup()
+                .iter()
+                .map(|sys| {
+                    let mut cluster = cfg.cluster.clone();
+                    if p > 0.0 {
+                        let mut plan = FaultPlan::with_task_failures(p, 1789);
+                        plan.max_task_retries = 64;
+                        cluster.faults = Some(plan);
+                    }
+                    let out = run_system(&dag, &cluster, sys);
+                    FaultSweepCell {
+                        system: sys.label(),
+                        jct_s: out.jct_s(),
+                        task_failures: out.result.metrics.faults.task_failures,
+                        tasks_recomputed: out.result.metrics.faults.tasks_recomputed,
+                    }
+                })
+                .collect();
+            FaultSweepRow {
+                fail_prob: p,
+                cells,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -39,6 +39,9 @@ pub trait OrderPolicy {
     ) -> Vec<StageId>;
 
     fn on_task_launched(&mut self, _t: TaskId, _work: u64) {}
+    /// A launched/completed task went back to pending (failure recovery);
+    /// `work` re-enters the stage's remaining workload.
+    fn on_task_requeued(&mut self, _t: TaskId, _work: u64) {}
     fn on_stage_ready(&mut self, _s: StageId) {}
     fn on_stage_complete(&mut self, _s: StageId) {}
 
@@ -175,6 +178,13 @@ impl Scheduler for OrderedScheduler {
             );
         }
         self.order.on_task_launched(t, work);
+    }
+
+    fn on_task_requeued(&mut self, t: TaskId, work: u64, _now: SimTime) {
+        // Requeues arrive between batches (fault handling happens in the
+        // event loop, never mid-`schedule`), so the emit journal is not
+        // touched — `reconcile` at the next call sees a consistent state.
+        self.order.on_task_requeued(t, work);
     }
 
     fn stage_priorities(&self) -> Option<Vec<(StageId, u64)>> {

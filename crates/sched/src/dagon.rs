@@ -71,6 +71,13 @@ impl OrderPolicy for DagonOrder {
         self.tracker.on_task_launched(t, est_work);
     }
 
+    fn on_task_requeued(&mut self, t: TaskId, _ground_truth_work: u64) {
+        // Symmetric with on_task_launched: restore the *estimated* work so
+        // the stage's priority value reflects the re-pending task.
+        let est_work = self.est_task_work[t.stage.index()];
+        self.tracker.on_task_requeued(t, est_work);
+    }
+
     fn priorities(&self) -> Option<Vec<(StageId, u64)>> {
         Some(self.tracker.snapshot())
     }

@@ -1,0 +1,185 @@
+//! Property-based chaos: random fault plans against random DAGs. Whatever
+//! the generator produces, recovery must hold the same structural
+//! invariants the curated chaos matrix checks — completion, exactly-once
+//! effective execution, no winner overlapping a dead window, a balanced
+//! cache ledger, and no speed-up from faults.
+
+use dagon_cluster::{ClusterConfig, FaultKind, FaultPlan, SimResult};
+use dagon_core::run_system;
+use dagon_core::system::System;
+use dagon_dag::generate::{random_dag, GenParams};
+use dagon_dag::JobDag;
+use proptest::prelude::*;
+
+fn small_params() -> GenParams {
+    GenParams {
+        stages: 6,
+        tasks: (1, 6),
+        demand_cpus: (1, 2),
+        cpu_ms: (100, 4_000),
+        block_mb: (8.0, 64.0),
+        ..Default::default()
+    }
+}
+
+fn cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::paper_testbed();
+    c.racks = vec![2, 1];
+    c.execs_per_node = 2;
+    c.exec_cache_mb = 256.0;
+    c
+}
+
+fn num_execs(c: &ClusterConfig) -> u32 {
+    c.total_nodes() * c.execs_per_node
+}
+
+/// Slim invariant suite shared by the properties and the pinned
+/// regressions. Returns an error string naming every violated invariant.
+fn check(
+    dag: &JobDag,
+    plan: &FaultPlan,
+    faulty: &SimResult,
+    baseline: &SimResult,
+) -> Result<(), String> {
+    let m = &faulty.metrics;
+    let mut errs = Vec::new();
+    for (i, s) in m.per_stage.iter().enumerate() {
+        if s.completed_at.is_none() {
+            errs.push(format!("stage {i} never completed"));
+        }
+    }
+    let total: u64 = dag.stages().iter().map(|s| s.num_tasks as u64).sum();
+    let winners = m.task_runs.iter().filter(|r| r.winner).count() as u64;
+    if winners != total + m.faults.tasks_recomputed {
+        errs.push(format!(
+            "winners {winners} != tasks {total} + recomputed {}",
+            m.faults.tasks_recomputed
+        ));
+    }
+    if m.task_runs.iter().any(|r| r.winner && r.failed) {
+        errs.push("a failed attempt won".into());
+    }
+    let n_exec = num_execs(&cluster()) as usize;
+    let mut windows = vec![Vec::new(); n_exec];
+    for fe in &plan.events {
+        if let FaultKind::ExecCrash {
+            exec,
+            restart_after_ms,
+        } = fe.kind
+        {
+            let t = fe.at.max(1);
+            windows[exec.index()].push((t, restart_after_ms.map_or(u64::MAX, |d| t + d)));
+        }
+    }
+    for r in m.task_runs.iter().filter(|r| r.winner) {
+        for &(crash, restart) in &windows[r.exec.index()] {
+            if r.start > crash && r.start < restart {
+                errs.push(format!(
+                    "{:?} launched in dead window of {:?}",
+                    r.task, r.exec
+                ));
+            }
+            if r.start < crash && r.end > crash {
+                errs.push(format!("{:?} survived the crash of {:?}", r.task, r.exec));
+            }
+        }
+    }
+    let c = &m.cache;
+    if c.insertions != c.evictions + c.proactive_evictions + c.lost + c.resident_end {
+        errs.push(format!(
+            "cache ledger: {} inserted != {} evicted + {} proactive + {} lost + {} resident",
+            c.insertions, c.evictions, c.proactive_evictions, c.lost, c.resident_end
+        ));
+    }
+    if faulty.jct < baseline.jct {
+        errs.push(format!(
+            "faulty jct {} < baseline {}",
+            faulty.jct, baseline.jct
+        ));
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("; "))
+    }
+}
+
+fn check_random_chaos(dag_seed: u64, fault_seed: u64) {
+    let dag = random_dag(&small_params(), dag_seed);
+    let cl = cluster();
+    let sys = System::dagon();
+    let baseline = run_system(&dag, &cl, &sys).result;
+    let plan = FaultPlan::chaos(fault_seed, num_execs(&cl), baseline.jct, &dag);
+    let mut faulty_cl = cl.clone();
+    faulty_cl.faults = Some(plan.clone());
+    let faulty = run_system(&dag, &faulty_cl, &sys).result;
+    if let Err(e) = check(&dag, &plan, &faulty, &baseline) {
+        panic!("dag_seed={dag_seed} fault_seed={fault_seed}: {e}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A generated chaos plan against a generated DAG always recovers and
+    /// upholds the invariant suite.
+    #[test]
+    fn random_chaos_plans_recover_on_random_dags(
+        dag_seed in 0u64..30,
+        fault_seed in 0u64..30,
+    ) {
+        check_random_chaos(dag_seed, fault_seed);
+    }
+
+    /// The differential guarantee holds on arbitrary DAGs too: an armed but
+    /// empty plan is bit-identical to no plan at all.
+    #[test]
+    fn empty_plan_is_identity_on_random_dags(seed in 0u64..40) {
+        let dag = random_dag(&small_params(), seed);
+        let cl = cluster();
+        let sys = System::dagon();
+        let plain = run_system(&dag, &cl, &sys).result;
+        let mut armed = cl.clone();
+        armed.faults = Some(FaultPlan::none());
+        let res = run_system(&dag, &armed, &sys).result;
+        prop_assert_eq!(plain.fingerprint(), res.fingerprint());
+    }
+
+    /// Pure flakiness (no scheduled faults): every injected failure is
+    /// retried to completion and each retry shows up in the metrics.
+    #[test]
+    fn injected_flakiness_always_retires(seed in 0u64..20) {
+        let dag = random_dag(&small_params(), seed);
+        let cl = cluster();
+        let sys = System::dagon();
+        let mut flaky = cl.clone();
+        let mut plan = FaultPlan::with_task_failures(0.05, seed);
+        plan.max_task_retries = 64;
+        flaky.faults = Some(plan);
+        let res = run_system(&dag, &flaky, &sys).result;
+        prop_assert!(res.metrics.per_stage.iter().all(|s| s.completed_at.is_some()));
+        let m = &res.metrics;
+        let total: u64 = dag.stages().iter().map(|s| s.num_tasks as u64).sum();
+        let winners = m.task_runs.iter().filter(|r| r.winner).count() as u64;
+        prop_assert_eq!(winners, total + m.faults.tasks_recomputed);
+        // Every injected failure produced a visible retry; no winner failed.
+        prop_assert!(!m.task_runs.iter().any(|r| r.winner && r.failed));
+        prop_assert!(
+            m.task_runs.iter().filter(|r| r.failed).count() as u64 >= m.faults.task_failures
+                || m.faults.task_failures == 0
+        );
+    }
+}
+
+/// Checked-in `fault_props.proptest-regressions` cases, pinned explicitly
+/// so they run even where the regression file is not consulted.
+#[test]
+fn chaos_regression_dag0_fault7() {
+    check_random_chaos(0, 7);
+}
+
+#[test]
+fn chaos_regression_dag13_fault21() {
+    check_random_chaos(13, 21);
+}

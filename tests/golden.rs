@@ -8,45 +8,21 @@
 //! To regenerate after an *intentional* semantic change:
 //! `cargo test --release --test golden -- --ignored print_golden --nocapture`
 
-use dagon_cluster::{ClusterConfig, SimResult};
+use dagon_cluster::{ClusterConfig, ExecId, FaultKind, FaultPlan, SimResult};
 use dagon_core::experiments::ExpConfig;
 use dagon_core::{run_system, System};
 use dagon_dag::examples::{fig1, tiny_chain};
 use dagon_dag::JobDag;
 use dagon_workloads::Workload;
 
-/// FNV-1a over every semantically-relevant field of the result: JCT,
-/// per-stage first-launch/completion times, launch and finish locality
-/// histograms, and the winner task-run locality histogram. Scheduler
-/// overhead counters are deliberately excluded — they describe how the
+/// `(jct, fp)` via [`SimResult::fingerprint`]: FNV-1a over every
+/// semantically-relevant field of the result — JCT, per-stage
+/// first-launch/completion times, launch and finish locality histograms,
+/// and the winner task-run locality histogram. Scheduler overhead and
+/// cache/fault counters are deliberately excluded — they describe how the
 /// result was computed, not what it is.
 fn fingerprint(r: &SimResult) -> (u64, u64) {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(r.jct);
-    mix(r.total_cores as u64);
-    for s in &r.metrics.per_stage {
-        mix(s.first_launch.map_or(u64::MAX, |t| t));
-        mix(s.completed_at.map_or(u64::MAX, |t| t));
-        for &c in &s.launches_by_locality {
-            mix(c as u64);
-        }
-        for &(n, ms) in &s.finished_by_locality {
-            mix(n as u64);
-            mix(ms);
-        }
-    }
-    let mut hist = [0u64; 4];
-    for run in r.metrics.task_runs.iter().filter(|t| t.winner) {
-        hist[run.locality.index()] += 1;
-    }
-    for c in hist {
-        mix(c);
-    }
-    (r.jct, h)
+    (r.jct, r.fingerprint())
 }
 
 /// The four scenarios of the acceptance criterion, × the fig8 lineup.
@@ -68,6 +44,34 @@ fn scenarios() -> Vec<(&'static str, JobDag, ClusterConfig)> {
     ]
 }
 
+/// Two pinned chaos scenarios: fully fixed fault plans, so recovery
+/// behavior (retry ordering, lineage resubmission, blacklist decisions) is
+/// itself golden-pinned, not just the fault-free path.
+fn chaos_scenarios() -> Vec<(&'static str, JobDag, ClusterConfig, System)> {
+    // A: the lineage-recovery scenario — one executor holds every scan
+    // output; crashing it mid-agg destroys cache + disk copies and forces
+    // resubmission of the producing stage.
+    let mut c1 = ClusterConfig::tiny(1, 2);
+    c1.faults = Some(FaultPlan::none().and(
+        4500,
+        FaultKind::ExecCrash {
+            exec: ExecId(0),
+            restart_after_ms: Some(2000),
+        },
+    ));
+    // B: a generated chaos plan (crashes + cached-block losses + flaky
+    // tasks) on the full Dagon system over the CC workload.
+    let quick = ExpConfig::quick();
+    let dag_cc = Workload::ConnectedComponent.build(&quick.scale);
+    let mut c2 = quick.cluster.clone();
+    let n_exec = c2.total_nodes() * c2.execs_per_node;
+    c2.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &dag_cc));
+    vec![
+        ("tiny_chain+crash", tiny_chain(8, 500), c1, System::dagon()),
+        ("CC-quick+chaos11", dag_cc, c2, System::dagon()),
+    ]
+}
+
 fn run_all() -> Vec<(String, u64, u64)> {
     let mut rows = Vec::new();
     for (wname, dag, cluster) in scenarios() {
@@ -76,6 +80,11 @@ fn run_all() -> Vec<(String, u64, u64)> {
             let (jct, fp) = fingerprint(&out.result);
             rows.push((format!("{wname}/{sys}"), jct, fp));
         }
+    }
+    for (wname, dag, cluster, sys) in chaos_scenarios() {
+        let out = run_system(&dag, &cluster, &sys);
+        let (jct, fp) = fingerprint(&out.result);
+        rows.push((format!("{wname}/{sys}"), jct, fp));
     }
     rows
 }
@@ -99,6 +108,9 @@ const GOLDEN: &[(&str, u64, u64)] = &[
     ("CC-quick/Graphene+LRU", 51318, 5786794090166402431),
     ("CC-quick/Graphene+MRD", 49135, 14090999386727238774),
     ("CC-quick/Dagon", 50006, 14939127398690536188),
+    // Chaos scenarios: fixed fault plans, so recovery paths are pinned too.
+    ("tiny_chain+crash/Dagon", 9066, 6312598547193644888),
+    ("CC-quick+chaos11/Dagon", 62462, 11643879037322600220),
 ];
 
 #[test]
