@@ -1,11 +1,11 @@
 //! `bench_snapshot` — one-shot scheduler-overhead snapshot.
 //!
 //! Runs the same workloads as the `sim_throughput` Criterion bench and
-//! writes `BENCH_1.json` at the repo root: per-workload wall-clock
+//! writes `BENCH_2.json` at the repo root: per-workload wall-clock
 //! milliseconds plus the scheduling fast-path counters
-//! (`schedule_invocations`, `locality_queries`, …). Unlike Criterion this
-//! is cheap enough for CI and produces a single machine-readable file to
-//! diff across commits.
+//! (`schedule_invocations`, `view_deltas`, `score_cache_*`, …). Unlike
+//! Criterion this is cheap enough for CI and produces a single
+//! machine-readable file to diff across commits.
 //!
 //! Usage: `cargo run --release -p dagon-bench --bin bench_snapshot [out.json]`
 
@@ -53,7 +53,7 @@ fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".into());
+        .unwrap_or_else(|| "BENCH_2.json".into());
     let quick = ExpConfig::quick();
     let paper = ExpConfig::paper();
 
@@ -98,9 +98,12 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"jct_ms\": {}, \
              \"schedule_invocations\": {}, \"view_rebuilds\": {}, \
+             \"view_deltas\": {}, \
              \"batches_discarded\": {}, \"assignments_discarded\": {}, \
              \"locality_queries\": {}, \"locality_recomputes\": {}, \
              \"index_invalidations\": {}, \"valid_level_rebuilds\": {}, \
+             \"score_cache_hits\": {}, \"score_cache_misses\": {}, \
+             \"score_cache_invalidations\": {}, \
              \"exec_crashes\": {}, \"tasks_recomputed\": {}, \
              \"stage_resubmissions\": {}, \"task_failures\": {}}}",
             r.name,
@@ -108,12 +111,16 @@ fn main() {
             r.jct_ms,
             s.schedule_invocations,
             s.view_rebuilds,
+            s.view_deltas,
             s.batches_discarded,
             s.assignments_discarded,
             s.locality_queries,
             s.locality_recomputes,
             s.index_invalidations,
             s.valid_level_rebuilds,
+            s.score_cache_hits,
+            s.score_cache_misses,
+            s.score_cache_invalidations,
             r.faults.exec_crashes,
             r.faults.tasks_recomputed,
             r.faults.stage_resubmissions,
@@ -126,8 +133,17 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     for r in &rows {
         println!(
-            "{:<28} {:>10.3} ms wall  jct {:>8} ms  sched calls {:>6}  loc queries {:>9}",
-            r.name, r.wall_ms, r.jct_ms, r.sched.schedule_invocations, r.sched.locality_queries
+            "{:<28} {:>10.3} ms wall  jct {:>8} ms  sched calls {:>6}  loc queries {:>9}  \
+             rebuilds {:>2}  deltas {:>6}  score hit/miss {:>8}/{:>6}",
+            r.name,
+            r.wall_ms,
+            r.jct_ms,
+            r.sched.schedule_invocations,
+            r.sched.locality_queries,
+            r.sched.view_rebuilds,
+            r.sched.view_deltas,
+            r.sched.score_cache_hits,
+            r.sched.score_cache_misses,
         );
     }
     println!("wrote {out_path}");

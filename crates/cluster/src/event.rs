@@ -1,11 +1,35 @@
-//! The discrete-event core: a deterministic time-ordered queue.
+//! The discrete-event core: a deterministic time-ordered queue, plus the
+//! [`ViewDelta`] protocol sim events emit to keep the long-lived
+//! [`crate::view::ClusterView`] current without per-round rebuilds.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dagon_dag::{BlockId, SimTime, TaskId};
+use dagon_dag::{BlockId, Resources, SimTime, TaskId};
 
 use crate::topology::ExecId;
+
+/// One incremental update to the scheduler's persistent
+/// [`crate::view::ClusterView`]. Every simulator event that changes what a
+/// scheduling policy can observe about executors — launches and teardowns
+/// moving free resources, crashes/restarts/blacklists flipping usability —
+/// is translated into exactly one delta and applied in event order. The
+/// delta stream fully determines the view: replaying it from a fresh view
+/// reproduces the incremental state field-for-field (property-tested in
+/// `tests/cview_props.rs`), which is what licenses dropping the
+/// per-opportunity rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewDelta {
+    /// A task attempt occupied `demand` on `exec` (launch).
+    Consume { exec: ExecId, demand: Resources },
+    /// A task attempt released `demand` on `exec` (finish / fail / kill).
+    Release { exec: ExecId, demand: Resources },
+    /// The executor left the usable set (crash or blacklist): it
+    /// advertises zero free and zero capacity until it comes back.
+    ExecDown { exec: ExecId },
+    /// The executor re-registered (restart / blacklist lift).
+    ExecUp { exec: ExecId },
+}
 
 /// Events the simulator reacts to.
 #[derive(Clone, Debug, PartialEq, Eq)]

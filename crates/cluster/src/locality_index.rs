@@ -55,6 +55,12 @@ pub struct IndexStats {
     pub invalidations: u64,
     /// Valid-locality-ladder recomputations (per stage per round).
     pub valid_level_rebuilds: u64,
+    /// Placement scan/valid-level memo hits.
+    pub score_cache_hits: u64,
+    /// Placement scan/valid-level memo misses (rescans).
+    pub score_cache_misses: u64,
+    /// Memo entries discarded by generation/pending-version changes.
+    pub score_cache_invalidations: u64,
 }
 
 /// Memoized per-task locality: the locality level on every executor plus
@@ -65,17 +71,44 @@ struct TaskMemo {
     /// `1 + Σ gen[block]` at computation time; 0 = never computed.
     stamp: u64,
     best: u8,
+    /// Bitmask of the levels this task contributes to its stage's valid
+    /// locality set: the levels seen walking executors in id order up to
+    /// and including the first PROCESS-local one — exactly the sequential
+    /// `computeValidLocalityLevels` inner loop with its early break.
+    contrib: u8,
     levels: Box<[u8]>,
 }
 
-/// Memoized `computeValidLocalityLevels` result for one stage.
+/// Per-stage valid-level contribution counts, keyed on residency
+/// generation and pending-set version only. `cnt[l]` is the number of
+/// pending tasks whose contribution mask includes level `l`; a query
+/// subtracts the claimed tasks' masks instead of rebuilding, so claims
+/// made inside an assignment batch no longer invalidate anything.
 #[derive(Clone, Copy, Debug)]
-struct ValidMemo {
+struct ContribMemo {
     global_gen: u64,
     pending_version: u64,
-    claimed: u32,
-    len: u8,
-    levels: [Locality; 4],
+    cnt: [u32; 4],
+}
+
+/// Resumable placement scan over one stage's pending set from one
+/// executor's perspective. Filling is lazy: tasks are examined in
+/// ascending pending order and sorted into per-level candidate lists
+/// (with their best-anywhere level, for the strict variant's filter)
+/// only as far as queries need; `cursor` is the next unexamined pending
+/// task. Claims are skipped at query time, so one scan pass is shared by
+/// every pick of an assignment batch — the sequential semantics
+/// ("first unclaimed pending task at exactly this level") are preserved
+/// because levels are a pure function of the residency generation and
+/// claimed tasks stay in the pending set until the batch is applied.
+#[derive(Clone, Debug, Default)]
+struct ScanMemo {
+    /// `(global_gen, pending_version)` the scan was filled under;
+    /// `None` = never filled (distinct from a valid scan at gen 0).
+    key: Option<(u64, u64)>,
+    lists: [Vec<(u32, u8)>; 4],
+    /// Next pending task to examine; `None` = fully scanned.
+    cursor: Option<u32>,
 }
 
 pub struct LocalityIndex {
@@ -106,11 +139,16 @@ pub struct LocalityIndex {
     /// `task_blocks[stage][task]` = flat ids of the task's locality blocks.
     task_blocks: Vec<Vec<Vec<u32>>>,
     memo: RefCell<Vec<Vec<TaskMemo>>>,
-    valid_memo: RefCell<Vec<Option<ValidMemo>>>,
+    contrib_memo: RefCell<Vec<Option<ContribMemo>>>,
+    /// `scan_memo[stage][exec]`.
+    scan_memo: RefCell<Vec<Vec<ScanMemo>>>,
     queries: Cell<u64>,
     recomputes: Cell<u64>,
     invalidations: Cell<u64>,
     valid_rebuilds: Cell<u64>,
+    score_hits: Cell<u64>,
+    score_misses: Cell<u64>,
+    score_invalidations: Cell<u64>,
 }
 
 /// Any bit set in the contiguous bit range `[a, b)` of `row`?
@@ -231,11 +269,18 @@ impl LocalityIndex {
             rack_exec_range,
             task_blocks,
             memo: RefCell::new(memo),
-            valid_memo: RefCell::new(vec![None; task_views.len()]),
+            contrib_memo: RefCell::new(vec![None; task_views.len()]),
+            scan_memo: RefCell::new(vec![
+                vec![ScanMemo::default(); num_execs as usize];
+                task_views.len()
+            ]),
             queries: Cell::new(0),
             recomputes: Cell::new(0),
             invalidations: Cell::new(0),
             valid_rebuilds: Cell::new(0),
+            score_hits: Cell::new(0),
+            score_misses: Cell::new(0),
+            score_invalidations: Cell::new(0),
             data: DataMap::default(),
         };
         // Ingest the initial placement (no generation bumps needed: the
@@ -432,7 +477,10 @@ impl LocalityIndex {
                     vec![Locality::Any.index() as u8; self.num_execs as usize].into_boxed_slice();
             }
             let any = Locality::Any.index() as u8;
+            let process = Locality::Process.index() as u8;
             let mut best = any;
+            let mut contrib = 0u8;
+            let mut contributing = true;
             for e in 0..self.num_execs {
                 // No locality blocks (wide-only task) → no preference: Any.
                 let mut worst = if blocks.is_empty() {
@@ -448,8 +496,17 @@ impl LocalityIndex {
                 }
                 m.levels[e as usize] = worst;
                 best = best.min(worst);
+                // The sequential valid-levels walk stops at the first
+                // PROCESS-local executor; replicate its contribution set.
+                if contributing {
+                    contrib |= 1 << worst;
+                    if worst == process {
+                        contributing = false;
+                    }
+                }
             }
             m.best = best;
+            m.contrib = contrib;
             m.stamp = stamp;
         }
         m
@@ -474,11 +531,17 @@ impl LocalityIndex {
     /// Valid locality levels of stage `s` (Spark's
     /// `computeValidLocalityLevels`), over its unclaimed pending tasks.
     /// `claimed_bits` marks tasks already claimed in the current assignment
-    /// batch (empty slice = none); `claimed_count` keys the memo.
+    /// batch (empty slice = none).
     ///
-    /// Replicates the sequential scan exactly: pending tasks in ascending
-    /// order, executors in id order per task, inner break on PROCESS,
-    /// outer break once PROCESS+NODE+RACK are all present.
+    /// Equivalent to the sequential scan (pending tasks in ascending
+    /// order, executors in id order per task, inner break on PROCESS):
+    /// the result is `{l ∈ {P,N,R} : some unclaimed pending task
+    /// contributes l} ∪ {ANY if any task is unclaimed}` — the scan's
+    /// early exits never change that set, only how fast it is found. The
+    /// per-stage contribution counts are keyed on (residency generation,
+    /// pending version) alone; claims are *subtracted per query*, so the
+    /// picks of an assignment batch share one rebuild instead of forcing
+    /// one each.
     pub fn valid_levels(
         &self,
         s: usize,
@@ -486,58 +549,130 @@ impl LocalityIndex {
         claimed_bits: &[u64],
         claimed_count: u32,
     ) -> ([Locality; 4], usize) {
-        let mut vm = self.valid_memo.borrow_mut();
-        if let Some(m) = &vm[s] {
-            if m.global_gen == self.global_gen
+        let mut cm = self.contrib_memo.borrow_mut();
+        let valid = matches!(
+            &cm[s],
+            Some(m) if m.global_gen == self.global_gen
                 && m.pending_version == pending.version()
-                && m.claimed == claimed_count
-            {
-                return (m.levels, m.len as usize);
+        );
+        if !valid {
+            if cm[s].is_some() {
+                self.score_invalidations
+                    .set(self.score_invalidations.get() + 1);
             }
-        }
-        self.valid_rebuilds.set(self.valid_rebuilds.get() + 1);
-        let mut present = [false; 4];
-        let mut any_pending = false;
-        {
+            self.valid_rebuilds.set(self.valid_rebuilds.get() + 1);
+            self.score_misses.set(self.score_misses.get() + 1);
+            let mut cnt = [0u32; 4];
             let mut memo = self.memo.borrow_mut();
-            let process = Locality::Process.index();
             for k in pending.iter() {
-                if !claimed_bits.is_empty() && get_bit(claimed_bits, k) {
-                    continue;
-                }
-                any_pending = true;
                 let m = self.ensure_task(&mut memo, s, k as usize);
-                for e in 0..self.num_execs {
-                    let l = m.levels[e as usize] as usize;
-                    present[l] = true;
-                    if l == process {
-                        break;
+                let mut c = m.contrib;
+                while c != 0 {
+                    let l = c.trailing_zeros() as usize;
+                    cnt[l] += 1;
+                    c &= c - 1;
+                }
+            }
+            cm[s] = Some(ContribMemo {
+                global_gen: self.global_gen,
+                pending_version: pending.version(),
+                cnt,
+            });
+        } else {
+            self.score_hits.set(self.score_hits.get() + 1);
+        }
+        let mut cnt = cm[s].as_ref().unwrap().cnt;
+        if claimed_count > 0 {
+            let mut memo = self.memo.borrow_mut();
+            for (w, &word) in claimed_bits.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let k = w as u32 * 64 + bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let mut c = self.ensure_task(&mut memo, s, k as usize).contrib;
+                    while c != 0 {
+                        let l = c.trailing_zeros() as usize;
+                        cnt[l] -= 1;
+                        c &= c - 1;
                     }
                 }
-                if present[0] && present[1] && present[2] {
-                    break;
-                }
             }
         }
+        let any_unclaimed = pending.len() as u32 > claimed_count;
         let mut levels = [Locality::Any; 4];
         let mut len = 0;
-        if any_pending {
-            present[Locality::Any.index()] = true;
-            for l in Locality::ALL {
-                if present[l.index()] {
+        if any_unclaimed {
+            for l in [Locality::Process, Locality::Node, Locality::Rack] {
+                if cnt[l.index()] > 0 {
                     levels[len] = l;
                     len += 1;
                 }
             }
+            levels[len] = Locality::Any;
+            len += 1;
         }
-        vm[s] = Some(ValidMemo {
-            global_gen: self.global_gen,
-            pending_version: pending.version(),
-            claimed: claimed_count,
-            len: len as u8,
-            levels,
-        });
         (levels, len)
+    }
+
+    /// First unclaimed pending task of stage `s` whose locality on `e` is
+    /// exactly `level` — the placement probe behind
+    /// `pending_with_locality`. With `strict`, additionally require the
+    /// task's best achievable level anywhere to be no better than `level`.
+    ///
+    /// Served from the per-(stage, executor) [`ScanMemo`]: identical to
+    /// the sequential first-match scan, but tasks already examined for an
+    /// earlier pick of the same batch are never re-examined.
+    pub fn scan_first(
+        &self,
+        s: usize,
+        e: ExecId,
+        level: Locality,
+        strict: bool,
+        pending: &PendingSet,
+        claimed_bits: &[u64],
+    ) -> Option<u32> {
+        self.queries.set(self.queries.get() + 1);
+        let mut sms = self.scan_memo.borrow_mut();
+        let sm = &mut sms[s][e.index()];
+        let key = (self.global_gen, pending.version());
+        if sm.key != Some(key) {
+            if sm.key.is_some() {
+                self.score_invalidations
+                    .set(self.score_invalidations.get() + 1);
+            }
+            self.score_misses.set(self.score_misses.get() + 1);
+            for l in &mut sm.lists {
+                l.clear();
+            }
+            sm.cursor = pending.first();
+            sm.key = Some(key);
+        } else {
+            self.score_hits.set(self.score_hits.get() + 1);
+        }
+        let li = level.index();
+        let lu = li as u8;
+        let claimed = |k: u32| -> bool { !claimed_bits.is_empty() && get_bit(claimed_bits, k) };
+        // 1. Already-examined candidates at this level, ascending.
+        for &(k, best) in &sm.lists[li] {
+            if claimed(k) || (strict && best < lu) {
+                continue;
+            }
+            return Some(k);
+        }
+        // 2. Extend the scan, binning each examined task by its level.
+        let mut memo = self.memo.borrow_mut();
+        while let Some(k) = sm.cursor {
+            sm.cursor = pending.next_member(k);
+            self.queries.set(self.queries.get() + 1);
+            let m = self.ensure_task(&mut memo, s, k as usize);
+            let l = m.levels[e.index()];
+            let best = m.best;
+            sm.lists[l as usize].push((k, best));
+            if l == lu && !claimed(k) && (!strict || best >= lu) {
+                return Some(k);
+            }
+        }
+        None
     }
 
     /// Counter snapshot for [`crate::metrics::SchedulerStats`].
@@ -547,6 +682,9 @@ impl LocalityIndex {
             memo_recomputes: self.recomputes.get(),
             invalidations: self.invalidations.get(),
             valid_level_rebuilds: self.valid_rebuilds.get(),
+            score_cache_hits: self.score_hits.get(),
+            score_cache_misses: self.score_misses.get(),
+            score_cache_invalidations: self.score_invalidations.get(),
         }
     }
 }
@@ -688,9 +826,49 @@ mod tests {
         pending.remove(0);
         let _ = idx.valid_levels(0, &pending, &[], 0); // version change
         assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        // Claims subtract from the contribution counts per query — no
+        // rebuild, and a fully-claimed stage has no valid levels.
         let claimed = vec![0b10u64]; // task 1 claimed
-        let _ = idx.valid_levels(0, &pending, &claimed, 1);
-        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 2);
+        let (_, n1) = idx.valid_levels(0, &pending, &claimed, 1);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        assert!(n1 >= 1);
+        let all = vec![0b111110u64]; // tasks 1..=5 claimed (0 was removed)
+        let (_, n2) = idx.valid_levels(0, &pending, &all, 5);
+        assert_eq!(n2, 0);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+    }
+
+    #[test]
+    fn scan_first_matches_sequential_scan() {
+        let (_dag, _topo, mut idx) = build();
+        idx.add_cached(BlockId::new(RddId(0), 2), ExecId(3));
+        let pending = PendingSet::full(6);
+        // Oracle: sequential first-match over the pending set.
+        let seq = |idx: &LocalityIndex, e: ExecId, level: Locality, strict: bool| {
+            pending.iter().find(|&k| {
+                idx.task_locality(0, k, e) == level
+                    && (!strict || idx.task_best_level(0, k) >= level)
+            })
+        };
+        for e in 0..8u32 {
+            for level in Locality::ALL {
+                for strict in [false, true] {
+                    assert_eq!(
+                        idx.scan_first(0, ExecId(e), level, strict, &pending, &[]),
+                        seq(&idx, ExecId(e), level, strict),
+                        "exec {e} level {level:?} strict {strict}"
+                    );
+                }
+            }
+        }
+        // Claims are skipped at query time without invalidating the memo.
+        let hits0 = idx.stats().score_cache_hits;
+        let unclaimed = idx.scan_first(0, ExecId(3), Locality::Process, false, &pending, &[]);
+        assert_eq!(unclaimed, Some(2));
+        let claimed = vec![0b100u64]; // task 2 claimed
+        let after = idx.scan_first(0, ExecId(3), Locality::Process, false, &pending, &claimed);
+        assert_eq!(after, None);
+        assert!(idx.stats().score_cache_hits > hits0);
     }
 
     #[test]

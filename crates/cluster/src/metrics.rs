@@ -189,8 +189,11 @@ pub struct SchedulerStats {
     /// Calls into `Scheduler::schedule` (batched: one per fill-the-slots
     /// round, not one per launched task).
     pub schedule_invocations: u64,
-    /// `SimView` snapshots constructed for those calls.
+    /// Full from-scratch constructions of the persistent `ClusterView`
+    /// (O(1) per run: once at startup; deltas keep it current after).
     pub view_rebuilds: u64,
+    /// Incremental `ViewDelta`s applied to the persistent view.
+    pub view_deltas: u64,
     /// Batches cut short because cache state changed (index generation
     /// moved) or an assignment failed validation mid-application.
     pub batches_discarded: u64,
@@ -204,6 +207,13 @@ pub struct SchedulerStats {
     pub index_invalidations: u64,
     /// Per-stage valid-locality-level ladder recomputations.
     pub valid_level_rebuilds: u64,
+    /// Placement-score memo hits (per-(stage, exec) scan cursors and
+    /// valid-level contribution counts served without rescanning).
+    pub score_cache_hits: u64,
+    /// Placement-score memo misses (rescans from the pending set).
+    pub score_cache_misses: u64,
+    /// Score-memo entries discarded by generation/pending-version bumps.
+    pub score_cache_invalidations: u64,
 }
 
 /// Fault-injection and recovery counters. All zero in fault-free runs.

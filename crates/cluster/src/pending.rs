@@ -108,6 +108,23 @@ impl PendingSet {
         self.version += 1;
     }
 
+    /// Smallest member, if any.
+    pub fn first(&self) -> Option<u32> {
+        let sentinel = self.present.len() as u32;
+        let k = self.next[sentinel as usize];
+        (k != sentinel).then_some(k)
+    }
+
+    /// The member after `k` (which must be present) in ascending order.
+    /// O(1): this is what lets a scan over the set pause and resume at a
+    /// cursor as long as the version is unchanged.
+    pub fn next_member(&self, k: u32) -> Option<u32> {
+        debug_assert!(self.contains(k));
+        let sentinel = self.present.len() as u32;
+        let nx = self.next[k as usize];
+        (nx != sentinel).then_some(nx)
+    }
+
     /// Members in ascending order.
     pub fn iter(&self) -> PendingIter<'_> {
         let sentinel = self.present.len() as u32;

@@ -7,6 +7,7 @@
 //! snapshot between event batches.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +16,7 @@ use dagon_dag::{BlockId, JobDag, PriorityTracker, Resources, SimTime, StageId, T
 
 use crate::blockmanager::{BlockManager, CachePolicy, InsertOutcome};
 use crate::config::{ClusterConfig, ReadTier};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, ViewDelta};
 use crate::fault::{FaultKind, FaultRuntime};
 use crate::hdfs::DataMap;
 use crate::locality::Locality;
@@ -25,11 +26,15 @@ use crate::pending::PendingSet;
 use crate::refprofile::RefProfile;
 use crate::scheduler::{Assignment, Scheduler};
 use crate::topology::{ExecId, Topology};
-use crate::view::{ExecView, SimView, StageRuntime, TaskView};
+use crate::view::{ClusterView, SimView, StageRuntime, TaskView};
 
 /// Hard ceiling on simulated time; reaching it means the configuration can
 /// never finish (e.g. a task demand exceeding every executor's capacity).
 const SIM_TIME_LIMIT: SimTime = 48 * 3600 * 1000;
+
+/// One task's `(block, MiB)` input list, shared between the static table
+/// and in-flight launches so launching never clones it.
+type TaskInputs = Arc<[(BlockId, f64)]>;
 
 struct RunningAttempt {
     exec: ExecId,
@@ -47,7 +52,9 @@ pub struct Simulation {
     dag: JobDag,
     cfg: ClusterConfig,
     topo: Topology,
-    exec_free: Vec<Resources>,
+    /// Persistent scheduler-facing executor state, kept current by
+    /// [`ViewDelta`]s instead of per-opportunity rebuilds.
+    cview: ClusterView,
     exec_busy_cores: Vec<u32>,
     bms: Vec<BlockManager>,
     /// Block residency: the incremental locality index owning the
@@ -55,8 +62,9 @@ pub struct Simulation {
     data: LocalityIndex,
     disk_by_node: Vec<Vec<BlockId>>,
     stages: Vec<StageRuntime>,
-    /// stage → task → (block, MiB) inputs.
-    task_inputs: Vec<Vec<Vec<(BlockId, f64)>>>,
+    /// stage → task → (block, MiB) inputs. `Arc` so a launch can hold the
+    /// input list without cloning it while mutating cache state.
+    task_inputs: Vec<Vec<TaskInputs>>,
     task_views: Vec<Vec<TaskView>>,
     task_done: Vec<Vec<bool>>,
     stage_durations: Vec<Vec<u64>>,
@@ -78,8 +86,6 @@ pub struct Simulation {
     prefetched: Vec<HashSet<BlockId>>,
     completed_count: usize,
     rng: SmallRng,
-    /// Scratch per-executor views, refreshed in place each scheduling round.
-    exec_views: Vec<ExecView>,
     /// Fault-injection state (liveness, blacklist, dedicated fault RNG).
     faults: FaultRuntime,
     /// stage → task → next attempt id. Monotone per task, so a retried
@@ -144,7 +150,7 @@ impl Simulation {
                         }
                     }
                 }
-                per_task.push(inputs);
+                per_task.push(Arc::from(inputs.into_boxed_slice()));
                 per_task_view.push(TaskView { loc_blocks });
             }
             task_inputs.push(per_task);
@@ -187,7 +193,7 @@ impl Simulation {
         let faults = FaultRuntime::new(cfg.faults.clone(), n_exec);
         Self {
             dag,
-            exec_free: vec![cfg.exec_capacity; n_exec],
+            cview: ClusterView::new(n_exec, cfg.exec_capacity),
             exec_busy_cores: vec![0; n_exec],
             bms,
             data,
@@ -209,7 +215,6 @@ impl Simulation {
             prefetched: vec![HashSet::new(); n_exec],
             completed_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
-            exec_views: Vec::with_capacity(n_exec),
             faults,
             attempt_seq,
             retries,
@@ -296,6 +301,11 @@ impl Simulation {
         self.metrics.sched.locality_recomputes = is.memo_recomputes;
         self.metrics.sched.index_invalidations = is.invalidations;
         self.metrics.sched.valid_level_rebuilds = is.valid_level_rebuilds;
+        self.metrics.sched.view_rebuilds = self.cview.rebuilds();
+        self.metrics.sched.view_deltas = self.cview.deltas_applied();
+        self.metrics.sched.score_cache_hits = is.score_cache_hits;
+        self.metrics.sched.score_cache_misses = is.score_cache_misses;
+        self.metrics.sched.score_cache_invalidations = is.score_cache_invalidations;
         SimResult {
             jct,
             metrics: self.metrics,
@@ -388,39 +398,23 @@ impl Simulation {
     // Scheduling
     // ------------------------------------------------------------------
 
-    fn refresh_exec_views(&mut self) {
-        self.exec_views.clear();
-        let cap = self.cfg.exec_capacity;
-        let faults = &self.faults;
-        self.exec_views
-            .extend(self.exec_free.iter().enumerate().map(|(i, f)| {
-                // Dead or blacklisted executors advertise zero free and
-                // zero capacity: no placement policy can target them.
-                let (free, capacity) = if faults.usable_idx(i) {
-                    (*f, cap)
-                } else {
-                    (Resources::ZERO, Resources::ZERO)
-                };
-                ExecView {
-                    id: ExecId(i as u32),
-                    free,
-                    capacity,
-                }
-            }));
-    }
-
     /// Run the scheduler until no more assignments are produced. Each
     /// `schedule` call returns a whole batch (one per free slot); the batch
     /// is applied sequentially, but if applying an assignment changed
     /// block residency (cache insertion/eviction — detectable as an index
     /// generation bump) the rest of the batch was computed against stale
     /// locality state and is discarded, falling back to a fresh call.
+    ///
+    /// The executor view is *not* rebuilt here: [`ClusterView`] was kept
+    /// current by the deltas every launch/teardown/fault emitted.
     fn do_schedule(&mut self, sched: &mut dyn Scheduler) {
         self.drain_lost_pending(sched);
+        debug_assert!(
+            self.cview.check_consistency(),
+            "incremental ClusterView drifted from from-scratch rebuild"
+        );
         loop {
             self.metrics.sched.schedule_invocations += 1;
-            self.metrics.sched.view_rebuilds += 1;
-            self.refresh_exec_views();
             let assignments = {
                 let view = SimView {
                     now: self.now,
@@ -428,7 +422,7 @@ impl Simulation {
                     topo: &self.topo,
                     cost: &self.cfg.cost,
                     locality_wait: self.cfg.locality_wait,
-                    execs: &self.exec_views,
+                    execs: self.cview.execs(),
                     stages: &self.stages,
                     tasks: &self.task_views,
                     index: &self.data,
@@ -483,7 +477,10 @@ impl Simulation {
             && !st.completed
             && st.pending.contains(a.task_index)
             && self.faults.usable(a.exec)
-            && self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
+            && self
+                .cview
+                .free_of(a.exec)
+                .fits(self.dag.stage(a.stage).demand)
     }
 
     /// Physical read tier for one block from one executor.
@@ -507,8 +504,8 @@ impl Simulation {
         // Cache interactions + I/O time.
         let mut io_ms = 0.0f64;
         let mut pinned = Vec::new();
-        let inputs = self.task_inputs[a.stage.index()][a.task_index as usize].clone();
-        for (b, mb) in inputs {
+        let inputs = Arc::clone(&self.task_inputs[a.stage.index()][a.task_index as usize]);
+        for &(b, mb) in inputs.iter() {
             let eligible = self.dag.rdd(b.rdd).cached;
             if eligible && self.cfg.trace_accesses {
                 self.metrics.access_trace.push((exec.0, b));
@@ -603,7 +600,7 @@ impl Simulation {
                 cpu_phase: io_phase_ms == 0,
             },
         );
-        self.exec_free[exec.index()] = self.exec_free[exec.index()].minus(demand);
+        self.cview.apply(ViewDelta::Consume { exec, demand });
         self.metrics.running_tasks.add(self.now, 1.0);
         if io_phase_ms == 0 {
             self.enter_cpu_phase(exec, demand.cpus);
@@ -717,8 +714,8 @@ impl Simulation {
         let stage_complete = srt.finished == self.dag.stage(task.stage).num_tasks;
 
         // Remove this task's block references from the master profile.
-        for (b, _) in &self.task_inputs[task.stage.index()][task.index as usize] {
-            self.profile.remove_use(*b, task.stage);
+        for &(b, _) in self.task_inputs[task.stage.index()][task.index as usize].iter() {
+            self.profile.remove_use(b, task.stage);
         }
 
         // Materialize the output block.
@@ -786,7 +783,10 @@ impl Simulation {
     }
 
     fn teardown_attempt(&mut self, ra: &RunningAttempt, exec: ExecId) {
-        self.exec_free[exec.index()] = self.exec_free[exec.index()].plus(ra.demand);
+        self.cview.apply(ViewDelta::Release {
+            exec,
+            demand: ra.demand,
+        });
         if ra.cpu_phase {
             self.exec_busy_cores[exec.index()] -= ra.demand.cpus;
             self.metrics
@@ -988,16 +988,16 @@ impl Simulation {
                 // Pick the best-locality executor with room, excluding the
                 // one already running the primary attempt.
                 let mut best: Option<(Locality, u32, ExecId)> = None;
-                for e in 0..self.exec_free.len() {
+                for e in 0..self.cview.num_execs() {
                     let exec = ExecId(e as u32);
                     if exec == ra.exec
                         || !self.faults.usable_idx(e)
-                        || !self.exec_free[e].fits(st.demand)
+                        || !self.cview.free_of(exec).fits(st.demand)
                     {
                         continue;
                     }
                     let l = self.locality_of(s, task.index, exec);
-                    let free = self.exec_free[e].cpus;
+                    let free = self.cview.free_of(exec).cpus;
                     if best.is_none_or(|(bl, bf, _)| l < bl || (l == bl && free > bf)) {
                         best = Some((l, free, exec));
                     }
@@ -1025,7 +1025,10 @@ impl Simulation {
             // accounting, so re-check and skip without burning the task's
             // speculation shot — it can re-arm on the next sweep.
             if self.faults.enabled()
-                && !self.exec_free[a.exec.index()].fits(self.dag.stage(a.stage).demand)
+                && !self
+                    .cview
+                    .free_of(a.exec)
+                    .fits(self.dag.stage(a.stage).demand)
             {
                 continue;
             }
@@ -1101,6 +1104,8 @@ impl Simulation {
             {
                 self.faults.blacklisted[ei] = true;
                 self.metrics.faults.execs_blacklisted += 1;
+                // Was alive and not blacklisted → this flips usability.
+                self.cview.apply(ViewDelta::ExecDown { exec });
             }
         } else {
             self.metrics.faults.attempts_killed += 1;
@@ -1144,7 +1149,12 @@ impl Simulation {
             }
             return;
         }
+        let was_usable = self.faults.usable_idx(i);
         self.faults.alive[i] = false;
+        if was_usable {
+            // A blacklisted executor was already zeroed in the view.
+            self.cview.apply(ViewDelta::ExecDown { exec });
+        }
         self.metrics.faults.exec_crashes += 1;
         // 1. Every attempt running there dies. BTreeMap iteration gives a
         //    deterministic kill order; victims' queued finish/fail events
@@ -1194,10 +1204,11 @@ impl Simulation {
         self.faults.alive[i] = true;
         self.faults.blacklisted[i] = false;
         self.faults.consec_failures[i] = 0;
+        self.cview.apply(ViewDelta::ExecUp { exec });
         self.metrics.faults.exec_restarts += 1;
         // All attempts were torn down at crash time, so the replacement
         // registers with full capacity and an empty cache.
-        debug_assert_eq!(self.exec_free[i], self.cfg.exec_capacity);
+        debug_assert_eq!(self.cview.free_of(exec), self.cfg.exec_capacity);
         debug_assert_eq!(self.bms[i].num_resident(), 0);
     }
 
@@ -1303,8 +1314,8 @@ impl Simulation {
         debug_assert!(inserted);
         // The task's input reads re-enter the master's reference profile
         // (they were removed when it finished).
-        for (b, _) in &self.task_inputs[si][k as usize] {
-            self.profile.add_use(*b, ps);
+        for &(b, _) in self.task_inputs[si][k as usize].iter() {
+            self.profile.add_use(b, ps);
         }
         let work = self.dag.stage(ps).task_work(k);
         self.tracker.on_task_requeued(TaskId::new(ps, k), work);

@@ -14,6 +14,7 @@
 use dagon_dag::{JobDag, Resources, SimTime, StageId};
 
 use crate::config::{CostModel, LocalityWait};
+use crate::event::ViewDelta;
 use crate::locality::Locality;
 use crate::locality_index::LocalityIndex;
 use crate::metrics::Metrics;
@@ -21,11 +22,159 @@ use crate::pending::PendingSet;
 use crate::topology::{ExecId, Topology};
 
 /// Per-executor snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecView {
     pub id: ExecId,
     pub free: Resources,
     pub capacity: Resources,
+}
+
+/// The scheduler's **persistent** window onto executor state.
+///
+/// Built once per run and then kept current by [`ViewDelta`]s emitted from
+/// sim events (task launch/finish/fail, executor crash/restart/blacklist)
+/// instead of being rebuilt from the simulator's ledgers on every
+/// scheduling opportunity. Policies read the effective [`ExecView`] slice
+/// without cloning; an `exec_gen` generation counter stamps every change
+/// so derived caches (stage slot capacities, placement-score memos) can
+/// key their validity on it.
+///
+/// Two ledgers are kept per executor: `real_free`, the authoritative
+/// resource accounting that keeps absorbing releases even while the
+/// executor is down (a crash tears down its attempts *after* marking it
+/// dead), and the *effective* view exposed to schedulers, which is zeroed
+/// while the executor is unusable so no placement policy can target it.
+#[derive(Clone, Debug)]
+pub struct ClusterView {
+    /// Effective per-executor views (dead/blacklisted execs zeroed).
+    execs: Vec<ExecView>,
+    /// Authoritative free resources, tracked through down periods.
+    real_free: Vec<Resources>,
+    usable: Vec<bool>,
+    capacity: Resources,
+    /// Bumped on every applied delta.
+    exec_gen: u64,
+    /// Deltas applied since construction.
+    deltas: u64,
+    /// Full from-scratch (re)builds — O(1) per run by design.
+    rebuilds: u64,
+}
+
+impl ClusterView {
+    /// Build the initial view: all executors usable and fully free.
+    /// Counts as the run's one full rebuild.
+    pub fn new(n_exec: usize, capacity: Resources) -> Self {
+        Self {
+            execs: (0..n_exec)
+                .map(|i| ExecView {
+                    id: ExecId(i as u32),
+                    free: capacity,
+                    capacity,
+                })
+                .collect(),
+            real_free: vec![capacity; n_exec],
+            usable: vec![true; n_exec],
+            capacity,
+            exec_gen: 0,
+            deltas: 0,
+            rebuilds: 1,
+        }
+    }
+
+    /// Apply one delta. The effective view entry is updated in place; no
+    /// other executor's entry is touched.
+    pub fn apply(&mut self, d: ViewDelta) {
+        self.exec_gen += 1;
+        self.deltas += 1;
+        match d {
+            ViewDelta::Consume { exec, demand } => {
+                let i = exec.index();
+                self.real_free[i] = self.real_free[i].minus(demand);
+                if self.usable[i] {
+                    self.execs[i].free = self.real_free[i];
+                }
+            }
+            ViewDelta::Release { exec, demand } => {
+                let i = exec.index();
+                self.real_free[i] = self.real_free[i].plus(demand);
+                if self.usable[i] {
+                    self.execs[i].free = self.real_free[i];
+                }
+            }
+            ViewDelta::ExecDown { exec } => {
+                let i = exec.index();
+                self.usable[i] = false;
+                self.execs[i].free = Resources::ZERO;
+                self.execs[i].capacity = Resources::ZERO;
+            }
+            ViewDelta::ExecUp { exec } => {
+                let i = exec.index();
+                self.usable[i] = true;
+                self.execs[i].free = self.real_free[i];
+                self.execs[i].capacity = self.capacity;
+            }
+        }
+    }
+
+    /// The effective per-executor views schedulers iterate.
+    pub fn execs(&self) -> &[ExecView] {
+        &self.execs
+    }
+
+    pub fn num_execs(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// Authoritative free resources of `e` (even while it is down).
+    pub fn free_of(&self, e: ExecId) -> Resources {
+        self.real_free[e.index()]
+    }
+
+    pub fn is_usable(&self, e: ExecId) -> bool {
+        self.usable[e.index()]
+    }
+
+    /// Generation stamp: changes iff any executor's effective view may
+    /// have changed since it was last read.
+    pub fn exec_gen(&self) -> u64 {
+        self.exec_gen
+    }
+
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas
+    }
+
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// What a from-scratch rebuild would produce from the authoritative
+    /// ledgers — the oracle the differential property test (and the
+    /// debug-build assertion in the simulator) compares the incremental
+    /// state against.
+    pub fn rebuilt_execs(&self) -> Vec<ExecView> {
+        self.real_free
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let (free, capacity) = if self.usable[i] {
+                    (*f, self.capacity)
+                } else {
+                    (Resources::ZERO, Resources::ZERO)
+                };
+                ExecView {
+                    id: ExecId(i as u32),
+                    free,
+                    capacity,
+                }
+            })
+            .collect()
+    }
+
+    /// Debug-build invariant: incremental == from-scratch.
+    pub fn check_consistency(&self) -> bool {
+        self.execs == self.rebuilt_execs()
+    }
 }
 
 /// Per-stage runtime snapshot.
@@ -206,11 +355,14 @@ impl<'a> SimView<'a> {
         level: Locality,
         shadow: &ScheduleShadow,
     ) -> Option<u32> {
-        self.stages[s.index()].pending.iter().find(|&k| {
-            !shadow.is_claimed(s, k)
-                && self.task_locality(s, k, e) == level
-                && self.task_best_level(s, k) >= level
-        })
+        self.index.scan_first(
+            s.index(),
+            e,
+            level,
+            true,
+            &self.stages[s.index()].pending,
+            shadow.claim_bits(s),
+        )
     }
 
     /// First unclaimed pending task of `s` achieving exactly `level` on `e`.
@@ -221,10 +373,14 @@ impl<'a> SimView<'a> {
         level: Locality,
         shadow: &ScheduleShadow,
     ) -> Option<u32> {
-        self.stages[s.index()]
-            .pending
-            .iter()
-            .find(|&k| !shadow.is_claimed(s, k) && self.task_locality(s, k, e) == level)
+        self.index.scan_first(
+            s.index(),
+            e,
+            level,
+            false,
+            &self.stages[s.index()].pending,
+            shadow.claim_bits(s),
+        )
     }
 
     /// Locality levels for which stage `s` has at least one unclaimed

@@ -69,6 +69,15 @@ pub struct OrderedScheduler {
     marks: Vec<usize>,
     /// Prefix of `emitted` the simulator confirmed.
     confirmed: usize,
+    /// Adaptive batch size limit. Any emitted prefix of length ≥ 1 yields
+    /// the identical applied schedule (picks are claims-aware and the
+    /// trailing journal state is reconciled either way), so the cap is
+    /// free to track how much of recent batches actually survived: under
+    /// cache-heavy workloads the simulator discards the batch tail after
+    /// ~1 applied assignment (each launch's cache insertion moves the
+    /// residency generation), and computing the other ~hundred picks per
+    /// round was the dominant scheduling cost at paper scale.
+    cap: usize,
 }
 
 impl OrderedScheduler {
@@ -80,13 +89,16 @@ impl OrderedScheduler {
             emitted: Vec::new(),
             marks: Vec::new(),
             confirmed: 0,
+            cap: usize::MAX,
         }
     }
 
     /// Settle the previous batch: keep placement mutations up to the last
     /// confirmed pick, undo everything after it (including any trailing
     /// failed pick-round — if nothing actually changed, the next round
-    /// replays it identically against the same state).
+    /// replays it identically against the same state). Also adapt the
+    /// batch cap: a discarded tail shrinks it to just past the applied
+    /// prefix, a fully-applied batch doubles it back up.
     fn reconcile(&mut self) {
         let keep = if self.emitted.is_empty() {
             // No assignments were produced: the round's wait-clock
@@ -98,6 +110,13 @@ impl OrderedScheduler {
         } else {
             self.marks[self.confirmed - 1]
         };
+        if !self.emitted.is_empty() {
+            self.cap = if self.confirmed < self.emitted.len() {
+                self.confirmed + 1
+            } else {
+                self.cap.saturating_mul(2).max(2)
+            };
+        }
         self.placement.reconcile_journal(keep);
         self.emitted.clear();
         self.marks.clear();
@@ -148,7 +167,7 @@ impl Scheduler for OrderedScheduler {
             self.marks.push(self.placement.journal_len());
             self.emitted.push((a.stage, a.task_index));
             out.push(a);
-            if !shadow.any_free() {
+            if out.len() >= self.cap || !shadow.any_free() {
                 break;
             }
         }
