@@ -9,6 +9,9 @@
 //! Output is markdown, mirroring the series each figure plots; paper-vs-
 //! measured numbers are recorded in EXPERIMENTS.md.
 
+// Report-side unit conversions of small nonnegative quantities.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_bench::{downsample, f, markdown_table, pct, sparkline};
 use dagon_cache::{table1, PolicyKind};
 use dagon_core::experiments::{self, ExpConfig};

@@ -4,6 +4,9 @@
 //! (which regenerates every figure and table of the paper) and the
 //! Criterion benches.
 
+// Sparkline bucket indices are clamped into range before the cast.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_cluster::TimePoint;
 
 /// Render rows as a GitHub-flavoured markdown table.

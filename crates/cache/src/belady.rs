@@ -14,7 +14,7 @@
 //! unit-size blocks, so we replay with block counts, not bytes. Both make
 //! this an *estimate* of the bound, which is all the ablation needs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dagon_dag::BlockId;
 
@@ -58,14 +58,14 @@ pub fn replay_min(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
     // Precompute, for each access index, the index of the next access of
     // the same (exec, block); usize::MAX = never again.
     let mut next_use = vec![usize::MAX; trace.len()];
-    let mut last_seen: HashMap<(u32, BlockId), usize> = HashMap::new();
+    let mut last_seen: BTreeMap<(u32, BlockId), usize> = BTreeMap::new();
     for (i, a) in trace.iter().enumerate().rev() {
         let key = (a.exec, a.block);
         next_use[i] = last_seen.get(&key).copied().unwrap_or(usize::MAX);
         last_seen.insert(key, i);
     }
     // Per-executor resident set: block -> next use index.
-    let mut resident: HashMap<u32, HashMap<BlockId, usize>> = HashMap::new();
+    let mut resident: BTreeMap<u32, BTreeMap<BlockId, usize>> = BTreeMap::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
     for (i, a) in trace.iter().enumerate() {
@@ -102,7 +102,7 @@ pub fn replay_lru(trace: &[Access], capacity_blocks: usize) -> BeladyOutcome {
             misses: trace.len() as u64,
         };
     }
-    let mut resident: HashMap<u32, Vec<BlockId>> = HashMap::new();
+    let mut resident: BTreeMap<u32, Vec<BlockId>> = BTreeMap::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
     for a in trace {

@@ -12,14 +12,14 @@ pub struct Lrc {
     /// Insertion order for tie-breaking (older first), matching the LRU
     /// fallback the LRC paper applies among equal counts.
     clock: u64,
-    stamp: std::collections::HashMap<BlockId, u64>,
+    stamp: std::collections::BTreeMap<BlockId, u64>,
 }
 
 impl Lrc {
     pub fn new() -> Self {
         Self {
             clock: 0,
-            stamp: std::collections::HashMap::new(),
+            stamp: std::collections::BTreeMap::new(),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! LRU — stock Spark's BlockManager policy. DAG-oblivious: evicts the
 //! least-recently inserted/accessed block, never prefetches.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dagon_cluster::{CachePolicy, RefProfile};
 use dagon_dag::{BlockId, SimTime};
@@ -9,14 +9,14 @@ use dagon_dag::{BlockId, SimTime};
 /// Least-recently-used eviction.
 pub struct Lru {
     /// Logical clock per block: updated on insert and access.
-    stamp: HashMap<BlockId, u64>,
+    stamp: BTreeMap<BlockId, u64>,
     clock: u64,
 }
 
 impl Lru {
     pub fn new() -> Self {
         Self {
-            stamp: HashMap::new(),
+            stamp: BTreeMap::new(),
             clock: 0,
         }
     }

@@ -247,8 +247,8 @@ pub fn replay(
             // paper's example). Candidates: live cache-eligible disk blocks.
             // Each block is attempted at most once per phase so that
             // equal-metric displacement cannot cycle.
-            let mut attempted: std::collections::HashSet<BlockId> =
-                std::collections::HashSet::new();
+            let mut attempted: std::collections::BTreeSet<BlockId> =
+                std::collections::BTreeSet::new();
             loop {
                 let candidates: Vec<BlockId> = on_disk
                     .iter()
@@ -337,6 +337,8 @@ pub fn table1_grid(policies: &[PolicyKind]) -> Vec<(&'static str, Table1Result)>
 }
 
 #[cfg(test)]
+// Task-count sums in test asserts: bounded by tiny fixtures.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 
@@ -355,8 +357,8 @@ mod tests {
     fn schedules_cover_all_tasks_exactly_once() {
         let dag = fig1();
         for steps in [fifo_schedule(), dag_aware_schedule()] {
-            let mut launched = std::collections::HashSet::new();
-            let mut finished = std::collections::HashSet::new();
+            let mut launched = std::collections::BTreeSet::new();
+            let mut finished = std::collections::BTreeSet::new();
             for s in &steps {
                 for t in &s.launch {
                     assert!(launched.insert(*t), "double launch {t}");

@@ -1,7 +1,7 @@
 //! Per-executor BlockManager: the cache runtime that hosts a pluggable
 //! [`CachePolicy`] (LRU / LRC / MRD / LRP live in `dagon-cache`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dagon_dag::{BlockId, SimTime};
 
@@ -83,8 +83,8 @@ pub enum InsertOutcome {
 pub struct BlockManager {
     capacity_mb: f64,
     used_mb: f64,
-    resident: HashMap<BlockId, f64>,
-    pinned: HashMap<BlockId, u32>,
+    resident: BTreeMap<BlockId, f64>,
+    pinned: BTreeMap<BlockId, u32>,
     policy: Box<dyn CachePolicy>,
 }
 
@@ -93,8 +93,8 @@ impl BlockManager {
         Self {
             capacity_mb,
             used_mb: 0.0,
-            resident: HashMap::new(),
-            pinned: HashMap::new(),
+            resident: BTreeMap::new(),
+            pinned: BTreeMap::new(),
             policy,
         }
     }
@@ -134,9 +134,8 @@ impl BlockManager {
     }
 
     pub fn resident_blocks(&self) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self.resident.keys().copied().collect();
-        v.sort_unstable();
-        v
+        // BTreeMap keys are already in ascending BlockId order.
+        self.resident.keys().copied().collect()
     }
 
     pub fn caches_on_miss(&self) -> bool {
@@ -172,14 +171,12 @@ impl BlockManager {
     }
 
     fn evictable(&self) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self
-            .resident
+        // Ascending BlockId order by construction (ordered keys).
+        self.resident
             .keys()
             .filter(|b| !self.pinned.contains_key(b))
             .copied()
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// Try to insert `b` of `mb` MiB, evicting per policy as needed.
@@ -291,6 +288,9 @@ impl CachePolicy for NoCache {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dagon_dag::RddId;

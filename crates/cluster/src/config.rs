@@ -278,6 +278,9 @@ impl ClusterConfig {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -5,7 +5,10 @@
 //! and the BlockManagerMaster's location registry (which executors cache
 //! which blocks).
 
-use std::collections::HashMap;
+// NodeId/replica mints from `num_nodes()`: bounded by cluster size.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -20,9 +23,9 @@ pub struct DataMap {
     /// Disk replicas. A block gains disk residency at HDFS placement time
     /// (sources) or when its producing task finishes (outputs). Never
     /// shrinks: disk capacity isn't modelled.
-    on_disk: HashMap<BlockId, Vec<NodeId>>,
+    on_disk: BTreeMap<BlockId, Vec<NodeId>>,
     /// Executors currently caching each block.
-    cached: HashMap<BlockId, Vec<ExecId>>,
+    cached: BTreeMap<BlockId, Vec<ExecId>>,
 }
 
 impl DataMap {

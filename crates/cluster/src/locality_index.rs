@@ -32,6 +32,11 @@
 //! from the authoritative registry; a property test cross-checks it
 //! against brute-force recomputation under random mutation sequences.
 
+// Packed u8 rack codes and u32 flat ids: counts are bounded by cluster
+// size (execs, nodes, racks) and per-RDD block counts, all far below the
+// target types' range by construction.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::cell::{Cell, RefCell};
 
 use dagon_dag::{BlockId, JobDag};
@@ -619,7 +624,7 @@ impl LocalityIndex {
     /// `pending_with_locality`. With `strict`, additionally require the
     /// task's best achievable level anywhere to be no better than `level`.
     ///
-    /// Served from the per-(stage, executor) [`ScanMemo`]: identical to
+    /// Served from an internal per-(stage, executor) scan memo: identical to
     /// the sequential first-match scan, but tasks already examined for an
     /// earlier pick of the same batch are never re-examined.
     pub fn scan_first(

@@ -146,6 +146,9 @@ impl StepIntegrator {
         debug_assert!(t >= self.last_t);
         self.area += self.current * (t - self.last_t) as f64;
         self.last_t = t;
+        // Change detection, not tolerance math: values are assigned (never
+        // accumulated), so bitwise inequality is exactly "the level moved".
+        #[allow(clippy::float_cmp)]
         if self.current != v {
             if let Some(tl) = &mut self.timeline {
                 tl.push(TimePoint { t, v });
@@ -372,6 +375,9 @@ impl SimResult {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -12,6 +12,10 @@
 //! (the [`crate::locality_index::LocalityIndex`] valid-level cache) can
 //! detect staleness without hashing the contents.
 
+// Dense u32 task indices: `present.len()` is a per-stage task count,
+// bounded far below u32::MAX by workload construction.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Ordered set of task indices over a fixed universe `0..n`.
 #[derive(Clone, Debug)]
 pub struct PendingSet {

@@ -3,7 +3,10 @@
 //! stage priority. LRC, MRD and LRP are all simple functions of this one
 //! structure; LRU ignores it.
 
-use std::collections::HashMap;
+// Frontier stage ids from `num_stages()`: bounded by DAG construction.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::BTreeMap;
 
 use dagon_dag::{BlockId, DepKind, JobDag, StageId};
 
@@ -21,7 +24,7 @@ pub struct RefProfile {
     /// Remaining reads of each block: one entry per *unfinished reading
     /// task* (so LRC's reference count falls as tasks finish, and a block
     /// whose readers all completed drops out entirely — Fig. 6's deletion).
-    uses: HashMap<BlockId, Vec<StageRef>>,
+    uses: BTreeMap<BlockId, Vec<StageRef>>,
     /// Lowest incomplete stage id — MRD's "currently executing stage"
     /// cursor under FIFO order.
     pub frontier: u32,

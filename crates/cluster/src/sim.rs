@@ -6,7 +6,12 @@
 //! all randomness is seeded, and schedulers see a consistent [`SimView`]
 //! snapshot between event batches.
 
-use std::collections::{BTreeMap, HashSet};
+// ExecId/StageId mints from bounded enumerations and `.round()`ed
+// nonnegative ms values; dagon-lint rule D5 (narrow-cast) independently
+// guards tick/size narrowing in this crate.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::{BTreeMap, HashSet}; // lint: allow(hash-ordered): HashSet used membership-only, see field docs
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -66,6 +71,9 @@ pub struct Simulation {
     /// input list without cloning it while mutating cache state.
     task_inputs: Vec<Vec<TaskInputs>>,
     task_views: Vec<Vec<TaskView>>,
+    /// Once-per-run static table: per-stage narrow-input MiB (was
+    /// recomputed inside every `est_finish_ms` call).
+    narrow_mb: Vec<f64>,
     task_done: Vec<Vec<bool>>,
     stage_durations: Vec<Vec<u64>>,
     profile: RefProfile,
@@ -80,9 +88,12 @@ pub struct Simulation {
     /// Attempt keys whose still-queued finish/fail event must be swallowed
     /// (cancelled losers, crash victims). Membership-only: never iterated,
     /// so a HashSet can't leak nondeterminism.
+    // lint: allow(hash-ordered): membership-only, never iterated
     cancelled: HashSet<(TaskId, u32)>,
+    // lint: allow(hash-ordered): membership-only, never iterated
     spec_launched: HashSet<TaskId>,
     prefetch_inflight: Vec<Option<(BlockId, f64)>>,
+    // lint: allow(hash-ordered): membership-only, never iterated
     prefetched: Vec<HashSet<BlockId>>,
     completed_count: usize,
     rng: SmallRng,
@@ -191,6 +202,7 @@ impl Simulation {
             producer_of_rdd[st.output.index()] = Some(st.id);
         }
         let faults = FaultRuntime::new(cfg.faults.clone(), n_exec);
+        let narrow_mb = crate::view::narrow_input_table(&dag);
         Self {
             dag,
             cview: ClusterView::new(n_exec, cfg.exec_capacity),
@@ -200,6 +212,7 @@ impl Simulation {
             disk_by_node,
             stages,
             task_inputs,
+            narrow_mb,
             task_views,
             task_done,
             stage_durations,
@@ -209,9 +222,12 @@ impl Simulation {
             metrics,
             now: 0,
             running: BTreeMap::new(),
+            // lint: allow(hash-ordered): membership-only, never iterated
             cancelled: HashSet::new(),
+            // lint: allow(hash-ordered): membership-only, never iterated
             spec_launched: HashSet::new(),
             prefetch_inflight: vec![None; n_exec],
+            // lint: allow(hash-ordered): membership-only, never iterated
             prefetched: vec![HashSet::new(); n_exec],
             completed_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
@@ -427,6 +443,7 @@ impl Simulation {
                     tasks: &self.task_views,
                     index: &self.data,
                     metrics: &self.metrics,
+                    narrow_mb: &self.narrow_mb,
                 };
                 sched.schedule(&view)
             };
@@ -1242,6 +1259,7 @@ impl Simulation {
                 check.push((s, k));
             }
         }
+        // lint: allow(hash-ordered): membership-only dedup guard, never iterated
         let mut queued: HashSet<TaskId> = HashSet::new();
         let mut resubmitted = false;
         while let Some((s, k)) = check.pop() {

@@ -1,5 +1,9 @@
 //! Cluster topology: racks contain nodes, nodes host executors.
 
+// ExecId/NodeId/rack mints from enumerate(): cluster sizes are
+// bounded far below the id types' range by construction.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::fmt;
 
 /// A rack of nodes sharing a top-of-rack switch.

@@ -11,6 +11,10 @@
 //! seeing exactly the state the sequential one-pick-per-call loop would
 //! have seen.
 
+// ExecId/StageId mints from bounded enumerations; dagon-lint rule D5
+// (narrow-cast) independently guards tick/size narrowing in this crate.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_dag::{JobDag, Resources, SimTime, StageId};
 
 use crate::config::{CostModel, LocalityWait};
@@ -293,6 +297,25 @@ pub struct SimView<'a> {
     pub tasks: &'a [Vec<TaskView>],
     pub index: &'a LocalityIndex,
     pub metrics: &'a Metrics,
+    /// Per-stage narrow-input MiB, precomputed once per run (see
+    /// [`narrow_input_table`]) — static data, recomputing it inside every
+    /// `est_finish_ms` call was a measured hot-path cost.
+    pub narrow_mb: &'a [f64],
+}
+
+/// Build the once-per-run table behind [`SimView::narrow_input_mb`]: total
+/// MiB of narrow input one task of each stage reads. Purely static per DAG.
+pub fn narrow_input_table(dag: &JobDag) -> Vec<f64> {
+    dag.stages()
+        .iter()
+        .map(|st| {
+            st.inputs
+                .iter()
+                .filter(|i| i.kind == dagon_dag::DepKind::Narrow)
+                .map(|i| dag.rdd(i.rdd).block_mb)
+                .sum()
+        })
+        .collect()
 }
 
 impl<'a> SimView<'a> {
@@ -445,19 +468,17 @@ impl<'a> SimView<'a> {
     }
 
     /// Total MiB of narrow input one task of `s` reads (its locality
-    /// blocks), for cost-model duration priors.
+    /// blocks), for cost-model duration priors. A table lookup: the sum is
+    /// static per stage and computed once per run.
     pub fn narrow_input_mb(&self, s: StageId) -> f64 {
-        self.dag
-            .stage(s)
-            .inputs
-            .iter()
-            .filter(|i| i.kind == dagon_dag::DepKind::Narrow)
-            .map(|i| self.dag.rdd(i.rdd).block_mb)
-            .sum()
+        self.narrow_mb[s.index()]
     }
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::hdfs::DataMap;
@@ -474,6 +495,7 @@ mod tests {
         tasks: Vec<Vec<TaskView>>,
         metrics: Metrics,
         cost: CostModel,
+        narrow_mb: Vec<f64>,
     }
 
     /// 2 racks × 2 nodes × 1 exec; one 4-task narrow stage over an HDFS RDD.
@@ -517,6 +539,7 @@ mod tests {
         let index = LocalityIndex::new(&dag, &topo, data, &tasks);
         Fixture {
             metrics: Metrics::new(dag.num_stages(), 4, false),
+            narrow_mb: narrow_input_table(&dag),
             dag,
             topo,
             index,
@@ -539,6 +562,7 @@ mod tests {
             tasks: &f.tasks,
             index: &f.index,
             metrics: &f.metrics,
+            narrow_mb: &f.narrow_mb,
         }
     }
 

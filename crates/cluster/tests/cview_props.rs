@@ -11,6 +11,9 @@
 //! suites never produce (e.g. a release arriving for an executor that
 //! crashed and restarted twice) are still covered.
 
+// Test-only id mints from small generated counts.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_cluster::event::ViewDelta;
 use dagon_cluster::view::ClusterView;
 use dagon_cluster::ExecId;

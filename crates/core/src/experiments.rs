@@ -110,6 +110,8 @@ pub struct Fig3Row {
 
 /// §II-A: KMeans under `spark.locality.wait ∈ {0, 1.5, 3, 5}` s, stock
 /// Spark (FIFO + delay + LRU).
+// Wait times are a few seconds at most: `w * 1000` fits u64 exactly.
+#[allow(clippy::cast_possible_truncation)]
 pub fn fig3(cfg: &ExpConfig) -> Vec<Fig3Row> {
     [0.0, 1.5, 3.0, 5.0]
         .into_iter()
@@ -484,6 +486,9 @@ pub fn run_one(cfg: &ExpConfig, w: Workload, sys: &System) -> SimResult {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

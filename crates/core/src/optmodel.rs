@@ -239,7 +239,7 @@ pub fn snap_to_minutes(dag: &JobDag) -> JobDag {
     use dagon_dag::{DagBuilder, RddSource};
     let mut b = DagBuilder::new(format!("{}_snapped", dag.name()));
     // old RddId -> new RddId
-    let mut rdd_map = std::collections::HashMap::new();
+    let mut rdd_map = std::collections::BTreeMap::new();
     for s in dag.topo_order() {
         let st = dag.stage(*s);
         // Recreate any source inputs first.

@@ -1,6 +1,10 @@
 //! [`JobDag`]: an immutable, validated stage DAG, plus its builder.
 
-use std::collections::HashMap;
+// Stage/RDD/task ids are u32 by design; `len()` mints are bounded by
+// DAG construction (thousands of stages at paper scale, not billions).
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::ids::{RddId, StageId};
@@ -403,7 +407,8 @@ impl DagBuilder {
 }
 
 /// A map from stage to arbitrary per-stage data, dense over one DAG.
-pub type StageMap<T> = HashMap<StageId, T>;
+/// Ordered so that iterating it can never leak nondeterminism (D1).
+pub type StageMap<T> = BTreeMap<StageId, T>;
 
 #[cfg(test)]
 mod tests {

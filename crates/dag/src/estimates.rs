@@ -6,6 +6,9 @@
 //! the simulator executes with ground truth — so estimation error degrades
 //! scheduling quality exactly as it would in the real system.
 
+// Work estimates: `.round()`ed nonnegative ms products fit u64.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::dag::JobDag;
 use crate::ids::StageId;
 use crate::resources::Resources;
@@ -50,6 +53,9 @@ impl StageEstimates {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::examples::fig1;

@@ -6,6 +6,9 @@
 //! from GRAPHENE: median DAG depth ~5, heterogeneous task durations
 //! (sub-second to hundreds of seconds) and demands.
 
+// Parent index from a [0,1) draw scaled by `outputs.len()`: in range.
+#![allow(clippy::cast_possible_truncation)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

@@ -1,6 +1,9 @@
 //! Graph algorithms over [`JobDag`]: reachability closures, critical paths,
 //! depth — the structural quantities every DAG-aware policy consumes.
 
+// StageId mints and critical-path lengths: bounded by DAG size.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::dag::JobDag;
 use crate::ids::StageId;
 use crate::resources::SimTime;

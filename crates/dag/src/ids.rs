@@ -128,7 +128,9 @@ mod tests {
 
     #[test]
     fn ids_are_copy_and_hashable() {
+        // lint: allow(hash-ordered): the test's whole point is that ids are hashable
         use std::collections::HashSet;
+        // lint: allow(hash-ordered): same hashability assertion
         let mut s = HashSet::new();
         let t = TaskId::new(StageId(0), 0);
         s.insert(t);

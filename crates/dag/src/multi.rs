@@ -60,8 +60,8 @@ impl JobSet {
         let mut b = DagBuilder::new("multi-tenant");
         let mut slots = Vec::new();
         for (job_idx, (dag, arrival)) in self.jobs.iter().enumerate() {
-            let mut rdd_map: std::collections::HashMap<RddId, RddId> =
-                std::collections::HashMap::new();
+            let mut rdd_map: std::collections::BTreeMap<RddId, RddId> =
+                std::collections::BTreeMap::new();
             let mut stages = Vec::new();
             for sid in dag.topo_order() {
                 let st = dag.stage(*sid);

@@ -12,6 +12,9 @@
 //! mirrors exactly that bookkeeping and is shared by the Dagon scheduler
 //! (Alg. 1) and the LRP cache (Def. 1).
 
+// StageId mints from enumerate(): bounded by DAG size.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::dag::JobDag;
 use crate::graph::Closure;
 use crate::ids::{StageId, TaskId};

@@ -1,5 +1,8 @@
 //! Time and resource units shared across the workspace.
 
+// Fit counts are clamped to u32::MAX before the cast narrows.
+#![allow(clippy::cast_possible_truncation)]
+
 /// Simulated time in milliseconds since job submission.
 pub type SimTime = u64;
 

@@ -1,5 +1,8 @@
 //! Stages: the schedulable unit produced by Spark's `DAGScheduler`.
 
+// Skewed task ms: `.round().max(0)` of a small nonnegative product.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::ids::{RddId, StageId};
 use crate::resources::{Resources, SimTime};
 

@@ -1,6 +1,9 @@
 //! Property tests for the DAG substrate: structural invariants that every
 //! generated DAG must satisfy, and the algebra of priority values.
 
+// Test-only id mints from small generated counts.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_dag::generate::{random_dag, GenParams};
 use dagon_dag::graph::{depth, ready_stages, Closure, CriticalPath};
 use dagon_dag::{PriorityTracker, StageId, TaskId};
@@ -32,7 +35,7 @@ proptest! {
         let dag = random_dag(&p, seed);
         let topo = dag.topo_order();
         prop_assert_eq!(topo.len(), dag.num_stages());
-        let pos: std::collections::HashMap<_, _> =
+        let pos: std::collections::BTreeMap<_, _> =
             topo.iter().enumerate().map(|(i, s)| (*s, i)).collect();
         for s in dag.stage_ids() {
             for par in dag.parents(s) {

@@ -1,0 +1,192 @@
+//! `dagon-lint` — the workspace's determinism & invariant static-analysis
+//! pass.
+//!
+//! Every guarantee the reproduction makes (pinned goldens, the
+//! empty-fault-plan differential, old-vs-new figure diffs) rests on
+//! bit-for-bit deterministic simulation. This crate enforces that property
+//! *before* the golden tests can catch a violation after the fact, with
+//! five machine-checked rules:
+//!
+//! | rule | id | invariant |
+//! |------|----|-----------|
+//! | D1 | `hash-ordered`  | no `HashMap`/`HashSet` in sim crates |
+//! | D2 | `ambient-time`  | no wall-clock time in sim logic |
+//! | D3 | `unseeded-rng`  | no entropy-seeded randomness anywhere |
+//! | D4 | `float-ord`     | no `partial_cmp` in comparators |
+//! | D5 | `narrow-cast`   | no `as`-truncation of ticks/sizes in `cluster`/`sched` |
+//!
+//! Violations are waived per-site with `// lint: allow(<rule>): <reason>`
+//! on the offending line or the line above; the reason is mandatory and a
+//! waiver that suppresses nothing is itself an error (`unused-waiver`), so
+//! the allowlist cannot rot.
+//!
+//! Run as `cargo run -p dagon-lint` (exits nonzero on findings; `--json
+//! <path>` writes a machine-readable report for CI artifacts). The same
+//! analysis runs under `cargo test -p dagon-lint`, so tier-1 catches a
+//! seeded violation even if the CI lint job is skipped.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::Finding;
+
+/// Analysis outcome over a source tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Machine-readable form (hand-rolled: the workspace is offline and
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"total_findings\": {}\n}}\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which crate does a workspace-relative path belong to? Files outside
+/// `crates/` (root `src/`, `tests/`, `examples/`) are the `repro` crate.
+fn crate_of(rel: &Path) -> String {
+    let mut comps = rel.components().filter_map(|c| c.as_os_str().to_str());
+    match comps.next() {
+        Some("crates") => comps.next().unwrap_or("repro").to_string(),
+        _ => "repro".to_string(),
+    }
+}
+
+/// Directories never descended into: build output, vendored stand-ins,
+/// VCS metadata, and the lint crate's own violation fixtures.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | "vendor" | ".git" | "fixtures")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            if p.file_name().and_then(|n| n.to_str()).is_some_and(skip_dir) {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Analyze every first-party `.rs` file under `root` (a workspace layout:
+/// `crates/<name>/...` plus root `src`/`tests`/`examples`).
+pub fn analyze(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    let mut report = Report::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let crate_name = crate_of(&rel);
+        let src = fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&src);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        report
+            .findings
+            .extend(rules::check_file(&rel_str, &crate_name, &lexed));
+        report.files_scanned += 1;
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+/// Render one finding as a rustc-style diagnostic.
+pub fn render(f: &Finding) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}:{}\n   = help: {}\n",
+        f.rule,
+        f.message,
+        f.file,
+        f.line,
+        f.col,
+        rules::help_for(f.rule)
+    )
+}
+
+/// Locate the workspace root from a start directory: the closest ancestor
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(d) = cur {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        cur = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_scoping_from_paths() {
+        assert_eq!(crate_of(Path::new("crates/cluster/src/sim.rs")), "cluster");
+        assert_eq!(
+            crate_of(Path::new("crates/bench/benches/figures.rs")),
+            "bench"
+        );
+        assert_eq!(crate_of(Path::new("tests/golden.rs")), "repro");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "repro");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

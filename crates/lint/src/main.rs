@@ -1,0 +1,73 @@
+//! CLI driver: `cargo run -p dagon-lint [-- --root <dir>] [--json <path>]`.
+//!
+//! Exits 0 when the tree is clean, 1 on any un-waived finding, 2 on I/O
+//! or usage errors — so CI can distinguish "violations" from "broken run".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: dagon-lint [--root <workspace-dir>] [--json <report-path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dagon-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match dagon_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dagon-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match dagon_lint::analyze(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dagon-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("dagon-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        eprintln!("{}", dagon_lint::render(f));
+    }
+    eprintln!(
+        "dagon-lint: {} file(s) scanned, {} finding(s)",
+        report.files_scanned,
+        report.findings.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,391 @@
+//! The determinism rules (D1-D5) and the waiver machinery.
+//!
+//! Every rule is a pure function over the token stream of one file. The
+//! file's *crate* decides which rules apply (see [`rule_applies`]): e.g.
+//! `dagon-bench` measures wall time on purpose, so `ambient-time` is not
+//! enforced there.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Rule identifiers. These are the names waivers reference, so they are
+/// part of the tool's stable interface.
+pub const HASH_ORDERED: &str = "hash-ordered"; // D1
+pub const AMBIENT_TIME: &str = "ambient-time"; // D2
+pub const UNSEEDED_RNG: &str = "unseeded-rng"; // D3
+pub const FLOAT_ORD: &str = "float-ord"; // D4
+pub const NARROW_CAST: &str = "narrow-cast"; // D5
+/// Meta-rule: a waiver comment missing its `: <reason>` tail.
+pub const BAD_WAIVER: &str = "bad-waiver";
+/// Meta-rule: a waiver that suppressed nothing (stale after a refactor).
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// Crates whose *logic runs inside the simulation clock* — the set D1/D2
+/// guard. `repro` is the workspace root (integration tests + examples).
+const SIM_CRATES: &[&str] = &[
+    "dag",
+    "cluster",
+    "sched",
+    "cache",
+    "profiler",
+    "workloads",
+    "core",
+    "repro",
+];
+
+/// Does `rule` apply to files of `crate_name`?
+pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
+    match rule {
+        HASH_ORDERED | AMBIENT_TIME => SIM_CRATES.contains(&crate_name),
+        // Tick/size truncation matters where SimTime and MiB feed
+        // scheduling and eviction decisions.
+        NARROW_CAST => matches!(crate_name, "cluster" | "sched"),
+        // Entropy and float-comparator hazards are banned everywhere,
+        // including the bench harness (a nondeterministic bench seed would
+        // make BENCH_N.json diffs meaningless).
+        UNSEEDED_RNG | FLOAT_ORD => true,
+        _ => true,
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Actionable fix guidance, shown under each diagnostic.
+pub fn help_for(rule: &str) -> &'static str {
+    match rule {
+        HASH_ORDERED => {
+            "use BTreeMap/BTreeSet, or waive with \
+             `// lint: allow(hash-ordered): <why iteration order can never leak>`"
+        }
+        AMBIENT_TIME => {
+            "simulation time flows only through sim ticks (`SimTime`); \
+             take `now` as a parameter instead of reading the wall clock"
+        }
+        UNSEEDED_RNG => {
+            "all randomness must come from the named seeded streams \
+             (`SmallRng::seed_from_u64(cfg.seed ^ STREAM_TAG)`)"
+        }
+        FLOAT_ORD => {
+            "float comparators must use `total_cmp` — `partial_cmp` makes \
+             the order (and thus the schedule) NaN-dependent"
+        }
+        NARROW_CAST => {
+            "an `as` cast can silently truncate a tick/size value; use \
+             `u64`/`f64` end-to-end or `try_into` with an explicit bound"
+        }
+        BAD_WAIVER => "write `// lint: allow(<rule>): <reason>` — the reason is mandatory",
+        UNUSED_WAIVER => "this waiver suppresses nothing; delete it",
+        _ => "",
+    }
+}
+
+/// Comparator-taking methods whose closure argument D4 inspects.
+const COMPARATOR_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+    "is_sorted_by",
+];
+
+/// Narrow integer/float targets for D5.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Idents that smell like a simulation tick or a data size. The back-scan
+/// from an `as` cast flags the cast when one of these feeds it.
+fn is_tick_or_size_ident(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n == "ms"
+        || n.ends_with("_ms")
+        || n == "now"
+        || n.ends_with("_now")
+        || n.contains("time")
+        || n.contains("tick")
+        || n == "jct"
+        || n == "mb"
+        || n.ends_with("_mb")
+}
+
+/// Check one lexed file. `crate_name` scopes the rules; `file` is the
+/// path recorded in findings (workspace-relative).
+pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut raw: Vec<Finding> = Vec::new();
+
+    let finding = |t: &Token, rule: &'static str, message: String| Finding {
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // D1 — iteration-order-nondeterministic containers.
+            "HashMap" | "HashSet" if rule_applies(HASH_ORDERED, crate_name) => {
+                raw.push(finding(
+                    t,
+                    HASH_ORDERED,
+                    format!("{} is iteration-order nondeterministic", t.text),
+                ));
+            }
+            // D2 — ambient wall-clock time in sim logic.
+            "Instant" | "SystemTime" if rule_applies(AMBIENT_TIME, crate_name) => {
+                raw.push(finding(
+                    t,
+                    AMBIENT_TIME,
+                    format!("ambient wall-clock time ({}) in simulation logic", t.text),
+                ));
+            }
+            // `std :: time` path segment (covers `std::time::Duration`
+            // misuse for tick math without naming Instant directly).
+            "std"
+                if rule_applies(AMBIENT_TIME, crate_name)
+                    && matches!(toks.get(i + 1), Some(c) if c.kind == TokKind::Punct(':'))
+                    && matches!(toks.get(i + 2), Some(c) if c.kind == TokKind::Punct(':'))
+                    && matches!(toks.get(i + 3), Some(c) if c.kind == TokKind::Ident && c.text == "time") =>
+            {
+                raw.push(finding(
+                    t,
+                    AMBIENT_TIME,
+                    "std::time in simulation logic".to_string(),
+                ));
+            }
+            // D3 — entropy-seeded randomness.
+            "thread_rng" | "from_entropy" | "OsRng" => {
+                raw.push(finding(
+                    t,
+                    UNSEEDED_RNG,
+                    format!("{} draws from process entropy", t.text),
+                ));
+            }
+            // D4 — `partial_cmp` inside a comparator argument.
+            name if COMPARATOR_FNS.contains(&name) => {
+                if matches!(toks.get(i + 1), Some(c) if c.kind == TokKind::Punct('(')) {
+                    let mut depth = 0usize;
+                    for u in &toks[i + 1..] {
+                        match u.kind {
+                            TokKind::Punct('(') => depth += 1,
+                            TokKind::Punct(')') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Ident if u.text == "partial_cmp" => {
+                                raw.push(finding(
+                                    u,
+                                    FLOAT_ORD,
+                                    format!("partial_cmp inside a `{name}` comparator"),
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            // D5 — narrowing `as` cast fed by a tick/size identifier.
+            "as" if rule_applies(NARROW_CAST, crate_name) => {
+                let target = toks.get(i + 1);
+                let narrow = matches!(
+                    target,
+                    Some(n) if n.kind == TokKind::Ident && NARROW_TYPES.contains(&n.text.as_str())
+                );
+                if narrow {
+                    let src_ident = toks[..i]
+                        .iter()
+                        .rev()
+                        .take(8)
+                        .take_while(|p| {
+                            !matches!(
+                                p.kind,
+                                TokKind::Punct(',')
+                                    | TokKind::Punct(';')
+                                    | TokKind::Punct('{')
+                                    | TokKind::Punct('}')
+                                    | TokKind::Punct('=')
+                            )
+                        })
+                        .find(|p| p.kind == TokKind::Ident && is_tick_or_size_ident(&p.text));
+                    if let Some(s) = src_ident {
+                        raw.push(finding(
+                            t,
+                            NARROW_CAST,
+                            format!(
+                                "`{} as {}` narrows a tick/size value",
+                                s.text,
+                                target.map(|n| n.text.as_str()).unwrap_or("?")
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    apply_waivers(file, lexed, raw)
+}
+
+/// Suppress findings covered by a waiver; report malformed and stale
+/// waivers as findings of their own.
+fn apply_waivers(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
+    // A waiver on line L covers L itself (trailing comment) and the next
+    // line carrying any token (standalone comment above the statement).
+    let covered_lines = |wline: u32| -> (u32, u32) {
+        let next = lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|l| *l > wline)
+            .unwrap_or(wline);
+        (wline, next)
+    };
+
+    let mut used = vec![false; lexed.waivers.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut waived = false;
+        for (wi, w) in lexed.waivers.iter().enumerate() {
+            if w.rule == f.rule {
+                let (a, b) = covered_lines(w.line);
+                if f.line == a || f.line == b {
+                    used[wi] = true;
+                    waived = true;
+                }
+            }
+        }
+        if !waived {
+            out.push(f);
+        }
+    }
+    const KNOWN: &[&str] = &[
+        HASH_ORDERED,
+        AMBIENT_TIME,
+        UNSEEDED_RNG,
+        FLOAT_ORD,
+        NARROW_CAST,
+    ];
+    for (wi, w) in lexed.waivers.iter().enumerate() {
+        if !KNOWN.contains(&w.rule.as_str()) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: w.line,
+                col: 1,
+                rule: BAD_WAIVER,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+            });
+        } else if w.reason.is_empty() {
+            out.push(Finding {
+                file: file.to_string(),
+                line: w.line,
+                col: 1,
+                rule: BAD_WAIVER,
+                message: format!("waiver for `{}` has no reason", w.rule),
+            });
+        } else if !used[wi] {
+            out.push(Finding {
+                file: file.to_string(),
+                line: w.line,
+                col: 1,
+                rule: UNUSED_WAIVER,
+                message: format!("waiver for `{}` suppresses nothing", w.rule),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Finding> {
+        check_file("mem.rs", crate_name, &lex(src))
+    }
+
+    #[test]
+    fn d1_flags_hash_containers_in_sim_crates_only() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(check("cluster", src).len(), 1);
+        assert_eq!(check("bench", src).len(), 0);
+    }
+
+    #[test]
+    fn d1_waiver_on_same_or_next_line() {
+        let trailing =
+            "let s: HashSet<u32> = HashSet::new(); // lint: allow(hash-ordered): never iterated";
+        assert!(check("cluster", trailing).is_empty());
+        let above =
+            "// lint: allow(hash-ordered): never iterated\nlet s: HashSet<u32> = HashSet::new();";
+        assert!(check("cluster", above).is_empty());
+        // A waiver two lines up does NOT cover.
+        let far = "// lint: allow(hash-ordered): never iterated\nlet x = 1;\nlet s: HashSet<u32> = HashSet::new();";
+        let f = check("cluster", far);
+        assert!(f.iter().any(|f| f.rule == HASH_ORDERED), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == UNUSED_WAIVER), "{f:?}");
+    }
+
+    #[test]
+    fn d2_flags_instant_and_std_time() {
+        assert_eq!(check("sched", "let t = Instant::now();").len(), 1);
+        assert_eq!(check("sched", "use std::time::Duration;").len(), 1);
+        // bench measures wall time on purpose.
+        assert!(check("bench", "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn d3_flags_entropy_everywhere() {
+        for c in ["cluster", "bench", "lint"] {
+            assert_eq!(check(c, "let mut r = rand::thread_rng();").len(), 1, "{c}");
+            assert_eq!(check(c, "let r = SmallRng::from_entropy();").len(), 1);
+        }
+        assert!(check("cluster", "SmallRng::seed_from_u64(7)").is_empty());
+    }
+
+    #[test]
+    fn d4_flags_partial_cmp_only_inside_comparators() {
+        let bad = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        assert_eq!(check("core", bad)[0].rule, FLOAT_ORD);
+        let good = "v.sort_by(|a, b| a.total_cmp(b));";
+        assert!(check("core", good).is_empty());
+        // Defining PartialOrd is fine: not a comparator argument.
+        let def = "fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }";
+        assert!(check("cluster", def).is_empty());
+    }
+
+    #[test]
+    fn d5_flags_tick_narrowing_in_cluster_and_sched_only() {
+        let bad = "let t = now as u32;";
+        assert_eq!(check("cluster", bad)[0].rule, NARROW_CAST);
+        assert!(check("core", bad).is_empty());
+        // Counts are not ticks.
+        assert!(check("cluster", "let n = v.len() as u32;").is_empty());
+        // Widening a tick is fine.
+        assert!(check("cluster", "let t = now as u64;").is_empty());
+        // A statement boundary resets the back-scan.
+        assert!(check("cluster", "let t = now; let n = k as u32;").is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_reported() {
+        let src = "let s: HashSet<u32> = HashSet::new(); // lint: allow(hash-ordered)";
+        let f = check("cluster", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, BAD_WAIVER);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: the bench crate is exempt from D2 — wall-clock measurement is
+// its purpose. This file must produce zero findings.
+#![allow(dead_code)]
+
+fn measure() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

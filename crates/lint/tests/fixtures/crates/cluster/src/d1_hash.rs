@@ -1,0 +1,8 @@
+// Fixture: exactly one D1 (hash-ordered) violation, on line 4.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+
+fn ordered() -> std::collections::BTreeMap<u32, u32> {
+    std::collections::BTreeMap::new()
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one D5 (narrow-cast) violation, on line 5.
+#![allow(dead_code)]
+
+fn truncated_tick(now_ms: u64) -> u32 {
+    now_ms as u32
+}

@@ -1,0 +1,13 @@
+// Fixture for the waiver mechanism:
+//   line 7  — correctly waived HashSet (no finding)
+//   line 10 — waiver without a reason (bad-waiver; the HashSet stays waived)
+//   line 12 — waiver that suppresses nothing (unused-waiver)
+#![allow(dead_code)]
+
+type Waived = std::collections::HashSet<u32>; // lint: allow(hash-ordered): membership-only, never iterated
+
+// lint: allow(hash-ordered)
+type BadWaiver = std::collections::HashSet<u64>;
+
+// lint: allow(narrow-cast): nothing here casts anything
+fn nothing() {}

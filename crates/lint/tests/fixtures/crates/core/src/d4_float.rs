@@ -1,0 +1,6 @@
+// Fixture: exactly one D4 (float-ord) violation, on line 5.
+#![allow(dead_code)]
+
+fn nan_dependent_order(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

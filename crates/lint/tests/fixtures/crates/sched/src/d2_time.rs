@@ -1,0 +1,7 @@
+// Fixture: exactly one D2 (ambient-time) violation, on line 5.
+#![allow(dead_code)]
+
+fn wall_clock_leak() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() as u64
+}

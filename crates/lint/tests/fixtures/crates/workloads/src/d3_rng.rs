@@ -1,0 +1,7 @@
+// Fixture: exactly one D3 (unseeded-rng) violation, on line 5.
+#![allow(dead_code)]
+
+fn entropy_leak() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,90 @@
+//! The lint pass's own acceptance tests.
+//!
+//! Two guarantees, both tier-1:
+//!
+//! 1. **Seeded violations are caught, span-exactly.** `tests/fixtures/` is
+//!    a miniature workspace with one deliberate violation per rule ID plus
+//!    waiver edge cases; the analysis must report exactly those findings
+//!    (rule, file, line) and nothing else.
+//! 2. **The real workspace is clean.** Running the same analysis over the
+//!    repository root must yield zero findings — so introducing a
+//!    `HashMap` into `crates/sched` breaks `cargo test` even if nobody
+//!    runs the CI lint job.
+
+use std::path::{Path, PathBuf};
+
+use dagon_lint::{analyze, rules};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn fixtures_report_exactly_the_seeded_violations() {
+    let report = analyze(&fixture_root()).expect("analyze fixtures");
+    let got: Vec<(String, String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.line))
+        .collect();
+    let expect: Vec<(String, String, u32)> = [
+        (rules::HASH_ORDERED, "crates/cluster/src/d1_hash.rs", 4),
+        (rules::NARROW_CAST, "crates/cluster/src/d5_cast.rs", 5),
+        (rules::BAD_WAIVER, "crates/cluster/src/waivers.rs", 9),
+        (rules::UNUSED_WAIVER, "crates/cluster/src/waivers.rs", 12),
+        (rules::FLOAT_ORD, "crates/core/src/d4_float.rs", 5),
+        (rules::AMBIENT_TIME, "crates/sched/src/d2_time.rs", 5),
+        (rules::UNSEEDED_RNG, "crates/workloads/src/d3_rng.rs", 5),
+    ]
+    .into_iter()
+    .map(|(r, f, l)| (r.to_string(), f.to_string(), l))
+    .collect();
+    assert_eq!(got, expect, "fixture findings drifted");
+}
+
+#[test]
+fn every_rule_id_has_a_seeded_fixture_violation() {
+    let report = analyze(&fixture_root()).expect("analyze fixtures");
+    for rule in [
+        rules::HASH_ORDERED,
+        rules::AMBIENT_TIME,
+        rules::UNSEEDED_RNG,
+        rules::FLOAT_ORD,
+        rules::NARROW_CAST,
+        rules::BAD_WAIVER,
+        rules::UNUSED_WAIVER,
+    ] {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "no fixture exercises rule `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = analyze(&workspace_root()).expect("analyze workspace");
+    assert!(report.files_scanned > 50, "walker lost the workspace");
+    let rendered: String = report.findings.iter().map(dagon_lint::render).collect();
+    assert!(
+        report.is_clean(),
+        "determinism lint found un-waived violations:\n{rendered}"
+    );
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let report = analyze(&fixture_root()).expect("analyze fixtures");
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"hash-ordered\""));
+    assert!(json.contains("\"file\": \"crates/cluster/src/d1_hash.rs\""));
+    assert!(json.contains("\"line\": 4"));
+    assert!(json.contains("\"total_findings\": 7"));
+}

@@ -66,6 +66,9 @@ impl AppProfiler {
 }
 
 #[cfg(test)]
+// Replay values in these tests are set, not computed: exact float
+// equality is the contract being asserted.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dagon_dag::examples::fig1;

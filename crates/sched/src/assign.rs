@@ -57,7 +57,7 @@ pub trait OrderPolicy {
 /// applies them in order, confirming each via
 /// [`Scheduler::on_task_launched`], and discards the rest of the batch if
 /// block residency changed mid-application (a cache insert/evict at launch
-/// time). [`reconcile`](OrderedScheduler::reconcile) then rolls placement
+/// time). An internal `reconcile` pass then rolls placement
 /// state back to the last confirmed assignment before the next round.
 pub struct OrderedScheduler {
     order: Box<dyn OrderPolicy>,

@@ -14,6 +14,9 @@
 //! touch Spark's locality logic — that gap is what Dagon's Fig. 10
 //! exploits).
 
+// Percentile index and stage work: rounded nonnegative, in range.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_cluster::{ScheduleShadow, SimView};
 use dagon_dag::graph::CriticalPath;
 use dagon_dag::{JobDag, StageEstimates, StageId};

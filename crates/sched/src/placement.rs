@@ -10,7 +10,7 @@
 //! back to the last confirmed assignment so the re-computed picks see
 //! exactly the state the one-pick-per-call sequential loop would have.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dagon_cluster::{ExecId, Locality, ScheduleShadow, SimView};
 use dagon_dag::{SimTime, StageEstimates, StageId};
@@ -64,7 +64,7 @@ pub trait Placement {
 /// cores takes any pending task even when another executor could have run
 /// it process-locally — exactly the behaviour the paper's Fig. 3 measures.
 pub struct NativeDelay {
-    clocks: HashMap<StageId, WaitClock>,
+    clocks: BTreeMap<StageId, WaitClock>,
     offer_start: usize,
     journal: Vec<JournalEntry>,
 }
@@ -72,7 +72,7 @@ pub struct NativeDelay {
 impl NativeDelay {
     pub fn new() -> Self {
         Self {
-            clocks: HashMap::new(),
+            clocks: BTreeMap::new(),
             offer_start: 0,
             journal: Vec::new(),
         }

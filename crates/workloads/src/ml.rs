@@ -349,7 +349,7 @@ mod tests {
         );
         assert!(depth(&dag) >= 5);
         // Heterogeneous demands present.
-        let demands: std::collections::HashSet<u32> =
+        let demands: std::collections::BTreeSet<u32> =
             dag.stages().iter().map(|s| s.demand.cpus).collect();
         assert!(demands.len() >= 3, "{demands:?}");
     }

@@ -2,6 +2,9 @@
 //! drives the simulator to completion on real workload DAGs, and the
 //! paper's small exact results hold end to end.
 
+// Test-only id mints from small generated counts.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_cache::PolicyKind;
 use dagon_cluster::ClusterConfig;
 use dagon_core::system::{PlaceKind, SchedKind, System};

@@ -1,0 +1,18 @@
+//! Tier-1 wrapper for the determinism lint: `cargo test -q` at the
+//! workspace root must fail the moment any crate picks up an un-waived
+//! determinism violation (D1-D5), without waiting for the CI lint job or
+//! for a golden test to catch the nondeterminism after the fact.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_determinism_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = dagon_lint::analyze(root).expect("analyze workspace");
+    assert!(report.files_scanned > 50, "lint walker lost the workspace");
+    let rendered: String = report.findings.iter().map(dagon_lint::render).collect();
+    assert!(
+        report.is_clean(),
+        "dagon-lint found un-waived violations:\n{rendered}"
+    );
+}

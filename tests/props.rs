@@ -1,6 +1,9 @@
 //! Property-based tests across the stack: on arbitrary random DAGs, the
 //! simulator must uphold its invariants under every scheduling policy.
 
+// Test-only id mints from small generated counts.
+#![allow(clippy::cast_possible_truncation)]
+
 use dagon_cache::PolicyKind;
 use dagon_cluster::hdfs::DataMap;
 use dagon_cluster::{ClusterConfig, ExecId, Locality, LocalityIndex, NodeId, TaskView, Topology};
