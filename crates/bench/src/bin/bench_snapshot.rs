@@ -1,7 +1,7 @@
 //! `bench_snapshot` — one-shot scheduler-overhead snapshot.
 //!
 //! Runs the same workloads as the `sim_throughput` Criterion bench and
-//! writes `BENCH_2.json` at the repo root: per-workload wall-clock
+//! writes `BENCH_4.json` at the repo root: per-workload wall-clock
 //! milliseconds plus the scheduling fast-path counters
 //! (`schedule_invocations`, `view_deltas`, `score_cache_*`, …). Unlike
 //! Criterion this is cheap enough for CI and produces a single
@@ -53,7 +53,7 @@ fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".into());
+        .unwrap_or_else(|| "BENCH_4.json".into());
     let quick = ExpConfig::quick();
     let paper = ExpConfig::paper();
 
@@ -104,6 +104,7 @@ fn main() {
              \"index_invalidations\": {}, \"valid_level_rebuilds\": {}, \
              \"score_cache_hits\": {}, \"score_cache_misses\": {}, \
              \"score_cache_invalidations\": {}, \
+             \"slot_memo_hits\": {}, \"slot_memo_misses\": {}, \
              \"exec_crashes\": {}, \"tasks_recomputed\": {}, \
              \"stage_resubmissions\": {}, \"task_failures\": {}}}",
             r.name,
@@ -121,6 +122,8 @@ fn main() {
             s.score_cache_hits,
             s.score_cache_misses,
             s.score_cache_invalidations,
+            s.slot_memo_hits,
+            s.slot_memo_misses,
             r.faults.exec_crashes,
             r.faults.tasks_recomputed,
             r.faults.stage_resubmissions,

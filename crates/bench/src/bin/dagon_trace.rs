@@ -1,0 +1,134 @@
+//! `dagon_trace` — run one named experiment with the `dagon-obs` recorder
+//! attached and export the artifacts: a Chrome `trace_event` JSON (open in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), a per-stage
+//! timeline, and a per-run metrics summary.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dagon-bench --bin dagon_trace -- \
+//!     [--workload CC] [--system dagon] [--scale quick|paper] \
+//!     [--faults] [--out DIR]
+//! ```
+//!
+//! Workloads are named by abbreviation (`KM`, `CC`, `DT`, …) or full name;
+//! systems are `dagon`, `stock` (FIFO+LRU), `graphene-lru`, `graphene-mrd`,
+//! `fifo-mrd`, `dagon-mrd`. Writes `<run>.trace.json`, `<run>.stages.json`
+//! and `<run>.summary.json` under `--out` (default: current directory).
+
+use dagon_cluster::FaultPlan;
+use dagon_core::experiments::ExpConfig;
+use dagon_core::{run_system_traced, System};
+use dagon_obs::{chrome_trace_json, stage_timeline_json, summary_json, RingRecorder, TraceMeta};
+use dagon_workloads::Workload;
+
+const WORKLOADS: [Workload; 8] = [
+    Workload::LinearRegression,
+    Workload::LogisticRegression,
+    Workload::DecisionTree,
+    Workload::KMeans,
+    Workload::TriangleCount,
+    Workload::ConnectedComponent,
+    Workload::PregelOperation,
+    Workload::PageRank,
+];
+
+fn parse_workload(s: &str) -> Workload {
+    WORKLOADS
+        .into_iter()
+        .find(|w| w.abbrev().eq_ignore_ascii_case(s) || w.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = WORKLOADS.iter().map(|w| w.abbrev()).collect();
+            panic!("unknown workload {s:?}; one of {names:?}")
+        })
+}
+
+fn parse_system(s: &str) -> System {
+    match s.to_ascii_lowercase().as_str() {
+        "dagon" => System::dagon(),
+        "stock" | "spark" | "fifo" | "fifo-lru" => System::stock_spark(),
+        "graphene-lru" => System::graphene_lru(),
+        "graphene-mrd" | "graphene" => System::graphene_mrd(),
+        "fifo-mrd" => System::fifo_mrd(),
+        "dagon-mrd" => System::dagon_mrd(),
+        other => panic!(
+            "unknown system {other:?}; one of dagon, stock, graphene-lru, \
+             graphene-mrd, fifo-mrd, dagon-mrd"
+        ),
+    }
+}
+
+fn main() {
+    let mut workload = Workload::ConnectedComponent;
+    let mut system = System::dagon();
+    let mut system_name = String::from("dagon");
+    let mut paper_scale = false;
+    let mut faults = false;
+    let mut out_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" | "-w" => workload = parse_workload(&val("--workload")),
+            "--system" | "-s" => {
+                system_name = val("--system");
+                system = parse_system(&system_name);
+            }
+            "--scale" => paper_scale = val("--scale").eq_ignore_ascii_case("paper"),
+            "--faults" => faults = true,
+            "--out" | "-o" => out_dir = val("--out"),
+            other => panic!("unknown argument {other:?} (see the module docs for usage)"),
+        }
+    }
+
+    let mut cfg = if paper_scale {
+        ExpConfig::paper()
+    } else {
+        ExpConfig::quick()
+    };
+    let dag = workload.build(&cfg.scale);
+    if faults {
+        let n_exec = cfg.cluster.total_nodes() * cfg.cluster.execs_per_node;
+        cfg.cluster.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &dag));
+    }
+
+    let out = run_system_traced(
+        &dag,
+        &cfg.cluster,
+        &system,
+        Box::new(RingRecorder::unbounded()),
+    );
+    let run = format!(
+        "{}_{}_{}{}",
+        workload.abbrev(),
+        if paper_scale { "paper" } else { "quick" },
+        system_name,
+        if faults { "_chaos" } else { "" }
+    );
+    let meta = TraceMeta {
+        run: run.clone(),
+        workload: workload.name().to_string(),
+        system: out.system.clone(),
+        jct_ms: out.result.jct as f64,
+    };
+    let registry = out.result.registry();
+    let log = &out.result.trace;
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let write = |suffix: &str, body: String| {
+        let path = format!("{out_dir}/{run}.{suffix}");
+        std::fs::write(&path, body).expect("write artifact");
+        println!("wrote {path}");
+    };
+    write("trace.json", chrome_trace_json(&meta, log));
+    write("stages.json", stage_timeline_json(log));
+    write("summary.json", summary_json(&meta, &registry, log));
+    println!(
+        "{run}: jct {} ms, {} trace events ({} dropped)",
+        out.result.jct,
+        log.len(),
+        log.dropped
+    );
+}

@@ -31,6 +31,12 @@ impl Locality {
         self as usize
     }
 
+    /// The same ladder position as a `u8` (the width trace events carry).
+    #[inline]
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+
     pub fn from_index(i: usize) -> Locality {
         Self::ALL[i.min(3)]
     }

@@ -217,6 +217,11 @@ pub struct SchedulerStats {
     pub score_cache_misses: u64,
     /// Score-memo entries discarded by generation/pending-version bumps.
     pub score_cache_invalidations: u64,
+    /// `stage_slots` queries answered from the per-(stage, exec_gen) memo
+    /// without walking the executor list.
+    pub slot_memo_hits: u64,
+    /// `stage_slots` queries that walked the executor list.
+    pub slot_memo_misses: u64,
 }
 
 /// Fault-injection and recovery counters. All zero in fault-free runs.
@@ -293,6 +298,9 @@ pub struct SimResult {
     pub metrics: Metrics,
     /// Total cluster cores (for utilization).
     pub total_cores: u32,
+    /// Structured event log surrendered by the run's trace sink (empty
+    /// under the default null sink). Never part of [`Self::fingerprint`].
+    pub trace: dagon_obs::TraceLog,
 }
 
 impl SimResult {
@@ -371,6 +379,72 @@ impl SimResult {
     /// Wall-clock duration of one stage.
     pub fn stage_duration(&self, s: StageId) -> Option<SimTime> {
         self.metrics.per_stage[s.index()].duration()
+    }
+
+    /// Render every counter the run collected into one namespaced
+    /// [`dagon_obs::MetricsRegistry`] — the generalization of the ad-hoc
+    /// stat structs (`cache/…`, `sched/…`, `faults/…`, `run/…` gauges,
+    /// plus a log-scale histogram of winner task durations).
+    pub fn registry(&self) -> dagon_obs::MetricsRegistry {
+        let mut r = dagon_obs::MetricsRegistry::new();
+        let c = &self.metrics.cache;
+        r.counter("cache/hits", c.hits);
+        r.counter("cache/misses", c.misses);
+        r.counter("cache/hit_kb", c.hit_kb);
+        r.counter("cache/miss_kb", c.miss_kb);
+        r.counter("cache/insertions", c.insertions);
+        r.counter("cache/evictions", c.evictions);
+        r.counter("cache/proactive_evictions", c.proactive_evictions);
+        r.counter("cache/prefetches", c.prefetches);
+        r.counter("cache/prefetch_used", c.prefetch_used);
+        r.counter("cache/lost", c.lost);
+        r.counter("cache/resident_end", c.resident_end);
+        r.gauge("cache/hit_ratio", c.hit_ratio());
+        r.gauge("cache/byte_hit_ratio", c.byte_hit_ratio());
+        let s = &self.metrics.sched;
+        r.counter("sched/schedule_invocations", s.schedule_invocations);
+        r.counter("sched/view_rebuilds", s.view_rebuilds);
+        r.counter("sched/view_deltas", s.view_deltas);
+        r.counter("sched/batches_discarded", s.batches_discarded);
+        r.counter("sched/assignments_discarded", s.assignments_discarded);
+        r.counter("sched/locality_queries", s.locality_queries);
+        r.counter("sched/locality_recomputes", s.locality_recomputes);
+        r.counter("sched/index_invalidations", s.index_invalidations);
+        r.counter("sched/valid_level_rebuilds", s.valid_level_rebuilds);
+        r.counter("sched/score_cache_hits", s.score_cache_hits);
+        r.counter("sched/score_cache_misses", s.score_cache_misses);
+        r.counter(
+            "sched/score_cache_invalidations",
+            s.score_cache_invalidations,
+        );
+        r.counter("sched/slot_memo_hits", s.slot_memo_hits);
+        r.counter("sched/slot_memo_misses", s.slot_memo_misses);
+        let f = &self.metrics.faults;
+        r.counter("faults/exec_crashes", f.exec_crashes);
+        r.counter("faults/exec_restarts", f.exec_restarts);
+        r.counter("faults/task_failures", f.task_failures);
+        r.counter("faults/attempts_killed", f.attempts_killed);
+        r.counter("faults/disk_blocks_lost", f.disk_blocks_lost);
+        r.counter("faults/tasks_recomputed", f.tasks_recomputed);
+        r.counter("faults/stage_resubmissions", f.stage_resubmissions);
+        r.counter("faults/execs_blacklisted", f.execs_blacklisted);
+        r.counter(
+            "run/speculative_launched",
+            u64::from(self.metrics.speculative_launched),
+        );
+        r.counter(
+            "run/speculative_won",
+            u64::from(self.metrics.speculative_won),
+        );
+        r.gauge("run/jct_ms", self.jct as f64);
+        r.gauge("run/total_cores", f64::from(self.total_cores));
+        r.gauge("run/cpu_utilization", self.cpu_utilization());
+        r.gauge("run/avg_task_ms", self.avg_task_ms());
+        r.gauge("run/high_locality_fraction", self.high_locality_fraction());
+        for run in self.metrics.task_runs.iter().filter(|t| t.winner) {
+            r.observe("run/task_duration_ms", (run.end - run.start) as f64);
+        }
+        r
     }
 }
 

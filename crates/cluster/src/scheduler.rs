@@ -54,6 +54,20 @@ pub trait Scheduler {
     fn stage_priorities(&self) -> Option<Vec<(StageId, u64)>> {
         None
     }
+
+    /// Ask the scheduler to collect (or stop collecting) decision
+    /// rationales for the run's trace sink. Default: ignore — schedulers
+    /// without rationale support stay zero-overhead and the simulator
+    /// synthesizes bare decisions from the assignments instead.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Surrender the decision rationales buffered since the last drain,
+    /// one per assignment of the last non-empty `schedule` batch, in batch
+    /// order. Only called when tracing is on; the default (no rationale
+    /// support) returns an empty vector.
+    fn drain_decisions(&mut self) -> Vec<dagon_obs::SchedDecision> {
+        Vec::new()
+    }
 }
 
 /// Greedy locality-oblivious FIFO used in `dagon-cluster`'s unit tests:

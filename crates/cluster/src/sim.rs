@@ -18,6 +18,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use dagon_dag::{BlockId, JobDag, PriorityTracker, Resources, SimTime, StageId, TaskId};
+use dagon_obs::{EvictReason, KillReason, NullSink, SchedDecision, TraceEvent, TraceSink};
 
 use crate::blockmanager::{BlockManager, CachePolicy, InsertOutcome};
 use crate::config::{ClusterConfig, ReadTier};
@@ -31,7 +32,7 @@ use crate::pending::PendingSet;
 use crate::refprofile::RefProfile;
 use crate::scheduler::{Assignment, Scheduler};
 use crate::topology::{ExecId, Topology};
-use crate::view::{ClusterView, SimView, StageRuntime, TaskView};
+use crate::view::{ClusterView, SimView, SlotMemo, StageRuntime, TaskView};
 
 /// Hard ceiling on simulated time; reaching it means the configuration can
 /// never finish (e.g. a task demand exceeding every executor's capacity).
@@ -116,6 +117,18 @@ pub struct Simulation {
     /// crash destroyed. Drained between scheduler batches; only populated
     /// when faults are enabled.
     lost_pending: Vec<BlockId>,
+    /// Run-lifetime `stage_slots` memo handed to every [`SimView`].
+    slot_memo: SlotMemo,
+    /// Reused `prefetch_scan` candidate buffer (the per-exec-per-tick
+    /// collect was a measured allocation hot spot).
+    prefetch_buf: Vec<BlockId>,
+    /// Structured event sink ([`NullSink`] unless [`Self::with_sink`]
+    /// installed a recorder). Write-only: nothing it holds feeds back
+    /// into the simulation.
+    sink: Box<dyn TraceSink>,
+    /// Cached `sink.enabled()` — the single branch instrumented hot paths
+    /// pay when tracing is off.
+    trace_on: bool,
 }
 
 impl Simulation {
@@ -203,6 +216,7 @@ impl Simulation {
         }
         let faults = FaultRuntime::new(cfg.faults.clone(), n_exec);
         let narrow_mb = crate::view::narrow_input_table(&dag);
+        let slot_memo = SlotMemo::new(dag.num_stages());
         Self {
             dag,
             cview: ClusterView::new(n_exec, cfg.exec_capacity),
@@ -237,9 +251,55 @@ impl Simulation {
             outputs_by_exec: vec![Vec::new(); n_exec],
             lost_pending: Vec::new(),
             producer_of_rdd,
+            slot_memo,
+            prefetch_buf: Vec::new(),
+            sink: Box::new(NullSink),
+            trace_on: false,
             topo,
             cfg,
         }
+    }
+
+    /// Install a trace sink (builder-style; call before [`Self::run`]).
+    /// The recorded log comes back on [`SimResult::trace`].
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_on = sink.enabled();
+        self.sink = sink;
+        self
+    }
+
+    /// Record one event at the current simulation time. Callers check
+    /// `self.trace_on` first so the disabled path never constructs events.
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.sink.record(self.now, ev);
+    }
+
+    /// Record a cache admission with its policy and ref-count rationale.
+    fn trace_admit(&mut self, b: BlockId, exec: ExecId, mb: f64, prefetched: bool) {
+        let policy = self.bms[exec.index()].policy_name();
+        let refcount = self.profile.lrc_count(b);
+        self.trace(TraceEvent::CacheAdmit {
+            block: b,
+            exec: exec.0,
+            mb,
+            policy,
+            refcount,
+            prefetched,
+        });
+    }
+
+    /// Record a cache eviction with its policy and ref-count rationale.
+    fn trace_evict(&mut self, b: BlockId, exec: ExecId, reason: EvictReason) {
+        let policy = self.bms[exec.index()].policy_name();
+        let refcount = self.profile.lrc_count(b);
+        self.trace(TraceEvent::CacheEvict {
+            block: b,
+            exec: exec.0,
+            policy,
+            refcount,
+            reason,
+        });
     }
 
     /// Run to completion under `sched`. Panics if the configuration can
@@ -255,8 +315,16 @@ impl Simulation {
                 self.cfg.exec_capacity
             );
         }
+        sched.set_tracing(self.trace_on);
         for s in self.dag.stage_ids() {
             if self.stages[s.index()].ready {
+                if self.trace_on {
+                    let num_tasks = self.dag.stage(s).num_tasks;
+                    self.trace(TraceEvent::StageReady {
+                        stage: s,
+                        num_tasks,
+                    });
+                }
                 sched.on_stage_ready(s, 0);
             } else if self.dag.stage(s).release_ms > 0 && self.dag.parents(s).is_empty() {
                 // Job-arrival release: re-examine readiness at that time.
@@ -322,10 +390,13 @@ impl Simulation {
         self.metrics.sched.score_cache_hits = is.score_cache_hits;
         self.metrics.sched.score_cache_misses = is.score_cache_misses;
         self.metrics.sched.score_cache_invalidations = is.score_cache_invalidations;
+        self.metrics.sched.slot_memo_hits = self.slot_memo.hits();
+        self.metrics.sched.slot_memo_misses = self.slot_memo.misses();
         SimResult {
             jct,
             metrics: self.metrics,
             total_cores: self.cfg.total_cores(),
+            trace: self.sink.take_log(),
         }
     }
 
@@ -369,6 +440,10 @@ impl Simulation {
                         .all(|p| self.stages[p.index()].completed)
                 {
                     self.stages[stage.index()].ready = true;
+                    if self.trace_on {
+                        let num_tasks = self.dag.stage(stage).num_tasks;
+                        self.trace(TraceEvent::StageReady { stage, num_tasks });
+                    }
                     sched.on_stage_ready(stage, self.now);
                 }
             }
@@ -444,20 +519,46 @@ impl Simulation {
                     index: &self.data,
                     metrics: &self.metrics,
                     narrow_mb: &self.narrow_mb,
+                    exec_gen: self.cview.exec_gen(),
+                    slot_memo: &self.slot_memo,
                 };
                 sched.schedule(&view)
             };
             if assignments.is_empty() {
                 return;
             }
+            // Decision rationales, paired with assignments by index. Only
+            // the applied prefix is recorded: a discarded batch tail's
+            // decisions never happened.
+            let decisions = if self.trace_on {
+                sched.drain_decisions()
+            } else {
+                Vec::new()
+            };
             let gen0 = self.data.generation();
             let total = assignments.len();
             let mut applied = 0usize;
-            for a in assignments {
+            for (i, a) in assignments.into_iter().enumerate() {
                 if self.data.generation() != gen0 || !self.validate(&a) {
                     self.metrics.sched.batches_discarded += 1;
                     self.metrics.sched.assignments_discarded += (total - applied) as u64;
                     break;
+                }
+                if self.trace_on {
+                    // Schedulers without rationale support get a bare
+                    // record synthesized from the assignment itself.
+                    let d = decisions.get(i).copied().unwrap_or(SchedDecision {
+                        stage: a.stage,
+                        task_index: a.task_index,
+                        exec: a.exec.0,
+                        locality: a.locality.rank(),
+                        allowed: a.locality.rank(),
+                        ect_ms: -1.0,
+                        est_ms: -1.0,
+                        threshold_ms: -1.0,
+                        predicted_cache_hit: a.locality == Locality::Process,
+                    });
+                    self.trace(TraceEvent::SchedDecision(d));
                 }
                 self.launch(a, false, sched);
                 applied += 1;
@@ -536,6 +637,15 @@ impl Simulation {
                 if self.prefetched[exec.index()].remove(&b) {
                     self.metrics.cache.prefetch_used += 1;
                 }
+                if self.trace_on {
+                    let refcount = self.profile.lrc_count(b);
+                    self.trace(TraceEvent::CacheHit {
+                        block: b,
+                        exec: exec.0,
+                        mb,
+                        refcount,
+                    });
+                }
                 continue;
             }
             let tier = self.read_tier(b, exec);
@@ -543,6 +653,15 @@ impl Simulation {
             if eligible {
                 self.metrics.cache.misses += 1;
                 self.metrics.cache.miss_kb += (mb * 1024.0) as u64;
+                if self.trace_on {
+                    let refcount = self.profile.lrc_count(b);
+                    self.trace(TraceEvent::CacheMiss {
+                        block: b,
+                        exec: exec.0,
+                        mb,
+                        refcount,
+                    });
+                }
                 if self.bms[exec.index()].caches_on_miss() {
                     match self.bms[exec.index()].try_insert(b, mb, self.now, &self.profile) {
                         InsertOutcome::Inserted { evicted } => {
@@ -554,10 +673,16 @@ impl Simulation {
                                 if self.faults.enabled() {
                                     self.lost_pending.push(e);
                                 }
+                                if self.trace_on {
+                                    self.trace_evict(e, exec, EvictReason::Capacity);
+                                }
                             }
                             self.data.add_cached(b, exec);
                             self.bms[exec.index()].pin(b);
                             pinned.push(b);
+                            if self.trace_on {
+                                self.trace_admit(b, exec, mb, false);
+                            }
                         }
                         InsertOutcome::Rejected { evicted } => {
                             // Victims dropped before the policy gave up
@@ -568,6 +693,11 @@ impl Simulation {
                             // still resolve and lineage recovery never
                             // needs to trigger for these.
                             self.metrics.cache.evictions += evicted.len() as u64;
+                            if self.trace_on {
+                                for e in evicted {
+                                    self.trace_evict(e, exec, EvictReason::Capacity);
+                                }
+                            }
                         }
                         InsertOutcome::AlreadyCached => {}
                     }
@@ -634,6 +764,16 @@ impl Simulation {
         let sm = &mut self.metrics.per_stage[a.stage.index()];
         sm.first_launch.get_or_insert(self.now);
         sm.launches_by_locality[locality.index()] += 1;
+        if self.trace_on {
+            self.trace(TraceEvent::TaskLaunch {
+                task,
+                attempt,
+                exec: exec.0,
+                locality: locality.rank(),
+                speculative,
+                io_ms: io_phase_ms,
+            });
+        }
 
         if let Some(frac) = doom {
             // Die partway through the compute phase (strictly after IoDone,
@@ -698,6 +838,14 @@ impl Simulation {
         if ra.speculative {
             self.metrics.speculative_won += 1;
         }
+        if self.trace_on {
+            self.trace(TraceEvent::TaskFinish {
+                task,
+                attempt,
+                exec: exec.0,
+                locality: ra.locality.rank(),
+            });
+        }
 
         // Cancel every losing attempt still in flight (under retries the
         // other attempt's id is not simply `1 - attempt`; scan the task's
@@ -722,6 +870,14 @@ impl Simulation {
                 winner: false,
                 failed: false,
             });
+            if self.trace_on {
+                self.trace(TraceEvent::TaskKilled {
+                    task,
+                    attempt: other,
+                    exec: lexec.0,
+                    reason: KillReason::LostRace,
+                });
+            }
         }
 
         self.task_done[task.stage.index()][task.index as usize] = true;
@@ -763,13 +919,24 @@ impl Simulation {
                         if self.faults.enabled() {
                             self.lost_pending.push(e);
                         }
+                        if self.trace_on {
+                            self.trace_evict(e, exec, EvictReason::Capacity);
+                        }
                     }
                     self.data.add_cached(out, exec);
+                    if self.trace_on {
+                        self.trace_admit(out, exec, self.dag.rdd(out.rdd).block_mb, false);
+                    }
                 }
                 InsertOutcome::Rejected { evicted } => {
                     // Ledger-only, as in `launch`: the index keeps the
                     // stale entries to preserve golden behavior.
                     self.metrics.cache.evictions += evicted.len() as u64;
+                    if self.trace_on {
+                        for e in evicted {
+                            self.trace_evict(e, exec, EvictReason::Capacity);
+                        }
+                    }
                 }
                 InsertOutcome::AlreadyCached => {}
             }
@@ -824,6 +991,9 @@ impl Simulation {
     }
 
     fn complete_stage(&mut self, s: StageId, sched: &mut dyn Scheduler) {
+        if self.trace_on {
+            self.trace(TraceEvent::StageComplete { stage: s });
+        }
         self.stages[s.index()].completed = true;
         self.metrics.per_stage[s.index()].completed_at = Some(self.now);
         self.completed_count += 1;
@@ -838,6 +1008,7 @@ impl Simulation {
         // Children whose parents are now all complete become ready. (The
         // completed-guard matters only under lineage recovery: a child may
         // have finished before its resubmitted parent re-completed.)
+        let mut newly_ready: Vec<StageId> = Vec::new();
         for &c in self.dag.children(s) {
             if !self.stages[c.index()].ready
                 && !self.stages[c.index()].completed
@@ -855,8 +1026,17 @@ impl Simulation {
                 } else {
                     self.stages[c.index()].ready = true;
                     sched.on_stage_ready(c, self.now);
+                    if self.trace_on {
+                        newly_ready.push(c);
+                    }
                 }
             }
+        }
+        for c in newly_ready {
+            self.trace(TraceEvent::StageReady {
+                stage: c,
+                num_tasks: self.dag.stage(c).num_tasks,
+            });
         }
         self.proactive_sweeps();
     }
@@ -875,6 +1055,9 @@ impl Simulation {
                 if self.faults.enabled() {
                     self.lost_pending.push(v);
                 }
+                if self.trace_on {
+                    self.trace_evict(v, ExecId(i as u32), EvictReason::Proactive);
+                }
             }
         }
     }
@@ -884,6 +1067,10 @@ impl Simulation {
             Some(f) => f,
             None => return,
         };
+        // The candidate buffer is owned by the simulation and reused across
+        // executors and scans: prefetch scans fire every tick, and the
+        // per-scan `Vec` allocation showed up in the BENCH_3 profile.
+        let mut candidates = std::mem::take(&mut self.prefetch_buf);
         for i in 0..self.bms.len() {
             if !self.faults.usable_idx(i) {
                 continue; // dead/blacklisted executors don't prefetch
@@ -897,20 +1084,20 @@ impl Simulation {
             let exec = ExecId(i as u32);
             let node = self.topo.node_of_exec(exec);
             let free = self.bms[i].free_mb();
-            let candidates: Vec<BlockId> = self.disk_by_node[node.index()]
-                .iter()
-                .copied()
-                .filter(|&b| {
-                    // "prefetches the in-disk data block": only blocks not
-                    // in memory anywhere — duplicating an already-cached
-                    // block concentrates process-locality instead of
-                    // widening it.
-                    self.dag.rdd(b.rdd).cached
-                        && self.profile.is_live(b)
-                        && !self.data.is_cached_anywhere(b)
-                        && self.dag.rdd(b.rdd).block_mb <= free
-                })
-                .collect();
+            candidates.clear();
+            for &b in &self.disk_by_node[node.index()] {
+                // "prefetches the in-disk data block": only blocks not
+                // in memory anywhere — duplicating an already-cached
+                // block concentrates process-locality instead of
+                // widening it.
+                if self.dag.rdd(b.rdd).cached
+                    && self.profile.is_live(b)
+                    && !self.data.is_cached_anywhere(b)
+                    && self.dag.rdd(b.rdd).block_mb <= free
+                {
+                    candidates.push(b);
+                }
+            }
             if candidates.is_empty() {
                 continue;
             }
@@ -928,6 +1115,7 @@ impl Simulation {
                     .push(self.now + dt, Event::PrefetchArrive { block: b, exec });
             }
         }
+        self.prefetch_buf = candidates;
     }
 
     fn prefetch_arrive(&mut self, block: BlockId, exec: ExecId) {
@@ -952,6 +1140,9 @@ impl Simulation {
                 self.metrics.cache.insertions += 1;
                 self.data.add_cached(block, exec);
                 self.prefetched[i].insert(block);
+                if self.trace_on {
+                    self.trace_admit(block, exec, mb, true);
+                }
             }
         }
     }
@@ -1096,6 +1287,22 @@ impl Simulation {
             winner: false,
             failed: true,
         });
+        if self.trace_on {
+            if blame {
+                self.trace(TraceEvent::TaskFail {
+                    task,
+                    attempt,
+                    exec: exec.0,
+                });
+            } else {
+                self.trace(TraceEvent::TaskKilled {
+                    task,
+                    attempt,
+                    exec: exec.0,
+                    reason: KillReason::ExecCrash,
+                });
+            }
+        }
         if blame {
             self.metrics.faults.task_failures += 1;
             // Bounded retry (spark.task.maxFailures): executor-loss kills
@@ -1121,6 +1328,9 @@ impl Simulation {
             {
                 self.faults.blacklisted[ei] = true;
                 self.metrics.faults.execs_blacklisted += 1;
+                if self.trace_on {
+                    self.trace(TraceEvent::ExecBlacklisted { exec: exec.0 });
+                }
                 // Was alive and not blacklisted → this flips usability.
                 self.cview.apply(ViewDelta::ExecDown { exec });
             }
@@ -1173,6 +1383,9 @@ impl Simulation {
             self.cview.apply(ViewDelta::ExecDown { exec });
         }
         self.metrics.faults.exec_crashes += 1;
+        if self.trace_on {
+            self.trace(TraceEvent::ExecCrash { exec: exec.0 });
+        }
         // 1. Every attempt running there dies. BTreeMap iteration gives a
         //    deterministic kill order; victims' queued finish/fail events
         //    are swallowed via `cancelled` (attempt ids never recur, so a
@@ -1192,6 +1405,15 @@ impl Simulation {
         self.metrics.cache.lost += lost.len() as u64;
         for b in lost {
             self.data.remove_cached(b, exec);
+            if self.trace_on {
+                self.trace(TraceEvent::CacheEvict {
+                    block: b,
+                    exec: exec.0,
+                    policy: self.bms[i].policy_name(),
+                    refcount: self.profile.lrc_count(b),
+                    reason: EvictReason::Fault,
+                });
+            }
         }
         self.prefetched[i].clear();
         self.prefetch_inflight[i] = None; // in-flight arrival goes stale
@@ -1223,6 +1445,9 @@ impl Simulation {
         self.faults.consec_failures[i] = 0;
         self.cview.apply(ViewDelta::ExecUp { exec });
         self.metrics.faults.exec_restarts += 1;
+        if self.trace_on {
+            self.trace(TraceEvent::ExecRestart { exec: exec.0 });
+        }
         // All attempts were torn down at crash time, so the replacement
         // registers with full capacity and an empty cache.
         debug_assert_eq!(self.cview.free_of(exec), self.cfg.exec_capacity);
@@ -1237,6 +1462,12 @@ impl Simulation {
         self.metrics.cache.lost += 1;
         self.data.remove_cached(block, exec);
         self.prefetched[i].remove(&block);
+        if self.trace_on {
+            self.trace(TraceEvent::BlockLost {
+                block,
+                exec: exec.0,
+            });
+        }
         // Running readers already pinned-and-read it; their stale unpins
         // at teardown are no-ops. Future readers go through recovery.
         self.recover_lost_blocks(sched);
@@ -1306,12 +1537,20 @@ impl Simulation {
         self.task_done[si][k as usize] = false;
         self.stages[si].finished -= 1;
         self.metrics.faults.tasks_recomputed += 1;
+        if self.trace_on {
+            self.trace(TraceEvent::TaskResubmitted {
+                task: TaskId::new(ps, k),
+            });
+        }
         let was_completed = self.stages[si].completed;
         if was_completed {
             self.stages[si].completed = false;
             self.completed_count -= 1;
             self.metrics.per_stage[si].completed_at = None;
             self.metrics.faults.stage_resubmissions += 1;
+            if self.trace_on {
+                self.trace(TraceEvent::StageResubmitted { stage: ps });
+            }
             // Incomplete children must wait for this stage again.
             for &c in self.dag.children(ps) {
                 let crt = &mut self.stages[c.index()];

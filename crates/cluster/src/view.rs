@@ -284,6 +284,61 @@ impl ScheduleShadow {
     }
 }
 
+/// Run-lifetime memo for [`SimView::stage_slots`], keyed on the view's
+/// `exec_gen` generation stamp. SensitivityAware consults the stage slot
+/// capacity (inside `earliest_completion_ms`) for every candidate pick;
+/// within one generation the answer is constant per stage, so the walk
+/// over all executors only happens on the first query after a view change.
+/// Interior-mutable (`Cell`s) because `SimView` hands out shared borrows.
+#[derive(Debug, Default)]
+pub struct SlotMemo {
+    /// Per stage: `(exec_gen + 1, slots)`; 0 marks an empty entry.
+    entries: std::cell::RefCell<Vec<(u64, u32)>>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl SlotMemo {
+    pub fn new(num_stages: usize) -> Self {
+        Self {
+            entries: std::cell::RefCell::new(vec![(0, 0); num_stages]),
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    fn lookup(&self, stage: usize, gen: u64) -> Option<u32> {
+        let e = self.entries.borrow();
+        match e.get(stage) {
+            Some(&(stamp, slots)) if stamp == gen + 1 => {
+                self.hits.set(self.hits.get() + 1);
+                Some(slots)
+            }
+            _ => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    fn store(&self, stage: usize, gen: u64, slots: u32) {
+        let mut e = self.entries.borrow_mut();
+        if stage < e.len() {
+            e[stage] = (gen + 1, slots);
+        }
+    }
+
+    /// Queries answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Queries that had to walk the executor list.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
 /// The scheduler's window into the simulation. Construct-by-borrow: cheap,
 /// created fresh for every `schedule` call.
 pub struct SimView<'a> {
@@ -301,6 +356,11 @@ pub struct SimView<'a> {
     /// [`narrow_input_table`]) — static data, recomputing it inside every
     /// `est_finish_ms` call was a measured hot-path cost.
     pub narrow_mb: &'a [f64],
+    /// Generation stamp of the [`ClusterView`] behind `execs`, keying the
+    /// [`SlotMemo`]: `stage_slots` is constant within one generation.
+    pub exec_gen: u64,
+    /// Run-lifetime `stage_slots` memo (see [`SlotMemo`]).
+    pub slot_memo: &'a SlotMemo,
 }
 
 /// Build the once-per-run table behind [`SimView::narrow_input_mb`]: total
@@ -459,12 +519,20 @@ impl<'a> SimView<'a> {
     }
 
     /// Cluster-wide concurrent-task capacity for stage `s`'s demand.
+    /// Memoized per `(stage, exec_gen)`: the executor walk only runs on
+    /// the first query after a view change.
     pub fn stage_slots(&self, s: StageId) -> u32 {
+        if let Some(slots) = self.slot_memo.lookup(s.index(), self.exec_gen) {
+            return slots;
+        }
         let demand = self.dag.stage(s).demand;
-        self.execs
+        let slots = self
+            .execs
             .iter()
             .map(|e| e.capacity.capacity_for(demand))
-            .sum()
+            .sum();
+        self.slot_memo.store(s.index(), self.exec_gen, slots);
+        slots
     }
 
     /// Total MiB of narrow input one task of `s` reads (its locality
@@ -496,6 +564,7 @@ mod tests {
         metrics: Metrics,
         cost: CostModel,
         narrow_mb: Vec<f64>,
+        slot_memo: SlotMemo,
     }
 
     /// 2 racks × 2 nodes × 1 exec; one 4-task narrow stage over an HDFS RDD.
@@ -540,6 +609,7 @@ mod tests {
         Fixture {
             metrics: Metrics::new(dag.num_stages(), 4, false),
             narrow_mb: narrow_input_table(&dag),
+            slot_memo: SlotMemo::new(dag.num_stages()),
             dag,
             topo,
             index,
@@ -563,6 +633,8 @@ mod tests {
             index: &f.index,
             metrics: &f.metrics,
             narrow_mb: &f.narrow_mb,
+            exec_gen: 0,
+            slot_memo: &f.slot_memo,
         }
     }
 
@@ -665,6 +737,22 @@ mod tests {
         let ect = v.earliest_completion_ms(StageId(0), 1000.0, &shadow);
         assert_eq!(ect, 1000.0);
         assert_eq!(v.narrow_input_mb(StageId(0)), 64.0);
+    }
+
+    #[test]
+    fn stage_slots_memo_hits_within_a_generation() {
+        let f = fixture();
+        let v = view(&f);
+        let first = v.stage_slots(StageId(0));
+        let second = v.stage_slots(StageId(0));
+        assert_eq!(first, second);
+        assert_eq!(f.slot_memo.misses(), 1, "one cold walk");
+        assert_eq!(f.slot_memo.hits(), 1, "second query memoized");
+        // A new generation invalidates the entry.
+        let mut v2 = view(&f);
+        v2.exec_gen = 1;
+        assert_eq!(v2.stage_slots(StageId(0)), first);
+        assert_eq!(f.slot_memo.misses(), 2);
     }
 
     #[test]

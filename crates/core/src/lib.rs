@@ -21,5 +21,5 @@ pub mod runner;
 pub mod system;
 pub mod tiny_exec;
 
-pub use runner::{run_system, RunOutcome};
+pub use runner::{run_system, run_system_traced, RunOutcome};
 pub use system::{PlaceKind, SchedKind, System};

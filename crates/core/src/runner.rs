@@ -45,6 +45,28 @@ pub fn run_system(dag: &JobDag, cluster: &ClusterConfig, system: &System) -> Run
     run_system_with_estimates(dag, cluster, system, &est)
 }
 
+/// [`run_system`] with a trace sink attached: the recorded event log comes
+/// back in `result.trace`. The trace never feeds back into the simulation
+/// (the differential test in `tests/obs_differential.rs` pins this), so
+/// the outcome is bit-identical to the untraced run.
+pub fn run_system_traced(
+    dag: &JobDag,
+    cluster: &ClusterConfig,
+    system: &System,
+    sink: Box<dyn dagon_obs::TraceSink>,
+) -> RunOutcome {
+    let est = AppProfiler::noisy(0.10, cluster.seed).estimate(dag);
+    let mut sched = system.build_scheduler(dag, &est);
+    let sim =
+        Simulation::new(dag.clone(), cluster.clone(), || system.cache.build()).with_sink(sink);
+    let result = sim.run(sched.as_mut());
+    RunOutcome {
+        system: system.label(),
+        workload: dag.name().to_string(),
+        result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,7 @@ const SIM_CRATES: &[&str] = &[
     "cache",
     "profiler",
     "workloads",
+    "obs",
     "core",
     "repro",
 ];

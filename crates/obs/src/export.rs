@@ -1,0 +1,511 @@
+//! Exporters: Chrome `trace_event` JSON, per-stage timeline, run summary.
+//!
+//! The Chrome trace loads directly into `chrome://tracing` / Perfetto:
+//! each executor is a *process* row, each concurrently-busy core a
+//! *thread* lane (greedy interval packing of task spans), spans are
+//! colored by stage, and faults/evictions appear as instant events. All
+//! timestamps are sim-ms scaled to the format's microseconds — no wall
+//! clock anywhere.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dagon_dag::{SimTime, StageId, TaskId};
+
+use crate::event::{locality_name, TraceEvent};
+use crate::registry::{json_num, json_str, MetricsRegistry};
+use crate::sink::TraceLog;
+
+/// Run identification stamped into every export.
+#[derive(Clone, Debug, Default)]
+pub struct TraceMeta {
+    /// Run label, e.g. `"CC_paper_scale"`.
+    pub run: String,
+    /// Workload name, e.g. `"ConnectedComponents"`.
+    pub workload: String,
+    /// System under test, e.g. `"Dagon"`.
+    pub system: String,
+    /// Final job completion time, sim-ms.
+    pub jct_ms: f64,
+}
+
+/// Chrome `trace_event` cnames cycled per stage so adjacent stages get
+/// visually distinct span colors.
+const STAGE_COLORS: [&str; 10] = [
+    "thread_state_running",
+    "rail_response",
+    "rail_animation",
+    "rail_idle",
+    "rail_load",
+    "cq_build_running",
+    "cq_build_passed",
+    "thread_state_runnable",
+    "cq_build_failed",
+    "thread_state_iowait",
+];
+
+struct Span {
+    task: TaskId,
+    attempt: u32,
+    exec: u32,
+    start: SimTime,
+    end: SimTime,
+    locality: u8,
+    speculative: bool,
+    outcome: &'static str,
+}
+
+/// Render the log as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(meta: &TraceMeta, log: &TraceLog) -> String {
+    let mut open: BTreeMap<(TaskId, u32), (SimTime, u32, u8, bool)> = BTreeMap::new();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut instants: Vec<(SimTime, u32, &'static str, String)> = Vec::new();
+    let mut horizon: SimTime = 0;
+
+    for rec in &log.records {
+        horizon = horizon.max(rec.at);
+        match rec.event {
+            TraceEvent::TaskLaunch {
+                task,
+                attempt,
+                exec,
+                locality,
+                speculative,
+                ..
+            } => {
+                open.insert((task, attempt), (rec.at, exec, locality, speculative));
+            }
+            TraceEvent::TaskFinish { task, attempt, .. } => {
+                close_span(&mut open, &mut spans, task, attempt, rec.at, "finish");
+            }
+            TraceEvent::TaskKilled {
+                task,
+                attempt,
+                reason,
+                ..
+            } => {
+                close_span(
+                    &mut open,
+                    &mut spans,
+                    task,
+                    attempt,
+                    rec.at,
+                    reason.as_str(),
+                );
+            }
+            TraceEvent::TaskFail { task, attempt, .. } => {
+                close_span(&mut open, &mut spans, task, attempt, rec.at, "fail");
+            }
+            TraceEvent::ExecCrash { exec } => {
+                instants.push((rec.at, exec, "exec-crash", "{}".to_string()));
+            }
+            TraceEvent::ExecRestart { exec } => {
+                instants.push((rec.at, exec, "exec-restart", "{}".to_string()));
+            }
+            TraceEvent::ExecBlacklisted { exec } => {
+                instants.push((rec.at, exec, "exec-blacklisted", "{}".to_string()));
+            }
+            TraceEvent::BlockLost { block, exec } => {
+                instants.push((
+                    rec.at,
+                    exec,
+                    "block-lost",
+                    format!("{{\"block\": {}}}", json_str(&block.to_string())),
+                ));
+            }
+            TraceEvent::CacheEvict {
+                block,
+                exec,
+                policy,
+                refcount,
+                reason,
+            } => {
+                instants.push((
+                    rec.at,
+                    exec,
+                    "cache-evict",
+                    format!(
+                        "{{\"block\": {}, \"policy\": {}, \"refcount\": {}, \"reason\": {}}}",
+                        json_str(&block.to_string()),
+                        json_str(policy),
+                        refcount,
+                        json_str(reason.as_str())
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Attempts still running when the log ends draw to the horizon.
+    for ((task, attempt), (start, exec, locality, speculative)) in std::mem::take(&mut open) {
+        spans.push(Span {
+            task,
+            attempt,
+            exec,
+            start,
+            end: horizon,
+            locality,
+            speculative,
+            outcome: "open",
+        });
+    }
+
+    // Greedy interval packing: per executor, assign each span (by start
+    // time) to the first core lane free at its start.
+    let mut by_exec: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        by_exec.entry(s.exec).or_default().push(i);
+    }
+    let mut lane_of: Vec<usize> = vec![0; spans.len()];
+    let mut lanes_per_exec: BTreeMap<u32, usize> = BTreeMap::new();
+    for (exec, mut idxs) in by_exec {
+        idxs.sort_by_key(|&i| {
+            (
+                spans[i].start,
+                spans[i].end,
+                spans[i].task,
+                spans[i].attempt,
+            )
+        });
+        let mut lane_free_at: Vec<SimTime> = Vec::new();
+        for i in idxs {
+            let lane = match lane_free_at.iter().position(|&f| f <= spans[i].start) {
+                Some(l) => l,
+                None => {
+                    lane_free_at.push(0);
+                    lane_free_at.len() - 1
+                }
+            };
+            lane_free_at[lane] = spans[i].end.max(spans[i].start + 1);
+            lane_of[i] = lane;
+        }
+        lanes_per_exec.insert(exec, lane_free_at.len().max(1));
+    }
+
+    let mut events: Vec<String> = Vec::new();
+    for (&exec, &nlanes) in &lanes_per_exec {
+        events.push(format!(
+            "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {exec}, \"tid\": 0, \
+             \"args\": {{\"name\": \"exec {exec}\"}}}}"
+        ));
+        for lane in 0..nlanes {
+            events.push(format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {exec}, \"tid\": {lane}, \
+                 \"args\": {{\"name\": \"core {lane}\"}}}}"
+            ));
+        }
+    }
+    for (i, s) in spans.iter().enumerate() {
+        let cname = STAGE_COLORS[s.task.stage.index() % STAGE_COLORS.len()];
+        events.push(format!(
+            "{{\"ph\": \"X\", \"name\": {name}, \"cat\": \"task\", \"pid\": {pid}, \
+             \"tid\": {tid}, \"ts\": {ts}, \"dur\": {dur}, \"cname\": {cname}, \
+             \"args\": {{\"stage\": {stage}, \"attempt\": {attempt}, \"locality\": {loc}, \
+             \"speculative\": {spec}, \"outcome\": {outcome}}}}}",
+            name = json_str(&s.task.to_string()),
+            pid = s.exec,
+            tid = lane_of[i],
+            ts = s.start * 1000,
+            dur = (s.end.saturating_sub(s.start)).max(1) * 1000,
+            cname = json_str(cname),
+            stage = json_str(&s.task.stage.to_string()),
+            attempt = s.attempt,
+            loc = json_str(locality_name(s.locality)),
+            spec = s.speculative,
+            outcome = json_str(s.outcome),
+        ));
+    }
+    for (at, exec, name, args) in instants {
+        events.push(format!(
+            "{{\"ph\": \"i\", \"s\": \"p\", \"name\": {name}, \"cat\": \"fault\", \
+             \"pid\": {exec}, \"tid\": 0, \"ts\": {ts}, \"args\": {args}}}",
+            name = json_str(name),
+            ts = at * 1000,
+        ));
+    }
+
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n");
+    let _ = writeln!(
+        out,
+        "\"otherData\": {{\"run\": {}, \"workload\": {}, \"system\": {}, \"jct_ms\": {}, \
+         \"dropped_events\": {}}},",
+        json_str(&meta.run),
+        json_str(&meta.workload),
+        json_str(&meta.system),
+        json_num(meta.jct_ms),
+        log.dropped
+    );
+    out.push_str("\"traceEvents\": [\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn close_span(
+    open: &mut BTreeMap<(TaskId, u32), (SimTime, u32, u8, bool)>,
+    spans: &mut Vec<Span>,
+    task: TaskId,
+    attempt: u32,
+    at: SimTime,
+    outcome: &'static str,
+) {
+    if let Some((start, exec, locality, speculative)) = open.remove(&(task, attempt)) {
+        spans.push(Span {
+            task,
+            attempt,
+            exec,
+            start,
+            end: at,
+            locality,
+            speculative,
+            outcome,
+        });
+    }
+}
+
+#[derive(Default)]
+struct StageRow {
+    ready_at: Option<SimTime>,
+    complete_at: Option<SimTime>,
+    num_tasks: u32,
+    first_launch: Option<SimTime>,
+    last_finish: Option<SimTime>,
+    launches: u32,
+    finishes: u32,
+    resubmits: u32,
+}
+
+/// Per-stage timeline: ready/complete boundaries, launch/finish extents
+/// and attempt counts, one JSON row per stage in id order.
+pub fn stage_timeline_json(log: &TraceLog) -> String {
+    let mut rows: BTreeMap<StageId, StageRow> = BTreeMap::new();
+    for rec in &log.records {
+        match rec.event {
+            TraceEvent::StageReady { stage, num_tasks } => {
+                let r = rows.entry(stage).or_default();
+                r.ready_at.get_or_insert(rec.at);
+                r.num_tasks = num_tasks;
+            }
+            TraceEvent::StageComplete { stage } => {
+                rows.entry(stage).or_default().complete_at = Some(rec.at);
+            }
+            TraceEvent::StageResubmitted { stage } => {
+                rows.entry(stage).or_default().resubmits += 1;
+            }
+            TraceEvent::TaskLaunch { task, .. } => {
+                let r = rows.entry(task.stage).or_default();
+                r.first_launch = Some(r.first_launch.map_or(rec.at, |t| t.min(rec.at)));
+                r.launches += 1;
+            }
+            TraceEvent::TaskFinish { task, .. } => {
+                let r = rows.entry(task.stage).or_default();
+                r.last_finish = Some(r.last_finish.map_or(rec.at, |t| t.max(rec.at)));
+                r.finishes += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::from("{\"stages\": [\n");
+    for (i, (stage, r)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\": {}, \"num_tasks\": {}, \"ready_ms\": {}, \"complete_ms\": {}, \
+             \"first_launch_ms\": {}, \"last_finish_ms\": {}, \"launches\": {}, \
+             \"finishes\": {}, \"resubmits\": {}}}",
+            json_str(&stage.to_string()),
+            r.num_tasks,
+            opt_ms(r.ready_at),
+            opt_ms(r.complete_at),
+            opt_ms(r.first_launch),
+            opt_ms(r.last_finish),
+            r.launches,
+            r.finishes,
+            r.resubmits,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn opt_ms(t: Option<SimTime>) -> String {
+    t.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// Count of log records per event kind, in kind order.
+pub fn event_kind_counts(log: &TraceLog) -> BTreeMap<&'static str, u64> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for rec in &log.records {
+        *counts.entry(rec.event.kind()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Per-run summary: run identity, per-kind event counts, and the full
+/// metrics registry.
+pub fn summary_json(meta: &TraceMeta, registry: &MetricsRegistry, log: &TraceLog) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "\"run\": {}, \"workload\": {}, \"system\": {}, \"jct_ms\": {},",
+        json_str(&meta.run),
+        json_str(&meta.workload),
+        json_str(&meta.system),
+        json_num(meta.jct_ms)
+    );
+    let _ = writeln!(
+        out,
+        "\"trace\": {{\"recorded\": {}, \"dropped\": {}}},",
+        log.len(),
+        log.dropped
+    );
+    out.push_str("\"events\": {");
+    for (i, (kind, n)) in event_kind_counts(log).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(kind), n);
+    }
+    out.push_str("},\n\"metrics\": ");
+    out.push_str(&registry.to_json());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::KillReason;
+    use crate::json;
+    use crate::sink::{RingRecorder, TraceSink};
+    use dagon_dag::{BlockId, RddId};
+
+    fn sample_log() -> TraceLog {
+        let mut r = RingRecorder::unbounded();
+        let s0 = StageId(0);
+        let t = |i| TaskId::new(s0, i);
+        r.record(
+            0,
+            TraceEvent::StageReady {
+                stage: s0,
+                num_tasks: 3,
+            },
+        );
+        for i in 0..3 {
+            r.record(
+                1,
+                TraceEvent::TaskLaunch {
+                    task: t(i),
+                    attempt: 0,
+                    exec: i % 2,
+                    locality: 0,
+                    speculative: false,
+                    io_ms: 2,
+                },
+            );
+        }
+        r.record(
+            4,
+            TraceEvent::TaskFinish {
+                task: t(0),
+                attempt: 0,
+                exec: 0,
+                locality: 0,
+            },
+        );
+        r.record(
+            5,
+            TraceEvent::TaskKilled {
+                task: t(1),
+                attempt: 0,
+                exec: 1,
+                reason: KillReason::ExecCrash,
+            },
+        );
+        r.record(5, TraceEvent::ExecCrash { exec: 1 });
+        r.record(
+            6,
+            TraceEvent::BlockLost {
+                block: BlockId::new(RddId(0), 1),
+                exec: 1,
+            },
+        );
+        r.record(
+            9,
+            TraceEvent::TaskFinish {
+                task: t(2),
+                attempt: 0,
+                exec: 0,
+                locality: 1,
+            },
+        );
+        r.record(9, TraceEvent::StageComplete { stage: s0 });
+        r.take_log()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_rows() {
+        let meta = TraceMeta {
+            run: "unit".into(),
+            workload: "w".into(),
+            system: "s".into(),
+            jct_ms: 9.0,
+        };
+        let log = sample_log();
+        let doc = json::parse(&chrome_trace_json(&meta, &log)).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3, "three task spans");
+        // Two tasks on exec 0 overlap in [1,4) so exec 0 needs two lanes.
+        let tids: std::collections::BTreeSet<u64> = xs
+            .iter()
+            .filter(|e| e.get("pid").unwrap().as_f64() == Some(0.0))
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap().to_bits())
+            .collect();
+        assert_eq!(tids.len(), 2, "overlapping spans pack into two lanes");
+        let instants = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .count();
+        assert_eq!(instants, 2, "crash + block-lost instants");
+    }
+
+    #[test]
+    fn stage_timeline_reports_extents() {
+        let doc = json::parse(&stage_timeline_json(&sample_log())).unwrap();
+        let rows = doc.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("num_tasks").unwrap().as_f64(), Some(3.0));
+        assert_eq!(rows[0].get("last_finish_ms").unwrap().as_f64(), Some(9.0));
+        assert_eq!(rows[0].get("launches").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn summary_embeds_registry_and_counts() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("cache/hits", 11);
+        let meta = TraceMeta::default();
+        let doc = json::parse(&summary_json(&meta, &reg, &sample_log())).unwrap();
+        assert_eq!(
+            doc.get("events")
+                .unwrap()
+                .get("task-launch")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(
+            doc.get("metrics")
+                .unwrap()
+                .get("cache/hits")
+                .unwrap()
+                .as_f64(),
+            Some(11.0)
+        );
+    }
+}

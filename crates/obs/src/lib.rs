@@ -1,0 +1,45 @@
+//! # dagon-obs — structured simulation observability
+//!
+//! The paper's evaluation hinges on *explaining* schedules: which executor
+//! a task landed on, at what locality level, whether its input was a cache
+//! hit, and why a low-locality launch was accepted. This crate is the
+//! observability layer the simulator, schedulers, and cache runtime thread
+//! their events through:
+//!
+//! * [`TraceEvent`] — the structured event taxonomy: task lifecycle
+//!   (ready/launch/finish/fail/kill/resubmit), scheduler decisions (chosen
+//!   executor, locality level, delay-wait state, ECT score, cache-hit
+//!   prediction), cache events (admit/evict/hit/miss with policy and
+//!   reference-count rationale), and fault/recovery events;
+//! * [`TraceSink`] — where events go. [`NullSink`] is the default and is
+//!   free: producers check [`TraceSink::enabled`] once and skip event
+//!   construction entirely, so the instrumented hot paths cost one branch.
+//!   [`RingRecorder`] keeps the last *N* events in a ring buffer (drop
+//!   count reported) or everything when unbounded;
+//! * [`MetricsRegistry`] — named counters / gauges / log-scale histograms,
+//!   the generalization of the simulator's ad-hoc stat structs, with a
+//!   stable JSON rendering;
+//! * [`export`] — Chrome `trace_event` JSON (one row per executor core
+//!   lane, stage-colored task spans, instant events for faults and
+//!   evictions), a per-stage timeline, and a per-run metrics summary;
+//! * [`json`] — a dependency-free JSON reader used by the schema tests to
+//!   validate what the exporters emit.
+//!
+//! Every timestamp in this crate is a simulation tick ([`SimTime`], ms).
+//! The crate never reads the wall clock, never hashes, and never draws
+//! randomness — dagon-lint rules D1–D5 apply to it in full, waiver-free —
+//! so recording a trace can never perturb a schedule: the differential
+//! suite proves goldens are bit-identical with the recorder on vs. off.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use event::{locality_name, EvictReason, KillReason, SchedDecision, TraceEvent};
+pub use export::{chrome_trace_json, stage_timeline_json, summary_json, TraceMeta};
+pub use registry::{LogHistogram, Metric, MetricsRegistry};
+pub use sink::{NullSink, RingRecorder, TraceLog, TraceRecord, TraceSink};
+
+pub use dagon_dag::SimTime;

@@ -1,0 +1,266 @@
+//! Named metrics: counters, gauges, and log-scale histograms.
+//!
+//! The registry generalizes the simulator's ad-hoc stat structs
+//! (`SchedulerStats`, `CacheStats`, the `view_deltas` counters) into one
+//! namespaced table — entries are `"area/name"` strings like
+//! `"cache/hits"` or `"sched/locality_queries"` — with a stable,
+//! alphabetical JSON rendering so snapshot tests can pin a whole run.
+//! Iteration order is the `BTreeMap` key order: deterministic by
+//! construction (dagon-lint D1 clean).
+
+use std::collections::BTreeMap;
+
+/// A single registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Point-in-time scalar (ratios, ms, utilization).
+    Gauge(f64),
+    /// Power-of-two bucketed sample distribution.
+    Histogram(LogHistogram),
+}
+
+/// A log₂-bucketed histogram of non-negative samples. Bucket `i` holds
+/// samples in `[2^(i-1), 2^i)` (bucket 0 holds `[0, 1)`), which keeps the
+/// bucket count tiny for sim-ms durations while preserving shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Negative samples clamp to bucket 0.
+    pub fn observe(&mut self, sample: f64) {
+        let bucket = if sample < 1.0 {
+            0
+        } else {
+            // log2(sample) via the exponent of the next power of two.
+            let mut b = 1usize;
+            let mut bound = 2.0f64;
+            while sample >= bound && b < 63 {
+                bound *= 2.0;
+                b += 1;
+            }
+            b
+        };
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += sample.max(0.0);
+        if sample > self.max {
+            self.max = sample;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `(upper_bound, count)` per occupied bucket, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 1.0 } else { (1u64 << i) as f64 }, c))
+    }
+}
+
+/// A namespaced table of metrics with a stable JSON rendering.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the named counter, creating it at zero first.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            other => *other = Metric::Counter(v),
+        }
+    }
+
+    /// Set the named gauge.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Record a sample into the named histogram, creating it if needed.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(LogHistogram::new()))
+        {
+            Metric::Histogram(h) => h.observe(sample),
+            other => {
+                let mut h = LogHistogram::new();
+                h.observe(sample);
+                *other = Metric::Histogram(h);
+            }
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Render the registry as a JSON object, keys sorted, floats with
+    /// enough precision to round-trip the gauges we emit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  {}: ", json_str(k)));
+            match v {
+                Metric::Counter(c) => out.push_str(&c.to_string()),
+                Metric::Gauge(g) => out.push_str(&json_num(*g)),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"log_histogram\", \"total\": {}, \"mean\": {}, \"max\": {}, \"buckets\": [",
+                        h.total(),
+                        json_num(h.mean()),
+                        json_num(h.max())
+                    ));
+                    for (j, (ub, c)) in h.buckets().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{}, {}]", json_num(ub), c));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes our keys/values can contain.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite-float JSON rendering: integers render bare, everything else via
+/// `{:?}` (shortest round-trip form); non-finite values become null.
+#[allow(clippy::cast_possible_truncation, clippy::float_cmp)] // integral-value check precedes the cast
+pub(crate) fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter("cache/hits", 3);
+        r.counter("cache/hits", 4);
+        r.gauge("run/jct_ms", 10.0);
+        r.gauge("run/jct_ms", 12.5);
+        assert_eq!(r.get("cache/hits"), Some(&Metric::Counter(7)));
+        assert_eq!(r.get("run/jct_ms"), Some(&Metric::Gauge(12.5)));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = LogHistogram::new();
+        for s in [0.2, 0.9, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(s);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        // [0,1): 2 samples; [1,2): 2; [2,4): 1; [64,128): 1
+        assert_eq!(buckets, vec![(1.0, 2), (2.0, 2), (4.0, 1), (128.0, 1)]);
+        assert_eq!(h.total(), 6);
+        assert!((h.max() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("b/ratio", 0.5);
+        r.counter("a/count", 2);
+        r.observe("c/hist", 3.0);
+        let json = r.to_json();
+        let a = json.find("\"a/count\"").unwrap();
+        let b = json.find("\"b/ratio\"").unwrap();
+        let c = json.find("\"c/hist\"").unwrap();
+        assert!(a < b && b < c, "keys render in sorted order: {json}");
+        assert_eq!(json, r.to_json(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn json_num_forms() {
+        assert_eq!(json_num(3.0), "3");
+        assert_eq!(json_num(0.5), "0.5");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace sinks: where instrumented subsystems send their events.
+//!
+//! The contract that keeps tracing free when it is off: producers call
+//! [`TraceSink::enabled`] *before* constructing an event, so the disabled
+//! path ([`NullSink`]) costs exactly one non-virtual-data branch per site
+//! (callers cache the flag) and zero allocation. Sinks never feed anything
+//! back into the simulation — recording cannot perturb a schedule.
+
+use std::collections::VecDeque;
+
+use dagon_dag::SimTime;
+
+use crate::event::TraceEvent;
+
+/// One recorded event with its simulation timestamp (sim-ms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    pub at: SimTime,
+    pub event: TraceEvent,
+}
+
+/// The finished product of a recording sink: events in emission order plus
+/// how many fell off the front of a bounded ring.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    pub records: Vec<TraceRecord>,
+    /// Events discarded because the ring was full (0 when unbounded).
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.dropped == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Receives structured events from the simulator, schedulers, and cache.
+pub trait TraceSink {
+    /// Whether events should be constructed at all. Producers must check
+    /// this (or a cached copy) before building a [`TraceEvent`].
+    fn enabled(&self) -> bool;
+
+    /// Record one event at simulation time `at`.
+    fn record(&mut self, at: SimTime, event: TraceEvent);
+
+    /// Surrender the recorded log, leaving the sink empty. The default
+    /// (used by [`NullSink`]) returns an empty log.
+    fn take_log(&mut self) -> TraceLog {
+        TraceLog::default()
+    }
+}
+
+/// The free sink: reports disabled, discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at: SimTime, _event: TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in a ring buffer, counting what
+/// it had to drop; `capacity = None` keeps everything.
+#[derive(Clone, Debug)]
+pub struct RingRecorder {
+    ring: VecDeque<TraceRecord>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A bounded recorder holding the last `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        RingRecorder {
+            ring: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// An unbounded recorder: keeps every event.
+    pub fn unbounded() -> Self {
+        RingRecorder {
+            ring: VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn enabled(&self) -> bool {
+        // A zero-capacity ring still counts drops, so it stays "enabled";
+        // use NullSink for the free path.
+        true
+    }
+
+    fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.ring.len() >= cap {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.ring.push_back(TraceRecord { at, event });
+    }
+
+    fn take_log(&mut self) -> TraceLog {
+        TraceLog {
+            records: self.ring.drain(..).collect(),
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagon_dag::StageId;
+
+    fn ev(stage: u32) -> TraceEvent {
+        TraceEvent::StageComplete {
+            stage: StageId(stage),
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_empty() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(5, ev(1));
+        assert!(s.take_log().is_empty());
+    }
+
+    #[test]
+    fn unbounded_recorder_keeps_everything_in_order() {
+        let mut r = RingRecorder::unbounded();
+        for i in 0..100 {
+            r.record(SimTime::from(i), ev(i));
+        }
+        let log = r.take_log();
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.records[7].at, 7);
+        assert!(r.take_log().is_empty(), "take_log drains the sink");
+    }
+
+    #[test]
+    fn bounded_recorder_drops_oldest_and_counts() {
+        let mut r = RingRecorder::bounded(3);
+        for i in 0..8 {
+            r.record(SimTime::from(i), ev(i));
+        }
+        let log = r.take_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped, 5);
+        assert_eq!(log.records[0].at, 5, "oldest surviving event is #5");
+    }
+}

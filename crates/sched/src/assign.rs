@@ -18,8 +18,9 @@
 //! assignment — the batched loop is bit-for-bit equivalent to the old
 //! one-assignment-per-call loop, minus the per-pick view rebuilds.
 
-use dagon_cluster::{Assignment, ScheduleShadow, Scheduler, SimView};
+use dagon_cluster::{Assignment, Locality, ScheduleShadow, Scheduler, SimView};
 use dagon_dag::{SimTime, StageId, TaskId};
+use dagon_obs::SchedDecision;
 
 use crate::placement::Placement;
 
@@ -78,6 +79,10 @@ pub struct OrderedScheduler {
     /// residency generation), and computing the other ~hundred picks per
     /// round was the dominant scheduling cost at paper scale.
     cap: usize,
+    /// When on, one [`SchedDecision`] is buffered per emitted assignment
+    /// for the simulator's trace sink to drain after the batch.
+    tracing: bool,
+    notes: Vec<SchedDecision>,
 }
 
 impl OrderedScheduler {
@@ -90,6 +95,8 @@ impl OrderedScheduler {
             marks: Vec::new(),
             confirmed: 0,
             cap: usize::MAX,
+            tracing: false,
+            notes: Vec::new(),
         }
     }
 
@@ -135,6 +142,7 @@ impl Scheduler for OrderedScheduler {
 
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
         self.reconcile();
+        self.notes.clear();
         if !view.any_free_resource() {
             return Vec::new();
         }
@@ -162,6 +170,20 @@ impl Scheduler for OrderedScheduler {
                 }
             }
             let Some(a) = choice else { break };
+            if self.tracing {
+                let n = self.placement.take_note();
+                self.notes.push(SchedDecision {
+                    stage: a.stage,
+                    task_index: a.task_index,
+                    exec: a.exec.0,
+                    locality: a.locality.rank(),
+                    allowed: n.map_or(a.locality.rank(), |n| n.allowed),
+                    ect_ms: n.map_or(-1.0, |n| n.ect_ms),
+                    est_ms: n.map_or(-1.0, |n| n.est_ms),
+                    threshold_ms: n.map_or(-1.0, |n| n.threshold_ms),
+                    predicted_cache_hit: a.locality == Locality::Process,
+                });
+            }
             self.placement.on_launch(a.stage, a.locality, view.now);
             shadow.claim(view, a.stage, a.task_index, a.exec);
             self.marks.push(self.placement.journal_len());
@@ -208,5 +230,14 @@ impl Scheduler for OrderedScheduler {
 
     fn stage_priorities(&self) -> Option<Vec<(StageId, u64)>> {
         self.order.priorities()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        self.placement.set_tracing(on);
+    }
+
+    fn drain_decisions(&mut self) -> Vec<SchedDecision> {
+        std::mem::take(&mut self.notes)
     }
 }

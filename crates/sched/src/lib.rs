@@ -31,5 +31,5 @@ pub use dagon::DagonScheduler;
 pub use fair::FairScheduler;
 pub use fifo::FifoScheduler;
 pub use graphene::GrapheneScheduler;
-pub use placement::{NativeDelay, Placement, SensitivityAware};
+pub use placement::{NativeDelay, Placement, PlacementNote, SensitivityAware};
 pub use waits::WaitClock;

@@ -25,6 +25,21 @@ enum JournalEntry {
     Offer(usize),
 }
 
+/// Rationale behind one successful [`Placement::pick`], captured only when
+/// tracing is on. Estimate fields are `-1.0` when the placement does not
+/// compute them (native delay scheduling has no Eq. 7 machinery).
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementNote {
+    /// Highest locality level the wait clock allowed at pick time.
+    pub allowed: u8,
+    /// Stage earliest-completion time `ect_i` (Eq. 7), sim-ms.
+    pub ect_ms: f64,
+    /// Estimated task duration at the picked level, sim-ms.
+    pub est_ms: f64,
+    /// Launch-above-allowed threshold the estimate was compared to, sim-ms.
+    pub threshold_ms: f64,
+}
+
 /// Picks `(task, executor, locality)` for one stage, or `None` if the stage
 /// should wait. `shadow` is the caller's view of free executor resources
 /// and already-claimed tasks, maintained across a multi-assignment batch.
@@ -52,6 +67,16 @@ pub trait Placement {
     /// Undo every journaled mutation past `keep` (in reverse), then drop
     /// the journal: entries up to `keep` are confirmed-permanent.
     fn reconcile_journal(&mut self, keep: usize);
+
+    /// Start (or stop) capturing a [`PlacementNote`] per successful pick.
+    /// Default: ignore — rationale-free placements stay zero-overhead.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// The note captured by the last successful `pick`, if tracing is on
+    /// and this placement records rationales.
+    fn take_note(&mut self) -> Option<PlacementNote> {
+        None
+    }
 }
 
 /// Native delay scheduling: launch strictly at or below the allowed
@@ -67,6 +92,8 @@ pub struct NativeDelay {
     clocks: BTreeMap<StageId, WaitClock>,
     offer_start: usize,
     journal: Vec<JournalEntry>,
+    tracing: bool,
+    note: Option<PlacementNote>,
 }
 
 impl NativeDelay {
@@ -75,6 +102,8 @@ impl NativeDelay {
             clocks: BTreeMap::new(),
             offer_start: 0,
             journal: Vec::new(),
+            tracing: false,
+            note: None,
         }
     }
 
@@ -134,6 +163,14 @@ impl Placement for NativeDelay {
             }
             for &level in valid.iter().filter(|l| **l <= allowed) {
                 if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
+                    if self.tracing {
+                        self.note = Some(PlacementNote {
+                            allowed: allowed.rank(),
+                            ect_ms: -1.0,
+                            est_ms: -1.0,
+                            threshold_ms: -1.0,
+                        });
+                    }
                     return Some((k, e.id, level));
                 }
             }
@@ -175,6 +212,15 @@ impl Placement for NativeDelay {
             }
         }
         self.journal.clear();
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        self.note = None;
+    }
+
+    fn take_note(&mut self) -> Option<PlacementNote> {
+        self.note.take()
     }
 }
 
@@ -222,6 +268,28 @@ impl SensitivityAware {
         };
         self.est.mean_ms(stage) + view.cost.read_ms(view.narrow_input_mb(stage), tier)
     }
+
+    /// Capture the Alg. 2 rationale for a pick that is about to be
+    /// returned. No-op (and estimate-free) when tracing is off.
+    fn note_pick(
+        &mut self,
+        stage: StageId,
+        level: Locality,
+        allowed: Locality,
+        ect: f64,
+        threshold: f64,
+        view: &SimView<'_>,
+    ) {
+        if !self.delay.tracing {
+            return;
+        }
+        self.delay.note = Some(PlacementNote {
+            allowed: allowed.rank(),
+            ect_ms: ect,
+            est_ms: self.est_finish_ms(stage, level, view),
+            threshold_ms: threshold,
+        });
+    }
 }
 
 impl Placement for SensitivityAware {
@@ -253,6 +321,7 @@ impl Placement for SensitivityAware {
             for &level in &valid {
                 if level <= allowed {
                     if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
+                        self.note_pick(stage, level, allowed, ect, threshold, view);
                         return Some((k, e.id, level));
                     }
                     continue;
@@ -262,6 +331,7 @@ impl Placement for SensitivityAware {
                 // here can only help, whatever the wait clock says (the
                 // master's block registry makes this check possible).
                 if let Some(k) = view.pending_with_locality_strict(stage, e.id, level, shadow) {
+                    self.note_pick(stage, level, allowed, ect, threshold, view);
                     return Some((k, e.id, level));
                 }
                 if view
@@ -277,6 +347,7 @@ impl Placement for SensitivityAware {
                 // (§II-A's rack ≈ node ≈ process case).
                 if self.est_finish_ms(stage, level, view) < threshold {
                     if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
+                        self.note_pick(stage, level, allowed, ect, threshold, view);
                         return Some((k, e.id, level));
                     }
                 }
@@ -302,5 +373,13 @@ impl Placement for SensitivityAware {
 
     fn reconcile_journal(&mut self, keep: usize) {
         self.delay.reconcile_journal(keep);
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.delay.set_tracing(on);
+    }
+
+    fn take_note(&mut self) -> Option<PlacementNote> {
+        self.delay.take_note()
     }
 }

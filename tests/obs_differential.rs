@@ -1,0 +1,146 @@
+//! The zero-overhead-when-disabled contract of `dagon-obs`, half one:
+//! attaching a recorder must not change the simulation. Every scenario is
+//! run twice — once bare (NullSink, the default) and once with an
+//! unbounded ring recorder — and the `(jct, fingerprint)` pair must be
+//! bit-identical. Covers the fault-free golden lineup *and* the pinned
+//! chaos plans, so the recorder is proven inert on the recovery paths
+//! (crashes, lineage resubmission, blacklisting) too.
+
+use dagon_cluster::{ClusterConfig, ExecId, FaultKind, FaultPlan};
+use dagon_core::experiments::ExpConfig;
+use dagon_core::{run_system, run_system_traced, System};
+use dagon_dag::examples::{fig1, tiny_chain};
+use dagon_dag::JobDag;
+use dagon_obs::RingRecorder;
+use dagon_workloads::Workload;
+
+fn scenarios() -> Vec<(&'static str, JobDag, ClusterConfig, System)> {
+    let quick = ExpConfig::quick();
+    let dag_cc = Workload::ConnectedComponent.build(&quick.scale);
+
+    // The pinned chaos plans from tests/golden.rs: recovery paths must be
+    // equally recorder-invariant.
+    let mut crash = ClusterConfig::tiny(1, 2);
+    crash.faults = Some(FaultPlan::none().and(
+        4500,
+        FaultKind::ExecCrash {
+            exec: ExecId(0),
+            restart_after_ms: Some(2000),
+        },
+    ));
+    let mut chaos = quick.cluster.clone();
+    let n_exec = chaos.total_nodes() * chaos.execs_per_node;
+    chaos.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &dag_cc));
+
+    let mut rows = Vec::new();
+    for sys in System::fig8_lineup() {
+        rows.push(("fig1", fig1(), ClusterConfig::tiny(2, 16), sys.clone()));
+        rows.push((
+            "KMeans-quick",
+            Workload::KMeans.build(&quick.scale),
+            quick.cluster.clone(),
+            sys.clone(),
+        ));
+        rows.push(("CC-quick", dag_cc.clone(), quick.cluster.clone(), sys));
+    }
+    rows.push((
+        "tiny_chain+crash",
+        tiny_chain(8, 500),
+        crash,
+        System::dagon(),
+    ));
+    rows.push(("CC-quick+chaos11", dag_cc, chaos, System::dagon()));
+    rows
+}
+
+#[test]
+fn recorder_on_and_off_produce_identical_results() {
+    for (name, dag, cluster, sys) in scenarios() {
+        let bare = run_system(&dag, &cluster, &sys);
+        let traced = run_system_traced(&dag, &cluster, &sys, Box::new(RingRecorder::unbounded()));
+        assert_eq!(
+            (bare.result.jct, bare.result.fingerprint()),
+            (traced.result.jct, traced.result.fingerprint()),
+            "{name}/{sys}: recorder changed the simulation"
+        );
+        assert!(
+            bare.result.trace.is_empty(),
+            "{name}/{sys}: NullSink run captured events"
+        );
+        assert!(
+            !traced.result.trace.is_empty(),
+            "{name}/{sys}: recorder run captured nothing"
+        );
+        assert_eq!(traced.result.trace.dropped, 0);
+    }
+}
+
+#[test]
+fn traced_chaos_run_records_fault_events() {
+    let quick = ExpConfig::quick();
+    let dag = Workload::ConnectedComponent.build(&quick.scale);
+    let mut cluster = quick.cluster.clone();
+    let n_exec = cluster.total_nodes() * cluster.execs_per_node;
+    cluster.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &dag));
+    let out = run_system_traced(
+        &dag,
+        &cluster,
+        &System::dagon(),
+        Box::new(RingRecorder::unbounded()),
+    );
+    let kinds: std::collections::BTreeSet<&'static str> = out
+        .result
+        .trace
+        .records
+        .iter()
+        .map(|r| r.event.kind())
+        .collect();
+    for k in [
+        "task-launch",
+        "task-finish",
+        "sched-decision",
+        "cache-admit",
+        "cache-hit",
+        "cache-miss",
+        "exec-crash",
+        "task-resubmitted",
+    ] {
+        assert!(
+            kinds.contains(k),
+            "chaos trace has no {k} events: {kinds:?}"
+        );
+    }
+    // Timestamps are sim-clock, monotonically non-decreasing by recording
+    // order, and bounded by the final JCT.
+    let mut last = 0;
+    for r in &out.result.trace.records {
+        assert!(r.at >= last, "trace time went backwards at {:?}", r.event);
+        assert!(r.at <= out.result.jct);
+        last = r.at;
+    }
+}
+
+#[test]
+fn bounded_recorder_keeps_the_tail() {
+    let quick = ExpConfig::quick();
+    let dag = Workload::ConnectedComponent.build(&quick.scale);
+    let full = run_system_traced(
+        &dag,
+        &quick.cluster,
+        &System::dagon(),
+        Box::new(RingRecorder::unbounded()),
+    );
+    let total = full.result.trace.len() as u64;
+    let bounded = run_system_traced(
+        &dag,
+        &quick.cluster,
+        &System::dagon(),
+        Box::new(RingRecorder::bounded(100)),
+    );
+    assert_eq!(bounded.result.trace.len(), 100);
+    assert_eq!(bounded.result.trace.dropped, total - 100);
+    // The ring keeps the most recent events: its records are the tail of
+    // the unbounded run's log.
+    let tail = &full.result.trace.records[(total - 100) as usize..];
+    assert_eq!(bounded.result.trace.records, tail);
+}
