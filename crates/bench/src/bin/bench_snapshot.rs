@@ -1,37 +1,109 @@
 //! `bench_snapshot` — one-shot scheduler-overhead snapshot.
 //!
 //! Runs the same workloads as the `sim_throughput` Criterion bench and
-//! writes `BENCH_4.json` at the repo root: per-workload wall-clock
-//! milliseconds plus the scheduling fast-path counters
-//! (`schedule_invocations`, `view_deltas`, `score_cache_*`, …). Unlike
-//! Criterion this is cheap enough for CI and produces a single
-//! machine-readable file to diff across commits.
+//! writes `BENCH_5.json` at the repo root: per-workload wall-clock
+//! milliseconds, a per-scheduling-decision cost (`ns_per_decision`), and
+//! the scheduling fast-path counters (`schedule_invocations`,
+//! `view_deltas`, `score_cache_*`, …). Unlike Criterion this is cheap
+//! enough for CI and produces a single machine-readable file to diff
+//! across commits.
 //!
-//! Usage: `cargo run --release -p dagon-bench --bin bench_snapshot [out.json]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dagon-bench --bin bench_snapshot [out.json]
+//!   [--out <path>]       output path (same as the positional form)
+//!   [--filter <substr>]  only run rows whose name contains <substr>
+//!   [--scale]            add the 20/200/2000-executor CC scale sweep
+//! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dagon_cluster::FaultPlan;
+use dagon_cluster::{ClusterConfig, FaultPlan};
 use dagon_core::experiments::ExpConfig;
 use dagon_core::{run_system, System};
-use dagon_workloads::Workload;
+use dagon_workloads::{Scale, Workload};
 
 struct Row {
     name: String,
     wall_ms: f64,
     jct_ms: u64,
+    /// Applied non-speculative launches: one per scheduling decision that
+    /// made it into the simulated schedule.
+    decisions: u64,
+    /// `wall_ms / decisions`, in nanoseconds — the headline scheduler
+    /// hot-path cost, comparable across cluster sizes.
+    ns_per_decision: f64,
     sched: dagon_cluster::SchedulerStats,
     faults: dagon_cluster::FaultStats,
 }
 
-fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -> Row {
-    // One warm-up, then the median of `SAMPLES` timed runs: enough to damp
+/// One point of the `--scale` sweep: CC on progressively larger clusters,
+/// tasks scaled with the core count (same ~waves-per-stage ratio), the
+/// largest point stretched to ~1M total task launches.
+struct SweepPoint {
+    execs: u32,
+    racks: &'static [u32],
+    execs_per_node: u32,
+    tasks: u32,
+    iterations: u32,
+}
+
+const SWEEP: &[SweepPoint] = &[
+    SweepPoint {
+        execs: 20,
+        racks: &[5, 5],
+        execs_per_node: 2,
+        tasks: 160,
+        iterations: 8,
+    },
+    SweepPoint {
+        execs: 200,
+        racks: &[25, 25],
+        execs_per_node: 4,
+        tasks: 1600,
+        iterations: 8,
+    },
+    SweepPoint {
+        execs: 2000,
+        racks: &[125, 125, 125, 125],
+        execs_per_node: 4,
+        tasks: 16000,
+        iterations: 28,
+    },
+];
+
+fn sweep_config(p: &SweepPoint) -> ExpConfig {
+    let mut cluster = ClusterConfig::paper_testbed();
+    cluster.racks = p.racks.to_vec();
+    cluster.execs_per_node = p.execs_per_node;
+    cluster.exec_cache_mb = 1024.0;
+    cluster.hdfs_replication = 1;
+    assert_eq!(cluster.total_execs(), p.execs, "sweep shape drifted");
+    ExpConfig {
+        cluster,
+        scale: Scale {
+            tasks: p.tasks,
+            block_mb: 128.0,
+            iterations: p.iterations,
+        },
+        seeds: 1,
+    }
+}
+
+fn measure(
+    name: &str,
+    dag: &dagon_dag::JobDag,
+    cfg: &ExpConfig,
+    sys: &System,
+    samples: usize,
+) -> Row {
+    // One warm-up, then the median of `samples` timed runs: enough to damp
     // scheduler noise without Criterion's multi-second budget.
-    const SAMPLES: usize = 5;
     let warm = run_system(dag, &cfg.cluster, sys);
-    let mut times = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let t0 = Instant::now();
         let out = run_system(dag, &cfg.cluster, sys);
         times.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -41,19 +113,44 @@ fn measure(name: &str, dag: &dagon_dag::JobDag, cfg: &ExpConfig, sys: &System) -
         );
     }
     times.sort_by(|a, b| a.total_cmp(b));
+    let wall_ms = times[samples / 2];
+    let decisions = warm
+        .result
+        .metrics
+        .task_runs
+        .iter()
+        .filter(|t| !t.speculative)
+        .count() as u64;
     Row {
         name: name.to_string(),
-        wall_ms: times[SAMPLES / 2],
+        wall_ms,
         jct_ms: warm.result.jct,
+        decisions,
+        ns_per_decision: wall_ms * 1e6 / decisions.max(1) as f64,
         sched: warm.result.metrics.sched,
         faults: warm.result.metrics.faults,
     }
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".into());
+    let mut out_path: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut scale_sweep = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
+            "--scale" => scale_sweep = true,
+            other if !other.starts_with('-') && out_path.is_none() => {
+                out_path = Some(other.to_string());
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_5.json".into());
+    let wanted = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+
     let quick = ExpConfig::quick();
     let paper = ExpConfig::paper();
 
@@ -61,35 +158,59 @@ fn main() {
     for w in [Workload::KMeans, Workload::ConnectedComponent] {
         let dag = w.build(&quick.scale);
         for sys in [System::stock_spark(), System::dagon()] {
-            rows.push(measure(
-                &format!("run_{}_{}", w.abbrev(), sys),
-                &dag,
-                &quick,
-                &sys,
-            ));
+            let name = format!("run_{}_{}", w.abbrev(), sys);
+            if wanted(&name) {
+                rows.push(measure(&name, &dag, &quick, &sys, 5));
+            }
         }
     }
-    let cc = Workload::ConnectedComponent.build(&paper.scale);
-    rows.push(measure(
-        "run_CC_paper_scale_dagon",
-        &cc,
-        &paper,
-        &System::dagon(),
-    ));
+    if wanted("run_CC_paper_scale_dagon") {
+        let cc = Workload::ConnectedComponent.build(&paper.scale);
+        rows.push(measure(
+            "run_CC_paper_scale_dagon",
+            &cc,
+            &paper,
+            &System::dagon(),
+            5,
+        ));
+    }
 
     // Recovery overhead under a fixed chaos plan (same seed as the pinned
     // `CC-quick+chaos11/Dagon` golden row): wall cost of retries, lineage
     // recomputation and blacklisting on top of the fault-free CC run.
-    let cc_quick = Workload::ConnectedComponent.build(&quick.scale);
-    let mut faulty = quick.clone();
-    let n_exec = faulty.cluster.total_nodes() * faulty.cluster.execs_per_node;
-    faulty.cluster.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &cc_quick));
-    rows.push(measure(
-        "run_CC_dagon_faulty",
-        &cc_quick,
-        &faulty,
-        &System::dagon(),
-    ));
+    if wanted("run_CC_dagon_faulty") {
+        let cc_quick = Workload::ConnectedComponent.build(&quick.scale);
+        let mut faulty = quick.clone();
+        let n_exec = faulty.cluster.total_nodes() * faulty.cluster.execs_per_node;
+        faulty.cluster.faults = Some(FaultPlan::chaos(11, n_exec, 60_000, &cc_quick));
+        rows.push(measure(
+            "run_CC_dagon_faulty",
+            &cc_quick,
+            &faulty,
+            &System::dagon(),
+            5,
+        ));
+    }
+
+    if scale_sweep {
+        for p in SWEEP {
+            let name = format!("run_CC_scale_{}_dagon", p.execs);
+            if !wanted(&name) {
+                continue;
+            }
+            let cfg = sweep_config(p);
+            let dag = Workload::ConnectedComponent.build(&cfg.scale);
+            // Big points get fewer samples: the 2000-executor run launches
+            // ~1M tasks over minutes of wall time, so noise amortizes and
+            // one timed run (after the warm-up) is enough.
+            let samples = match p.execs {
+                0..=199 => 5,
+                200..=1999 => 3,
+                _ => 1,
+            };
+            rows.push(measure(&name, &dag, &cfg, &System::dagon(), samples));
+        }
+    }
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -97,8 +218,11 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"jct_ms\": {}, \
+             \"decisions\": {}, \"ns_per_decision\": {:.1}, \
              \"schedule_invocations\": {}, \"view_rebuilds\": {}, \
              \"view_deltas\": {}, \
+             \"ready_list_rebuilds\": {}, \
+             \"ect_heap_pops\": {}, \"ect_heap_stale\": {}, \
              \"batches_discarded\": {}, \"assignments_discarded\": {}, \
              \"locality_queries\": {}, \"locality_recomputes\": {}, \
              \"index_invalidations\": {}, \"valid_level_rebuilds\": {}, \
@@ -110,9 +234,14 @@ fn main() {
             r.name,
             r.wall_ms,
             r.jct_ms,
+            r.decisions,
+            r.ns_per_decision,
             s.schedule_invocations,
             s.view_rebuilds,
             s.view_deltas,
+            s.ready_list_rebuilds,
+            s.ect_heap_pops,
+            s.ect_heap_stale,
             s.batches_discarded,
             s.assignments_discarded,
             s.locality_queries,
@@ -136,17 +265,15 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     for r in &rows {
         println!(
-            "{:<28} {:>10.3} ms wall  jct {:>8} ms  sched calls {:>6}  loc queries {:>9}  \
-             rebuilds {:>2}  deltas {:>6}  score hit/miss {:>8}/{:>6}",
+            "{:<28} {:>10.3} ms wall  jct {:>8} ms  {:>7} decisions  {:>9.1} ns/decision  \
+             sched calls {:>7}  discarded {:>5}",
             r.name,
             r.wall_ms,
             r.jct_ms,
+            r.decisions,
+            r.ns_per_decision,
             r.sched.schedule_invocations,
-            r.sched.locality_queries,
-            r.sched.view_rebuilds,
-            r.sched.view_deltas,
-            r.sched.score_cache_hits,
-            r.sched.score_cache_misses,
+            r.sched.assignments_discarded,
         );
     }
     println!("wrote {out_path}");

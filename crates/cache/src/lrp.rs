@@ -75,6 +75,28 @@ impl CachePolicy for Lrp {
             .filter(|b| profile.lrp_priority(*b) > 0)
             .max_by_key(|b| (profile.lrp_priority(*b), std::cmp::Reverse(*b)))
     }
+
+    fn prefetch_order(
+        &mut self,
+        candidates: &[BlockId],
+        profile: &RefProfile,
+        out: &mut Vec<BlockId>,
+    ) {
+        // Same key as `prefetch_pick` — priority desc, block id asc — but
+        // each candidate's priority is computed exactly once, so the
+        // ranking can be shared across every executor of a node.
+        out.clear();
+        let mut keyed: Vec<(u64, BlockId)> = candidates
+            .iter()
+            .copied()
+            .filter_map(|b| {
+                let p = profile.lrp_priority(b);
+                (p > 0).then_some((p, b))
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(p, b)| (std::cmp::Reverse(p), b));
+        out.extend(keyed.into_iter().map(|(_, b)| b));
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,25 @@ impl CachePolicy for Mrd {
             .filter(|b| profile.is_live(*b))
             .min_by_key(|b| (dist(profile, *b), *b))
     }
+
+    fn prefetch_order(
+        &mut self,
+        candidates: &[BlockId],
+        profile: &RefProfile,
+        out: &mut Vec<BlockId>,
+    ) {
+        // Same key as `prefetch_pick` — distance asc, block id asc — with
+        // each distance computed once so the ranking is shareable per node.
+        out.clear();
+        let mut keyed: Vec<(u64, BlockId)> = candidates
+            .iter()
+            .copied()
+            .filter(|b| profile.is_live(*b))
+            .map(|b| (dist(profile, b), b))
+            .collect();
+        keyed.sort_unstable_by_key(|&k| k);
+        out.extend(keyed.into_iter().map(|(_, b)| b));
+    }
 }
 
 #[cfg(test)]

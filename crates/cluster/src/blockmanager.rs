@@ -51,6 +51,23 @@ pub trait CachePolicy {
         None
     }
 
+    /// Rank `candidates` into full prefetch-preference order, best first,
+    /// written into `out`. Must agree with
+    /// [`prefetch_pick`](Self::prefetch_pick): for any subset of
+    /// `candidates`, the first `out` entry belonging to that subset is
+    /// exactly the pick over it. The simulator relies on this to compute
+    /// one ranking per *node* and re-filter it per executor (by free cache
+    /// space) instead of re-scoring every candidate per executor. The
+    /// default (no prefetching) leaves `out` empty.
+    fn prefetch_order(
+        &mut self,
+        _candidates: &[BlockId],
+        _profile: &RefProfile,
+        out: &mut Vec<BlockId>,
+    ) {
+        out.clear();
+    }
+
     /// Should a read miss insert the block (standard Spark persist
     /// behaviour)? `NoCache` says no.
     fn caches_on_miss(&self) -> bool {
@@ -262,6 +279,17 @@ impl BlockManager {
         profile: &RefProfile,
     ) -> Option<BlockId> {
         self.policy.prefetch_pick(candidates, profile)
+    }
+
+    /// Full prefetch-preference ranking; see
+    /// [`CachePolicy::prefetch_order`].
+    pub fn prefetch_order(
+        &mut self,
+        candidates: &[BlockId],
+        profile: &RefProfile,
+        out: &mut Vec<BlockId>,
+    ) {
+        self.policy.prefetch_order(candidates, profile, out);
     }
 }
 

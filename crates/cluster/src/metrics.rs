@@ -222,6 +222,13 @@ pub struct SchedulerStats {
     pub slot_memo_hits: u64,
     /// `stage_slots` queries that walked the executor list.
     pub slot_memo_misses: u64,
+    /// Full from-scratch builds of the incremental ready list (O(1) per
+    /// run: once at startup; schedulability flips keep it current after).
+    pub ready_list_rebuilds: u64,
+    /// Free-executor heap entries examined by per-round compactions.
+    pub ect_heap_pops: u64,
+    /// Examined heap entries discarded as stale (lazy deletions realized).
+    pub ect_heap_stale: u64,
 }
 
 /// Fault-injection and recovery counters. All zero in fault-free runs.
@@ -419,6 +426,9 @@ impl SimResult {
         );
         r.counter("sched/slot_memo_hits", s.slot_memo_hits);
         r.counter("sched/slot_memo_misses", s.slot_memo_misses);
+        r.counter("sched/ready_list_rebuilds", s.ready_list_rebuilds);
+        r.counter("sched/ect_heap_pops", s.ect_heap_pops);
+        r.counter("sched/ect_heap_stale", s.ect_heap_stale);
         let f = &self.metrics.faults;
         r.counter("faults/exec_crashes", f.exec_crashes);
         r.counter("faults/exec_restarts", f.exec_restarts);

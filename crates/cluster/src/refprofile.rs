@@ -6,8 +6,6 @@
 // Frontier stage ids from `num_stages()`: bounded by DAG construction.
 #![allow(clippy::cast_possible_truncation)]
 
-use std::collections::BTreeMap;
-
 use dagon_dag::{BlockId, DepKind, JobDag, StageId};
 
 /// One future use of a block.
@@ -21,10 +19,18 @@ pub struct StageRef {
 /// DAG-aware cache policies key off.
 #[derive(Clone, Debug, Default)]
 pub struct RefProfile {
-    /// Remaining reads of each block: one entry per *unfinished reading
-    /// task* (so LRC's reference count falls as tasks finish, and a block
-    /// whose readers all completed drops out entirely — Fig. 6's deletion).
-    uses: BTreeMap<BlockId, Vec<StageRef>>,
+    /// Remaining reads of each block, dense-indexed by
+    /// `offsets[rdd] + partition`: one entry per *unfinished reading task*
+    /// (so LRC's reference count falls as tasks finish, and a block whose
+    /// readers all completed ends up empty — Fig. 6's deletion). The flat
+    /// layout makes `is_live`/`lrp_priority`/`mrd_distance` O(1) + O(uses)
+    /// array reads; with the former `BTreeMap` keying, the tree walk per
+    /// lookup dominated every per-tick prefetch/sweep scan at paper scale.
+    uses: Vec<Vec<StageRef>>,
+    /// Flat-index base per RDD id (parallel to the DAG's RDD table).
+    offsets: Vec<u32>,
+    /// Partition count per RDD id, bounding each RDD's flat range.
+    counts: Vec<u32>,
     /// Lowest incomplete stage id — MRD's "currently executing stage"
     /// cursor under FIFO order.
     pub frontier: u32,
@@ -33,6 +39,22 @@ pub struct RefProfile {
 }
 
 impl RefProfile {
+    /// Flat index of `b`, or `None` for blocks outside the profiled DAG
+    /// (possible before the first `rebuild`, or for foreign test blocks) —
+    /// those have no recorded uses by definition.
+    #[inline]
+    fn idx(&self, b: BlockId) -> Option<usize> {
+        let r = b.rdd.index();
+        if r >= self.counts.len() || b.partition >= self.counts[r] {
+            return None;
+        }
+        Some(self.offsets[r] as usize + b.partition as usize)
+    }
+
+    #[inline]
+    fn get(&self, b: BlockId) -> Option<&[StageRef]> {
+        self.idx(b).map(|i| self.uses[i].as_slice())
+    }
     /// Rebuild the use map from scratch.
     ///
     /// * `task_done(stage, index)` — has that task finished?
@@ -44,21 +66,31 @@ impl RefProfile {
         task_done: &dyn Fn(StageId, u32) -> bool,
         stage_done: &dyn Fn(StageId) -> bool,
     ) {
-        self.uses.clear();
+        // (Re)derive the dense layout from the DAG's RDD table; partition
+        // counts are fixed at DAG construction, so the layout is stable
+        // across rebuilds of the same job.
+        self.offsets.clear();
+        self.counts.clear();
+        let mut total = 0u32;
+        for r in dag.rdds() {
+            self.offsets.push(total);
+            self.counts.push(r.num_partitions);
+            total += r.num_partitions;
+        }
+        self.uses.iter_mut().for_each(Vec::clear);
+        self.uses.resize(total as usize, Vec::new());
         for stage in dag.stages() {
             if stage_done(stage.id) {
                 continue;
             }
             for input in &stage.inputs {
                 let rdd = dag.rdd(input.rdd);
+                let base = self.offsets[rdd.id.index()] as usize;
                 match input.kind {
                     DepKind::Narrow => {
                         for k in 0..stage.num_tasks {
                             if !task_done(stage.id, k) {
-                                self.uses
-                                    .entry(BlockId::new(rdd.id, k))
-                                    .or_default()
-                                    .push(StageRef { stage: stage.id });
+                                self.uses[base + k as usize].push(StageRef { stage: stage.id });
                             }
                         }
                     }
@@ -68,10 +100,7 @@ impl RefProfile {
                         for j in 0..rdd.num_partitions {
                             let k = j % stage.num_tasks;
                             if !task_done(stage.id, k) {
-                                self.uses
-                                    .entry(BlockId::new(rdd.id, j))
-                                    .or_default()
-                                    .push(StageRef { stage: stage.id });
+                                self.uses[base + j as usize].push(StageRef { stage: stage.id });
                             }
                         }
                     }
@@ -87,15 +116,14 @@ impl RefProfile {
 
     /// LRC's reference count: remaining unfinished reads.
     pub fn lrc_count(&self, b: BlockId) -> u32 {
-        self.uses.get(&b).map(|v| v.len() as u32).unwrap_or(0)
+        self.get(b).map(|v| v.len() as u32).unwrap_or(0)
     }
 
     /// MRD's stage reference distance: how many stage ids ahead of the FIFO
     /// frontier the *nearest* future use is. `None` = never used again
     /// (infinitely far; evict first, never prefetch).
     pub fn mrd_distance(&self, b: BlockId) -> Option<u32> {
-        self.uses
-            .get(&b)?
+        self.get(b)?
             .iter()
             .map(|r| r.stage.0.saturating_sub(self.frontier))
             .min()
@@ -104,8 +132,7 @@ impl RefProfile {
     /// LRP's reference priority (Def. 1): the highest `pv` among stages
     /// still reading the block; 0 when no future use remains.
     pub fn lrp_priority(&self, b: BlockId) -> u64 {
-        self.uses
-            .get(&b)
+        self.get(b)
             .map(|v| {
                 v.iter()
                     .map(|r| self.pv.get(r.stage.index()).copied().unwrap_or(0))
@@ -119,32 +146,32 @@ impl RefProfile {
     /// when the reading task finishes — avoids full rebuilds in the hot
     /// path).
     pub fn remove_use(&mut self, b: BlockId, stage: StageId) {
-        if let Some(v) = self.uses.get_mut(&b) {
+        if let Some(i) = self.idx(b) {
+            let v = &mut self.uses[i];
             if let Some(pos) = v.iter().position(|r| r.stage == stage) {
                 v.swap_remove(pos);
-            }
-            if v.is_empty() {
-                self.uses.remove(&b);
             }
         }
     }
 
     /// Re-add one use entry of `stage` for block `b` — the inverse of
     /// [`remove_use`](Self::remove_use), for lineage recovery resubmitting
-    /// a finished task whose reads come back.
+    /// a finished task whose reads come back. Blocks outside the profiled
+    /// DAG (no `rebuild` yet) are ignored, matching the lookup side.
     pub fn add_use(&mut self, b: BlockId, stage: StageId) {
-        self.uses.entry(b).or_default().push(StageRef { stage });
+        if let Some(i) = self.idx(b) {
+            self.uses[i].push(StageRef { stage });
+        }
     }
 
     /// Does any future use remain?
     pub fn is_live(&self, b: BlockId) -> bool {
-        self.uses.get(&b).map(|v| !v.is_empty()).unwrap_or(false)
+        self.get(b).is_some_and(|v| !v.is_empty())
     }
 
     /// Stages that still read the block.
     pub fn using_stages(&self, b: BlockId) -> Vec<StageId> {
-        self.uses
-            .get(&b)
+        self.get(b)
             .map(|v| v.iter().map(|r| r.stage).collect())
             .unwrap_or_default()
     }

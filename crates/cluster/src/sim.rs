@@ -42,6 +42,15 @@ const SIM_TIME_LIMIT: SimTime = 48 * 3600 * 1000;
 /// and in-flight launches so launching never clones it.
 type TaskInputs = Arc<[(BlockId, f64)]>;
 
+/// Re-derive stage `si`'s schedulability predicate and push it into the
+/// view's incremental ready list. A free function over disjoint borrows so
+/// call sites inside loops that also borrow other `Simulation` fields
+/// (e.g. `self.dag.children(..)`) compile.
+fn sync_ready(cview: &mut ClusterView, stages: &[StageRuntime], si: usize) {
+    let st = &stages[si];
+    cview.set_stage_schedulable(si, st.ready && !st.completed && !st.pending.is_empty());
+}
+
 struct RunningAttempt {
     exec: ExecId,
     start: SimTime,
@@ -122,6 +131,10 @@ pub struct Simulation {
     /// Reused `prefetch_scan` candidate buffer (the per-exec-per-tick
     /// collect was a measured allocation hot spot).
     prefetch_buf: Vec<BlockId>,
+    /// Reused per-node shared filter buffer for `prefetch_scan`: the
+    /// residency/liveness pass over `disk_by_node` is executor-independent
+    /// and runs once per node per scan, not once per executor.
+    prefetch_node_buf: Vec<BlockId>,
     /// Structured event sink ([`NullSink`] unless [`Self::with_sink`]
     /// installed a recorder). Write-only: nothing it holds feeds back
     /// into the simulation.
@@ -217,9 +230,15 @@ impl Simulation {
         let faults = FaultRuntime::new(cfg.faults.clone(), n_exec);
         let narrow_mb = crate::view::narrow_input_table(&dag);
         let slot_memo = SlotMemo::new(dag.num_stages());
+        let mut cview = ClusterView::new(n_exec, cfg.exec_capacity);
+        cview.init_ready_list(
+            stages
+                .iter()
+                .map(|s| s.ready && !s.completed && !s.pending.is_empty()),
+        );
         Self {
             dag,
-            cview: ClusterView::new(n_exec, cfg.exec_capacity),
+            cview,
             exec_busy_cores: vec![0; n_exec],
             bms,
             data,
@@ -253,6 +272,7 @@ impl Simulation {
             producer_of_rdd,
             slot_memo,
             prefetch_buf: Vec::new(),
+            prefetch_node_buf: Vec::new(),
             sink: Box::new(NullSink),
             trace_on: false,
             topo,
@@ -392,6 +412,9 @@ impl Simulation {
         self.metrics.sched.score_cache_invalidations = is.score_cache_invalidations;
         self.metrics.sched.slot_memo_hits = self.slot_memo.hits();
         self.metrics.sched.slot_memo_misses = self.slot_memo.misses();
+        self.metrics.sched.ready_list_rebuilds = self.cview.ready_list_rebuilds();
+        self.metrics.sched.ect_heap_pops = self.cview.ect_heap_pops();
+        self.metrics.sched.ect_heap_stale = self.cview.ect_heap_stale();
         SimResult {
             jct,
             metrics: self.metrics,
@@ -440,6 +463,7 @@ impl Simulation {
                         .all(|p| self.stages[p.index()].completed)
                 {
                     self.stages[stage.index()].ready = true;
+                    sync_ready(&mut self.cview, &self.stages, stage.index());
                     if self.trace_on {
                         let num_tasks = self.dag.stage(stage).num_tasks;
                         self.trace(TraceEvent::StageReady { stage, num_tasks });
@@ -504,8 +528,17 @@ impl Simulation {
             self.cview.check_consistency(),
             "incremental ClusterView drifted from from-scratch rebuild"
         );
+        debug_assert!(
+            self.cview.check_ready_consistency(&self.stages),
+            "incremental ready list drifted from stage-table scan"
+        );
         loop {
             self.metrics.sched.schedule_invocations += 1;
+            self.cview.compact_free_execs();
+            debug_assert!(
+                self.cview.check_free_consistency(),
+                "lazy free-executor heap drifted from executor scan"
+            );
             let assignments = {
                 let view = SimView {
                     now: self.now,
@@ -520,6 +553,9 @@ impl Simulation {
                     metrics: &self.metrics,
                     narrow_mb: &self.narrow_mb,
                     exec_gen: self.cview.exec_gen(),
+                    cap_gen: self.cview.cap_gen(),
+                    ready: self.cview.ready_stages(),
+                    free_execs: self.cview.free_execs(),
                     slot_memo: &self.slot_memo,
                 };
                 sched.schedule(&view)
@@ -802,6 +838,7 @@ impl Simulation {
             let srt = &mut self.stages[a.stage.index()];
             srt.pending.remove(a.task_index);
             srt.running += 1;
+            sync_ready(&mut self.cview, &self.stages, a.stage.index());
             let work = task_work;
             self.tracker.on_task_launched(task, work);
             sched.on_task_launched(task, work, self.now);
@@ -995,6 +1032,7 @@ impl Simulation {
             self.trace(TraceEvent::StageComplete { stage: s });
         }
         self.stages[s.index()].completed = true;
+        sync_ready(&mut self.cview, &self.stages, s.index());
         self.metrics.per_stage[s.index()].completed_at = Some(self.now);
         self.completed_count += 1;
         // Advance the FIFO frontier for MRD.
@@ -1025,6 +1063,7 @@ impl Simulation {
                     );
                 } else {
                     self.stages[c.index()].ready = true;
+                    sync_ready(&mut self.cview, &self.stages, c.index());
                     sched.on_stage_ready(c, self.now);
                     if self.trace_on {
                         newly_ready.push(c);
@@ -1067,10 +1106,20 @@ impl Simulation {
             Some(f) => f,
             None => return,
         };
-        // The candidate buffer is owned by the simulation and reused across
+        // Both buffers are owned by the simulation and reused across
         // executors and scans: prefetch scans fire every tick, and the
         // per-scan `Vec` allocation showed up in the BENCH_3 profile.
-        let mut candidates = std::mem::take(&mut self.prefetch_buf);
+        // The candidate filter and the policy ranking are both
+        // executor-independent (block residency cannot move mid-scan —
+        // insertions happen at `PrefetchArrive`, never here), so each runs
+        // once per *node*: executors only re-filter the shared ranking by
+        // their own free cache space. The first ranked block that fits is
+        // exactly `prefetch_pick` over the fitting candidates (the
+        // `CachePolicy::prefetch_order` contract). Executor ids are
+        // node-consecutive, so a single "current node" marker suffices.
+        let mut order = std::mem::take(&mut self.prefetch_buf);
+        let mut node_buf = std::mem::take(&mut self.prefetch_node_buf);
+        let mut cur_node = usize::MAX;
         for i in 0..self.bms.len() {
             if !self.faults.usable_idx(i) {
                 continue; // dead/blacklisted executors don't prefetch
@@ -1082,26 +1131,29 @@ impl Simulation {
                 continue;
             }
             let exec = ExecId(i as u32);
-            let node = self.topo.node_of_exec(exec);
-            let free = self.bms[i].free_mb();
-            candidates.clear();
-            for &b in &self.disk_by_node[node.index()] {
-                // "prefetches the in-disk data block": only blocks not
-                // in memory anywhere — duplicating an already-cached
-                // block concentrates process-locality instead of
-                // widening it.
-                if self.dag.rdd(b.rdd).cached
-                    && self.profile.is_live(b)
-                    && !self.data.is_cached_anywhere(b)
-                    && self.dag.rdd(b.rdd).block_mb <= free
-                {
-                    candidates.push(b);
+            let node = self.topo.node_of_exec(exec).index();
+            if node != cur_node {
+                cur_node = node;
+                node_buf.clear();
+                for &b in &self.disk_by_node[node] {
+                    // "prefetches the in-disk data block": only blocks not
+                    // in memory anywhere — duplicating an already-cached
+                    // block concentrates process-locality instead of
+                    // widening it.
+                    if self.dag.rdd(b.rdd).cached
+                        && self.profile.is_live(b)
+                        && !self.data.is_cached_anywhere(b)
+                    {
+                        node_buf.push(b);
+                    }
                 }
+                self.bms[i].prefetch_order(&node_buf, &self.profile, &mut order);
             }
-            if candidates.is_empty() {
-                continue;
-            }
-            if let Some(b) = self.bms[i].prefetch_pick(&candidates, &self.profile) {
+            let free = self.bms[i].free_mb();
+            if let Some(&b) = order
+                .iter()
+                .find(|&&b| self.dag.rdd(b.rdd).block_mb <= free)
+            {
                 let mb = self.dag.rdd(b.rdd).block_mb;
                 self.prefetch_inflight[i] = Some((b, mb));
                 self.metrics.cache.prefetches += 1;
@@ -1115,7 +1167,8 @@ impl Simulation {
                     .push(self.now + dt, Event::PrefetchArrive { block: b, exec });
             }
         }
-        self.prefetch_buf = candidates;
+        self.prefetch_buf = order;
+        self.prefetch_node_buf = node_buf;
     }
 
     fn prefetch_arrive(&mut self, block: BlockId, exec: ExecId) {
@@ -1359,6 +1412,7 @@ impl Simulation {
         // One in-flight slot was accounted for this task (the primary's,
         // inherited by the speculative copy if the primary died first).
         srt.running = srt.running.saturating_sub(1);
+        sync_ready(&mut self.cview, &self.stages, task.stage.index());
         self.spec_launched.remove(&task);
         let work = self.dag.stage(task.stage).task_work(task.index);
         self.tracker.on_task_requeued(task, work);
@@ -1557,6 +1611,7 @@ impl Simulation {
                 if !crt.completed {
                     crt.ready = false;
                 }
+                sync_ready(&mut self.cview, &self.stages, c.index());
             }
             // The FIFO frontier (MRD's cursor) may move backwards.
             self.profile.frontier = self
@@ -1586,6 +1641,7 @@ impl Simulation {
             .iter()
             .all(|p| self.stages[p.index()].completed);
         self.stages[si].ready = ready;
+        sync_ready(&mut self.cview, &self.stages, si);
         if ready && (was_completed || !had_pending) {
             // Re-entering the schedulable set: reset delay-scheduling
             // clocks.

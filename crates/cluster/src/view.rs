@@ -15,6 +15,9 @@
 // (narrow-cast) independently guards tick/size narrowing in this crate.
 #![allow(clippy::cast_possible_truncation)]
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use dagon_dag::{JobDag, Resources, SimTime, StageId};
 
 use crate::config::{CostModel, LocalityWait};
@@ -62,12 +65,52 @@ pub struct ClusterView {
     deltas: u64,
     /// Full from-scratch (re)builds — O(1) per run by design.
     rebuilds: u64,
+    /// Capacity-only generation: bumped only when some executor's
+    /// *capacity* changes (`ExecDown`/`ExecUp`). `stage_slots` depends
+    /// only on capacities, so the [`SlotMemo`] keys on this instead of
+    /// `exec_gen` and survives all consume/release traffic.
+    cap_gen: u64,
+    /// Incrementally maintained schedulable-stage ids (ascending),
+    /// mirrored by the membership flags in `stage_on`. Installed once by
+    /// [`Self::init_ready_list`]; kept current by
+    /// [`Self::set_stage_schedulable`] calls from every simulator site
+    /// that mutates a stage's ready/completed/pending state.
+    ready_list: Vec<u32>,
+    stage_on: Vec<bool>,
+    /// Full ready-list (re)builds — O(1) per run by design.
+    ready_rebuilds: u64,
+    /// Lazy min-heap of free executors as `Reverse((exec, stamp))`. An
+    /// entry is pushed when an executor *becomes* free (no free cpus →
+    /// some, including `ExecUp`) and never removed in place: entries whose
+    /// stamp no longer matches `free_since` are skipped (lazy deletion)
+    /// when [`Self::compact_free_execs`] drains the heap, so crash and
+    /// blacklist transitions from the fault path need no heap surgery.
+    free_heap: BinaryHeap<Reverse<(u32, u64)>>,
+    /// Per executor: the `exec_gen` at which it last became free, or
+    /// [`NOT_FREE`] while it has no effective free cpus (busy or down).
+    free_since: Vec<u64>,
+    /// Ascending ids of currently-free executors, valid after the last
+    /// [`Self::compact_free_execs`].
+    free_list: Vec<u32>,
+    /// Bumped on every free-set membership transition; lets a compaction
+    /// return immediately when the set hasn't changed since the last one
+    /// (the common case: most consume/release traffic moves cpu counts
+    /// without emptying or refilling an executor).
+    free_set_gen: u64,
+    /// `free_set_gen` as of the last compaction.
+    compacted_gen: u64,
+    heap_pops: u64,
+    heap_stale: u64,
 }
+
+/// `free_since` sentinel for an executor with no free cpus.
+const NOT_FREE: u64 = u64::MAX;
 
 impl ClusterView {
     /// Build the initial view: all executors usable and fully free.
     /// Counts as the run's one full rebuild.
     pub fn new(n_exec: usize, capacity: Resources) -> Self {
+        let init_free = capacity.cpus > 0;
         Self {
             execs: (0..n_exec)
                 .map(|i| ExecView {
@@ -82,6 +125,25 @@ impl ClusterView {
             exec_gen: 0,
             deltas: 0,
             rebuilds: 1,
+            cap_gen: 0,
+            ready_list: Vec::new(),
+            stage_on: Vec::new(),
+            ready_rebuilds: 0,
+            free_heap: if init_free {
+                (0..n_exec).map(|i| Reverse((i as u32, 0))).collect()
+            } else {
+                BinaryHeap::new()
+            },
+            free_since: vec![if init_free { 0 } else { NOT_FREE }; n_exec],
+            free_list: if init_free {
+                (0..n_exec as u32).collect()
+            } else {
+                Vec::new()
+            },
+            free_set_gen: 0,
+            compacted_gen: 0,
+            heap_pops: 0,
+            heap_stale: 0,
         }
     }
 
@@ -90,6 +152,13 @@ impl ClusterView {
     pub fn apply(&mut self, d: ViewDelta) {
         self.exec_gen += 1;
         self.deltas += 1;
+        let idx = match d {
+            ViewDelta::Consume { exec, .. }
+            | ViewDelta::Release { exec, .. }
+            | ViewDelta::ExecDown { exec }
+            | ViewDelta::ExecUp { exec } => exec.index(),
+        };
+        let was_free = self.execs[idx].free.cpus > 0;
         match d {
             ViewDelta::Consume { exec, demand } => {
                 let i = exec.index();
@@ -110,12 +179,24 @@ impl ClusterView {
                 self.usable[i] = false;
                 self.execs[i].free = Resources::ZERO;
                 self.execs[i].capacity = Resources::ZERO;
+                self.cap_gen += 1;
             }
             ViewDelta::ExecUp { exec } => {
                 let i = exec.index();
                 self.usable[i] = true;
                 self.execs[i].free = self.real_free[i];
                 self.execs[i].capacity = self.capacity;
+                self.cap_gen += 1;
+            }
+        }
+        let now_free = self.execs[idx].free.cpus > 0;
+        if now_free != was_free {
+            self.free_set_gen += 1;
+            if now_free {
+                self.free_since[idx] = self.exec_gen;
+                self.free_heap.push(Reverse((idx as u32, self.exec_gen)));
+            } else {
+                self.free_since[idx] = NOT_FREE;
             }
         }
     }
@@ -179,6 +260,131 @@ impl ClusterView {
     pub fn check_consistency(&self) -> bool {
         self.execs == self.rebuilt_execs()
     }
+
+    /// Capacity-only generation stamp (see the `cap_gen` field).
+    pub fn cap_gen(&self) -> u64 {
+        self.cap_gen
+    }
+
+    // --- incremental ready list ---------------------------------------
+
+    /// Install the initial schedulable flags (one per stage, in stage-id
+    /// order). Counts as the run's one full ready-list build.
+    pub fn init_ready_list(&mut self, schedulable: impl IntoIterator<Item = bool>) {
+        self.stage_on = schedulable.into_iter().collect();
+        self.ready_list = self
+            .stage_on
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i as u32))
+            .collect();
+        self.ready_rebuilds += 1;
+    }
+
+    /// Flip stage `si`'s schedulability. No-op when the flag already
+    /// matches — callers re-derive the predicate (`ready && !completed &&
+    /// pending non-empty`) after every stage mutation and need not track
+    /// whether it actually changed.
+    pub fn set_stage_schedulable(&mut self, si: usize, on: bool) {
+        if self.stage_on[si] == on {
+            return;
+        }
+        self.stage_on[si] = on;
+        match (self.ready_list.binary_search(&(si as u32)), on) {
+            (Err(pos), true) => self.ready_list.insert(pos, si as u32),
+            (Ok(pos), false) => {
+                self.ready_list.remove(pos);
+            }
+            _ => debug_assert!(false, "ready-list membership out of sync with its flag"),
+        }
+    }
+
+    /// Schedulable stage ids, ascending.
+    pub fn ready_stages(&self) -> &[u32] {
+        &self.ready_list
+    }
+
+    pub fn ready_list_rebuilds(&self) -> u64 {
+        self.ready_rebuilds
+    }
+
+    /// What a from-scratch scan of the stage table would produce — the
+    /// oracle for the differential property test and the debug-build
+    /// assertion at the top of every scheduling opportunity.
+    pub fn rebuilt_ready_list(stages: &[StageRuntime]) -> Vec<u32> {
+        stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ready && !s.completed && !s.pending.is_empty())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Debug-build invariant: incremental ready list == from-scratch scan.
+    pub fn check_ready_consistency(&self, stages: &[StageRuntime]) -> bool {
+        self.ready_list == Self::rebuilt_ready_list(stages)
+    }
+
+    // --- lazy free-executor heap --------------------------------------
+
+    /// Drain the heap into the ascending free-executor list, skipping
+    /// stale entries (stamp superseded because the executor stopped being
+    /// free — consumed full, crashed, or blacklisted — since the push).
+    /// Surviving entries are pushed back, so the amortized cost per
+    /// scheduling round is O(free · log free) plus the stale backlog — and
+    /// zero when no executor entered or left the free set since the last
+    /// compaction (the typical round).
+    pub fn compact_free_execs(&mut self) {
+        if self.compacted_gen == self.free_set_gen {
+            return;
+        }
+        self.compacted_gen = self.free_set_gen;
+        self.free_list.clear();
+        while let Some(Reverse((e, stamp))) = self.free_heap.pop() {
+            self.heap_pops += 1;
+            if self.free_since[e as usize] == stamp {
+                self.free_list.push(e);
+            } else {
+                self.heap_stale += 1;
+            }
+        }
+        self.free_heap.extend(
+            self.free_list
+                .iter()
+                .map(|&e| Reverse((e, self.free_since[e as usize]))),
+        );
+    }
+
+    /// Ascending ids of executors with free cpus, as of the last
+    /// [`Self::compact_free_execs`].
+    pub fn free_execs(&self) -> &[u32] {
+        &self.free_list
+    }
+
+    /// Heap entries examined by compactions.
+    pub fn ect_heap_pops(&self) -> u64 {
+        self.heap_pops
+    }
+
+    /// Examined entries discarded as stale (lazy deletions realized).
+    pub fn ect_heap_stale(&self) -> u64 {
+        self.heap_stale
+    }
+
+    /// From-scratch free-executor scan — the heap's oracle.
+    pub fn rebuilt_free_execs(&self) -> Vec<u32> {
+        self.execs
+            .iter()
+            .filter(|e| e.free.cpus > 0)
+            .map(|e| e.id.0)
+            .collect()
+    }
+
+    /// Debug-build invariant (valid after a compaction): heap-compacted
+    /// free list == from-scratch scan.
+    pub fn check_free_consistency(&self) -> bool {
+        self.free_list == self.rebuilt_free_execs()
+    }
 }
 
 /// Per-stage runtime snapshot.
@@ -209,6 +415,9 @@ pub struct TaskView {
 #[derive(Clone, Debug, Default)]
 pub struct ScheduleShadow {
     free: Vec<Resources>,
+    /// Count of executors with free shadow cpus, maintained by `claim` so
+    /// [`Self::any_free`] is O(1) instead of a per-pick executor scan.
+    n_free: usize,
     claimed_count: Vec<u32>,
     claimed_bits: Vec<Vec<u64>>,
     touched: Vec<u32>,
@@ -218,6 +427,7 @@ impl ScheduleShadow {
     pub fn new(view: &SimView<'_>) -> Self {
         let mut s = Self {
             free: Vec::with_capacity(view.execs.len()),
+            n_free: view.free_execs.len(),
             claimed_count: vec![0; view.stages.len()],
             claimed_bits: vec![Vec::new(); view.stages.len()],
             touched: Vec::new(),
@@ -231,6 +441,7 @@ impl ScheduleShadow {
     pub fn reset(&mut self, view: &SimView<'_>) {
         self.free.clear();
         self.free.extend(view.execs.iter().map(|e| e.free));
+        self.n_free = view.free_execs.len();
         for &s in &self.touched {
             self.claimed_count[s as usize] = 0;
             for w in &mut self.claimed_bits[s as usize] {
@@ -244,7 +455,12 @@ impl ScheduleShadow {
     /// claimed.
     pub fn claim(&mut self, view: &SimView<'_>, s: StageId, k: u32, e: ExecId) {
         let demand = view.dag.stage(s).demand;
-        self.free[e.index()] = self.free[e.index()].minus(demand);
+        let fe = &mut self.free[e.index()];
+        let had_cpus = fe.cpus > 0;
+        *fe = fe.minus(demand);
+        if had_cpus && fe.cpus == 0 {
+            self.n_free -= 1;
+        }
         let si = s.index();
         if self.claimed_count[si] == 0 {
             self.touched.push(s.0);
@@ -280,19 +496,21 @@ impl ScheduleShadow {
     }
 
     pub fn any_free(&self) -> bool {
-        self.free.iter().any(|f| f.cpus > 0)
+        self.n_free > 0
     }
 }
 
 /// Run-lifetime memo for [`SimView::stage_slots`], keyed on the view's
-/// `exec_gen` generation stamp. SensitivityAware consults the stage slot
-/// capacity (inside `earliest_completion_ms`) for every candidate pick;
-/// within one generation the answer is constant per stage, so the walk
-/// over all executors only happens on the first query after a view change.
+/// *capacity* generation stamp (`cap_gen`). SensitivityAware consults the
+/// stage slot capacity (inside `earliest_completion_ms`) for every
+/// candidate pick; the answer depends only on executor capacities, which
+/// change only on `ExecDown`/`ExecUp`, so the walk over all executors
+/// happens once per stage per capacity change — consume/release traffic
+/// never invalidates it.
 /// Interior-mutable (`Cell`s) because `SimView` hands out shared borrows.
 #[derive(Debug, Default)]
 pub struct SlotMemo {
-    /// Per stage: `(exec_gen + 1, slots)`; 0 marks an empty entry.
+    /// Per stage: `(cap_gen + 1, slots)`; 0 marks an empty entry.
     entries: std::cell::RefCell<Vec<(u64, u32)>>,
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
@@ -356,9 +574,20 @@ pub struct SimView<'a> {
     /// [`narrow_input_table`]) — static data, recomputing it inside every
     /// `est_finish_ms` call was a measured hot-path cost.
     pub narrow_mb: &'a [f64],
-    /// Generation stamp of the [`ClusterView`] behind `execs`, keying the
-    /// [`SlotMemo`]: `stage_slots` is constant within one generation.
+    /// Generation stamp of the [`ClusterView`] behind `execs`: changes iff
+    /// any executor's effective view may have changed.
     pub exec_gen: u64,
+    /// Capacity-only generation stamp (bumps on `ExecDown`/`ExecUp`),
+    /// keying the [`SlotMemo`]: `stage_slots` is constant within one
+    /// capacity generation.
+    pub cap_gen: u64,
+    /// Schedulable stage ids, ascending — the [`ClusterView`]'s
+    /// incrementally maintained ready list.
+    pub ready: &'a [u32],
+    /// Ascending ids of executors with free cpus, compacted from the
+    /// [`ClusterView`]'s lazy free-executor heap at the top of this
+    /// scheduling round.
+    pub free_execs: &'a [u32],
     /// Run-lifetime `stage_slots` memo (see [`SlotMemo`]).
     pub slot_memo: &'a SlotMemo,
 }
@@ -380,29 +609,27 @@ pub fn narrow_input_table(dag: &JobDag) -> Vec<f64> {
 
 impl<'a> SimView<'a> {
     /// Stages that can launch tasks right now (ready with pending tasks).
+    /// Reads the incrementally maintained ready list — no stage-table scan.
     pub fn schedulable_stages(&self) -> Vec<StageId> {
-        self.stages
-            .iter()
-            .filter(|s| s.ready && !s.completed && !s.pending.is_empty())
-            .map(|s| s.id)
-            .collect()
+        self.ready.iter().map(|&s| StageId(s)).collect()
     }
 
     /// Schedulable stages that still have *unclaimed* pending tasks — the
-    /// ready set as of the current point in an assignment batch.
+    /// ready set as of the current point in an assignment batch. Filters
+    /// the ready list instead of scanning every stage.
     pub fn assignable_stages(&self, shadow: &ScheduleShadow) -> Vec<StageId> {
-        self.stages
+        self.ready
             .iter()
-            .filter(|s| {
-                s.ready && !s.completed && s.pending.len() as u32 > shadow.claimed_count(s.id)
+            .filter(|&&s| {
+                self.stages[s as usize].pending.len() as u32 > shadow.claimed_count(StageId(s))
             })
-            .map(|s| s.id)
+            .map(|&s| StageId(s))
             .collect()
     }
 
     /// Is any executor non-full?
     pub fn any_free_resource(&self) -> bool {
-        self.execs.iter().any(|e| e.free.cpus > 0)
+        !self.free_execs.is_empty()
     }
 
     pub fn stage(&self, s: StageId) -> &StageRuntime {
@@ -519,10 +746,10 @@ impl<'a> SimView<'a> {
     }
 
     /// Cluster-wide concurrent-task capacity for stage `s`'s demand.
-    /// Memoized per `(stage, exec_gen)`: the executor walk only runs on
-    /// the first query after a view change.
+    /// Memoized per `(stage, cap_gen)`: the executor walk only runs on
+    /// the first query after a *capacity* change (`ExecDown`/`ExecUp`).
     pub fn stage_slots(&self, s: StageId) -> u32 {
-        if let Some(slots) = self.slot_memo.lookup(s.index(), self.exec_gen) {
+        if let Some(slots) = self.slot_memo.lookup(s.index(), self.cap_gen) {
             return slots;
         }
         let demand = self.dag.stage(s).demand;
@@ -531,7 +758,7 @@ impl<'a> SimView<'a> {
             .iter()
             .map(|e| e.capacity.capacity_for(demand))
             .sum();
-        self.slot_memo.store(s.index(), self.exec_gen, slots);
+        self.slot_memo.store(s.index(), self.cap_gen, slots);
         slots
     }
 
@@ -565,6 +792,8 @@ mod tests {
         cost: CostModel,
         narrow_mb: Vec<f64>,
         slot_memo: SlotMemo,
+        ready: Vec<u32>,
+        free_execs: Vec<u32>,
     }
 
     /// 2 racks × 2 nodes × 1 exec; one 4-task narrow stage over an HDFS RDD.
@@ -617,6 +846,8 @@ mod tests {
             stages,
             tasks,
             cost: CostModel::default(),
+            ready: vec![0],
+            free_execs: vec![0, 1, 2, 3],
         }
     }
 
@@ -634,6 +865,9 @@ mod tests {
             metrics: &f.metrics,
             narrow_mb: &f.narrow_mb,
             exec_gen: 0,
+            cap_gen: 0,
+            ready: &f.ready,
+            free_execs: &f.free_execs,
             slot_memo: &f.slot_memo,
         }
     }
@@ -748,10 +982,15 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(f.slot_memo.misses(), 1, "one cold walk");
         assert_eq!(f.slot_memo.hits(), 1, "second query memoized");
-        // A new generation invalidates the entry.
+        // Consume/release traffic (exec_gen) does NOT invalidate; only a
+        // capacity generation does.
         let mut v2 = view(&f);
-        v2.exec_gen = 1;
+        v2.exec_gen = 7;
         assert_eq!(v2.stage_slots(StageId(0)), first);
+        assert_eq!(f.slot_memo.hits(), 2);
+        let mut v3 = view(&f);
+        v3.cap_gen = 1;
+        assert_eq!(v3.stage_slots(StageId(0)), first);
         assert_eq!(f.slot_memo.misses(), 2);
     }
 
@@ -760,6 +999,7 @@ mod tests {
         let mut f = fixture();
         assert_eq!(view(&f).schedulable_stages(), vec![StageId(0)]);
         f.stages[0].pending.clear();
+        f.ready.clear();
         assert!(view(&f).schedulable_stages().is_empty());
     }
 
@@ -773,5 +1013,123 @@ mod tests {
             shadow.claim(&v, StageId(0), k, ExecId(k));
         }
         assert!(v.assignable_stages(&shadow).is_empty());
+    }
+
+    #[test]
+    fn shadow_free_count_tracks_claims() {
+        let f = fixture();
+        let v = view(&f);
+        let mut shadow = ScheduleShadow::new(&v);
+        assert!(shadow.any_free());
+        // Each exec has 4 cpus; demand is 2 → two claims fill one exec.
+        for e in 0..4u32 {
+            for k in [0, 1] {
+                shadow.claim(&v, StageId(0), k, ExecId(e));
+            }
+        }
+        assert!(!shadow.any_free(), "all execs full but any_free says free");
+        shadow.reset(&v);
+        assert!(shadow.any_free());
+    }
+
+    #[test]
+    fn ready_list_tracks_schedulability_flips() {
+        let mut cv = ClusterView::new(2, dagon_dag::Resources::new(4, 8192));
+        cv.init_ready_list([true, false, true]);
+        assert_eq!(cv.ready_stages(), &[0, 2]);
+        assert_eq!(cv.ready_list_rebuilds(), 1);
+        cv.set_stage_schedulable(1, true);
+        assert_eq!(cv.ready_stages(), &[0, 1, 2]);
+        cv.set_stage_schedulable(1, true); // no-op re-set
+        assert_eq!(cv.ready_stages(), &[0, 1, 2]);
+        cv.set_stage_schedulable(0, false);
+        cv.set_stage_schedulable(2, false);
+        assert_eq!(cv.ready_stages(), &[1]);
+        assert_eq!(cv.ready_list_rebuilds(), 1, "flips must not rebuild");
+    }
+
+    #[test]
+    fn ready_list_matches_stage_table_oracle() {
+        let mk = |ready, completed, pending: u32| StageRuntime {
+            id: StageId(0),
+            ready,
+            completed,
+            pending: PendingSet::full(pending),
+            running: 0,
+            finished: 0,
+        };
+        let stages = vec![
+            mk(true, false, 3),  // schedulable
+            mk(false, false, 3), // not ready
+            mk(true, true, 0),   // completed
+            mk(true, false, 0),  // drained
+        ];
+        let mut cv = ClusterView::new(1, dagon_dag::Resources::new(4, 8192));
+        cv.init_ready_list(
+            stages
+                .iter()
+                .map(|s| s.ready && !s.completed && !s.pending.is_empty()),
+        );
+        assert!(cv.check_ready_consistency(&stages));
+        assert_eq!(ClusterView::rebuilt_ready_list(&stages), vec![0]);
+    }
+
+    #[test]
+    fn free_heap_tracks_busy_and_down_transitions() {
+        let cap = dagon_dag::Resources::new(2, 4096);
+        let demand = dagon_dag::Resources::new(2, 2048);
+        let mut cv = ClusterView::new(3, cap);
+        cv.compact_free_execs();
+        assert_eq!(cv.free_execs(), &[0, 1, 2]);
+        assert!(cv.check_free_consistency());
+        // Exec 1 consumed full → drops out.
+        cv.apply(ViewDelta::Consume {
+            exec: ExecId(1),
+            demand,
+        });
+        cv.compact_free_execs();
+        assert_eq!(cv.free_execs(), &[0, 2]);
+        assert!(cv.check_free_consistency());
+        // Exec 2 crashes while free → its heap entry goes stale.
+        cv.apply(ViewDelta::ExecDown { exec: ExecId(2) });
+        let stale_before = cv.ect_heap_stale();
+        cv.compact_free_execs();
+        assert_eq!(cv.free_execs(), &[0]);
+        assert!(
+            cv.ect_heap_stale() > stale_before,
+            "stale entry not skipped"
+        );
+        assert!(cv.check_free_consistency());
+        // Release + restart bring both back, ascending.
+        cv.apply(ViewDelta::Release {
+            exec: ExecId(1),
+            demand,
+        });
+        cv.apply(ViewDelta::ExecUp { exec: ExecId(2) });
+        cv.compact_free_execs();
+        assert_eq!(cv.free_execs(), &[0, 1, 2]);
+        assert!(cv.check_free_consistency());
+    }
+
+    #[test]
+    fn cap_gen_bumps_only_on_capacity_changes() {
+        let cap = dagon_dag::Resources::new(2, 4096);
+        let demand = dagon_dag::Resources::new(1, 1024);
+        let mut cv = ClusterView::new(2, cap);
+        assert_eq!(cv.cap_gen(), 0);
+        cv.apply(ViewDelta::Consume {
+            exec: ExecId(0),
+            demand,
+        });
+        cv.apply(ViewDelta::Release {
+            exec: ExecId(0),
+            demand,
+        });
+        assert_eq!(cv.cap_gen(), 0, "consume/release must not bump cap_gen");
+        cv.apply(ViewDelta::ExecDown { exec: ExecId(1) });
+        assert_eq!(cv.cap_gen(), 1);
+        cv.apply(ViewDelta::ExecUp { exec: ExecId(1) });
+        assert_eq!(cv.cap_gen(), 2);
+        assert_eq!(cv.exec_gen(), 4);
     }
 }

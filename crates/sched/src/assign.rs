@@ -78,7 +78,19 @@ pub struct OrderedScheduler {
     /// ~1 applied assignment (each launch's cache insertion moves the
     /// residency generation), and computing the other ~hundred picks per
     /// round was the dominant scheduling cost at paper scale.
+    ///
+    /// Adaptation is residency-generation-aware: a discard shrinks the cap
+    /// to just past the applied prefix, but it only grows again once a
+    /// fully-applied batch is followed by a round at an *unchanged*
+    /// residency generation — while cache inserts keep moving residency,
+    /// growing the cap just manufactures the next discard (the 1→2→discard
+    /// oscillation that dominated `assignments_discarded` at paper scale).
     cap: usize,
+    /// `(emitted, confirmed)` of the last settled batch, consumed by the
+    /// next `schedule` call's cap adaptation.
+    feedback: Option<(usize, usize)>,
+    /// Residency generation observed by the previous `schedule` call.
+    last_gen: Option<u64>,
     /// When on, one [`SchedDecision`] is buffered per emitted assignment
     /// for the simulator's trace sink to drain after the batch.
     tracing: bool,
@@ -95,6 +107,8 @@ impl OrderedScheduler {
             marks: Vec::new(),
             confirmed: 0,
             cap: usize::MAX,
+            feedback: None,
+            last_gen: None,
             tracing: false,
             notes: Vec::new(),
         }
@@ -103,9 +117,9 @@ impl OrderedScheduler {
     /// Settle the previous batch: keep placement mutations up to the last
     /// confirmed pick, undo everything after it (including any trailing
     /// failed pick-round — if nothing actually changed, the next round
-    /// replays it identically against the same state). Also adapt the
-    /// batch cap: a discarded tail shrinks it to just past the applied
-    /// prefix, a fully-applied batch doubles it back up.
+    /// replays it identically against the same state). Batch-survival
+    /// feedback is recorded for the next `schedule` call's cap adaptation
+    /// (which needs the view's residency generation, unavailable here).
     fn reconcile(&mut self) {
         let keep = if self.emitted.is_empty() {
             // No assignments were produced: the round's wait-clock
@@ -118,11 +132,7 @@ impl OrderedScheduler {
             self.marks[self.confirmed - 1]
         };
         if !self.emitted.is_empty() {
-            self.cap = if self.confirmed < self.emitted.len() {
-                self.confirmed + 1
-            } else {
-                self.cap.saturating_mul(2).max(2)
-            };
+            self.feedback = Some((self.emitted.len(), self.confirmed));
         }
         self.placement.reconcile_journal(keep);
         self.emitted.clear();
@@ -143,6 +153,23 @@ impl Scheduler for OrderedScheduler {
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
         self.reconcile();
         self.notes.clear();
+        // Residency-aware cap adaptation: shrink on a discarded tail, grow
+        // only when the last batch fully applied *and* block residency has
+        // not moved since — otherwise hold, because a moving residency
+        // generation means the very next batch's tail would be discarded
+        // again. Schedule-neutral either way (see the `cap` field docs).
+        let gen = view.index.generation();
+        if let Some((emitted, confirmed)) = self.feedback.take() {
+            if confirmed < emitted {
+                // The tail was computed against residency that moved under
+                // it: emit no more next round than actually survived (one
+                // assignment always survives the generation check).
+                self.cap = confirmed.max(1);
+            } else if self.last_gen == Some(gen) {
+                self.cap = self.cap.saturating_mul(2).max(2);
+            }
+        }
+        self.last_gen = Some(gen);
         if !view.any_free_resource() {
             return Vec::new();
         }

@@ -152,12 +152,18 @@ impl Placement for NativeDelay {
         let (allowed, valid) = self.allowed(stage, view, shadow);
         let demand = view.dag.stage(stage).demand;
         // Per-executor offers (rotating start), each taking its own best
-        // task within the allowed level.
+        // task within the allowed level. Only free executors are visited
+        // (stage demands always include a cpu, so the view's free list is a
+        // superset of every shadow-fitting executor); the circular
+        // from-`offer_start` order is preserved by splitting the ascending
+        // free list at the rotation point.
         let n = view.execs.len();
         self.journal.push(JournalEntry::Offer(self.offer_start));
         self.offer_start = (self.offer_start + 1) % n.max(1);
-        for off in 0..n {
-            let e = &view.execs[(self.offer_start + off) % n];
+        let fe = view.free_execs;
+        let p = fe.partition_point(|&e| (e as usize) < self.offer_start);
+        for &ei in fe[p..].iter().chain(fe[..p].iter()) {
+            let e = view.exec(ExecId(ei));
             if !shadow.fits(e.id, demand) {
                 continue;
             }
@@ -313,8 +319,11 @@ impl Placement for SensitivityAware {
         let best_est = self.est_finish_ms(stage, valid[0], view);
         let threshold = ect.max(self.insensitivity_factor * best_est);
         // Alg. 2 line 3-12: executors outer, locality levels (ascending)
-        // inner.
-        for e in view.execs {
+        // inner. Only free executors are visited: the ascending free list
+        // matches the full ascending walk after the fits filter (a stage
+        // demand always includes a cpu).
+        for &ei in view.free_execs {
+            let e = view.exec(ExecId(ei));
             if !shadow.fits(e.id, demand) {
                 continue;
             }

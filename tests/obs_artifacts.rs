@@ -170,9 +170,12 @@ const REGISTRY_KEYS: &[&str] = &[
     "run/total_cores",
     "sched/assignments_discarded",
     "sched/batches_discarded",
+    "sched/ect_heap_pops",
+    "sched/ect_heap_stale",
     "sched/index_invalidations",
     "sched/locality_queries",
     "sched/locality_recomputes",
+    "sched/ready_list_rebuilds",
     "sched/schedule_invocations",
     "sched/score_cache_hits",
     "sched/score_cache_invalidations",
@@ -207,6 +210,15 @@ fn metrics_registry_snapshot_on_paper_scale_run() {
         num("sched/slot_memo_hits") > 0.0,
         "slot memo never hit at paper scale"
     );
+    // The incremental ready list must never be rebuilt after startup.
+    assert_eq!(
+        num("sched/ready_list_rebuilds") as u64,
+        1,
+        "ready list rebuilt mid-run"
+    );
+    // The lazy free-executor heap must be live (pops) and actually skip
+    // stale entries under consume/release churn.
+    assert!(num("sched/ect_heap_pops") > 0.0);
     let hist = obj
         .get("run/task_duration_ms")
         .and_then(Value::as_obj)
