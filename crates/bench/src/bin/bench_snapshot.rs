@@ -1,12 +1,12 @@
 //! `bench_snapshot` — one-shot scheduler-overhead snapshot.
 //!
 //! Runs the same workloads as the `sim_throughput` Criterion bench and
-//! writes `BENCH_5.json` at the repo root: per-workload wall-clock
+//! writes `BENCH_6.json` at the repo root: per-workload wall-clock
 //! milliseconds, a per-scheduling-decision cost (`ns_per_decision`), and
 //! the scheduling fast-path counters (`schedule_invocations`,
-//! `view_deltas`, `score_cache_*`, …). Unlike Criterion this is cheap
-//! enough for CI and produces a single machine-readable file to diff
-//! across commits.
+//! `view_deltas`, `score_cache_*`, `inv_index_*`, …). Unlike Criterion
+//! this is cheap enough for CI and produces a single machine-readable
+//! file to diff across commits.
 //!
 //! Usage:
 //!
@@ -15,6 +15,10 @@
 //!   [--out <path>]       output path (same as the positional form)
 //!   [--filter <substr>]  only run rows whose name contains <substr>
 //!   [--scale]            add the 20/200/2000-executor CC scale sweep
+//!   [--repeat <N>]       take the median wall over N timed runs for every
+//!                        row (overrides the built-in per-row sample
+//!                        counts; single-run walls drifted 119–198 ms
+//!                        across PRs 4–5)
 //! ```
 
 use std::fmt::Write as _;
@@ -136,20 +140,32 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut filter: Option<String> = None;
     let mut scale_sweep = false;
+    let mut repeat: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
             "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
             "--scale" => scale_sweep = true,
+            "--repeat" => {
+                let n: usize = args
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat count must be a positive integer");
+                assert!(n > 0, "--repeat count must be a positive integer");
+                repeat = Some(n);
+            }
             other if !other.starts_with('-') && out_path.is_none() => {
                 out_path = Some(other.to_string());
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_5.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_6.json".into());
     let wanted = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+    // `--repeat N` pins every row to the median of N timed runs.
+    let samples_for = |default: usize| repeat.unwrap_or(default);
 
     let quick = ExpConfig::quick();
     let paper = ExpConfig::paper();
@@ -160,7 +176,7 @@ fn main() {
         for sys in [System::stock_spark(), System::dagon()] {
             let name = format!("run_{}_{}", w.abbrev(), sys);
             if wanted(&name) {
-                rows.push(measure(&name, &dag, &quick, &sys, 5));
+                rows.push(measure(&name, &dag, &quick, &sys, samples_for(5)));
             }
         }
     }
@@ -171,7 +187,7 @@ fn main() {
             &cc,
             &paper,
             &System::dagon(),
-            5,
+            samples_for(5),
         ));
     }
 
@@ -188,7 +204,7 @@ fn main() {
             &cc_quick,
             &faulty,
             &System::dagon(),
-            5,
+            samples_for(5),
         ));
     }
 
@@ -203,11 +219,11 @@ fn main() {
             // Big points get fewer samples: the 2000-executor run launches
             // ~1M tasks over minutes of wall time, so noise amortizes and
             // one timed run (after the warm-up) is enough.
-            let samples = match p.execs {
+            let samples = samples_for(match p.execs {
                 0..=199 => 5,
                 200..=1999 => 3,
                 _ => 1,
-            };
+            });
             rows.push(measure(&name, &dag, &cfg, &System::dagon(), samples));
         }
     }
@@ -229,6 +245,8 @@ fn main() {
              \"score_cache_hits\": {}, \"score_cache_misses\": {}, \
              \"score_cache_invalidations\": {}, \
              \"slot_memo_hits\": {}, \"slot_memo_misses\": {}, \
+             \"inv_index_hits\": {}, \"inv_index_updates\": {}, \
+             \"inv_index_rebuilds\": {}, \
              \"exec_crashes\": {}, \"tasks_recomputed\": {}, \
              \"stage_resubmissions\": {}, \"task_failures\": {}}}",
             r.name,
@@ -253,6 +271,9 @@ fn main() {
             s.score_cache_invalidations,
             s.slot_memo_hits,
             s.slot_memo_misses,
+            s.inv_index_hits,
+            s.inv_index_updates,
+            s.inv_index_rebuilds,
             r.faults.exec_crashes,
             r.faults.tasks_recomputed,
             r.faults.stage_resubmissions,

@@ -23,7 +23,21 @@
 //! * a **per-stage valid-levels memo** keyed on (global generation,
 //!   pending-set version, claimed count), so Spark's
 //!   `computeValidLocalityLevels` runs once per stage per scheduling round
-//!   instead of once per placement probe.
+//!   instead of once per placement probe;
+//! * an **inverted pending-work index**: for every (stage, sub-ANY
+//!   locality level, executor), the number of *pending* tasks that would
+//!   run at exactly that level there, plus a strict variant counting only
+//!   tasks whose best-anywhere level *is* that level. Maintained eagerly —
+//!   the simulator mirrors every pending-set pop/insert via
+//!   [`on_pending_removed`](LocalityIndex::on_pending_removed) /
+//!   [`on_pending_inserted`](LocalityIndex::on_pending_inserted), and the
+//!   residency mutators diff the affected readers' levels across the one
+//!   rack a single-block flip can re-level. Placement consults the counts
+//!   ([`pending_level_count`](LocalityIndex::pending_level_count),
+//!   [`pending_strict_count`](LocalityIndex::pending_strict_count)) to
+//!   skip probing executors with provably no work at a level; the counts
+//!   are claims-blind, which keeps the gate *conservative and exact* —
+//!   see `DESIGN.md` §14 for the order-preservation argument.
 //!
 //! The index owns the [`DataMap`] and mirrors every mutation
 //! ([`add_disk`](LocalityIndex::add_disk),
@@ -66,7 +80,18 @@ pub struct IndexStats {
     pub score_cache_misses: u64,
     /// Memo entries discarded by generation/pending-version changes.
     pub score_cache_invalidations: u64,
+    /// Inverted-index gates that answered "no work here" (probe skipped).
+    pub inv_index_hits: u64,
+    /// Incremental inverted-index maintenance operations (pending-set
+    /// mirror events plus per-reader residency diffs).
+    pub inv_index_updates: u64,
+    /// From-scratch inverted-index builds. Must stay 1 (the initial build
+    /// in [`LocalityIndex::new`]), like `ready_list_rebuilds`.
+    pub inv_index_rebuilds: u64,
 }
+
+/// `Locality::Any` as the packed `u8` the index stores levels in.
+const L_ANY: u8 = Locality::Any as u8;
 
 /// Memoized per-task locality: the locality level on every executor plus
 /// the best level anywhere, stamped with the generation sum of the task's
@@ -84,36 +109,87 @@ struct TaskMemo {
     levels: Box<[u8]>,
 }
 
-/// Per-stage valid-level contribution counts, keyed on residency
-/// generation and pending-set version only. `cnt[l]` is the number of
-/// pending tasks whose contribution mask includes level `l`; a query
-/// subtracts the claimed tasks' masks instead of rebuilding, so claims
-/// made inside an assignment batch no longer invalidate anything.
-#[derive(Clone, Copy, Debug)]
-struct ContribMemo {
-    global_gen: u64,
-    pending_version: u64,
+/// Per-stage valid-level contribution counts, maintained incrementally.
+/// `cnt[l]` is the number of pending tasks whose contribution mask
+/// includes level `l`; a query subtracts the claimed tasks' masks on the
+/// spot, so claims made inside an assignment batch never invalidate
+/// anything. Folding is lazy: the first query walks pending once
+/// (`init`), and from then on launch pops subtract the folded mask,
+/// re-inserts add a fresh one, and residency flips enqueue exactly the
+/// re-leveled pending readers (`dirty`, fed by the same `inv_commit`
+/// diff that maintains the inverted counts) to be re-diffed at the next
+/// query — a query costs O(changed since the last one), not O(pending).
+#[derive(Clone, Debug, Default)]
+struct ContribState {
+    init: bool,
     cnt: [u32; 4],
+    /// Per-task contribution mask currently folded into `cnt`; authoritative
+    /// while the task is pending (popped tasks keep their last mask so the
+    /// pop can subtract exactly what was folded).
+    applied: Vec<u8>,
+    /// Pending tasks re-leveled since the last fold, deduplicated via
+    /// `dirty_bit`.
+    dirty: Vec<u32>,
+    dirty_bit: Vec<bool>,
 }
 
-/// Resumable placement scan over one stage's pending set from one
-/// executor's perspective. Filling is lazy: tasks are examined in
-/// ascending pending order and sorted into per-level candidate lists
-/// (with their best-anywhere level, for the strict variant's filter)
-/// only as far as queries need; `cursor` is the next unexamined pending
-/// task. Claims are skipped at query time, so one scan pass is shared by
-/// every pick of an assignment batch — the sequential semantics
-/// ("first unclaimed pending task at exactly this level") are preserved
-/// because levels are a pure function of the residency generation and
-/// claimed tasks stay in the pending set until the batch is applied.
+/// Add/remove one contribution mask to/from per-level counts.
+#[inline]
+fn contrib_add(cnt: &mut [u32; 4], mut mask: u8) {
+    while mask != 0 {
+        cnt[mask.trailing_zeros() as usize] += 1;
+        mask &= mask - 1;
+    }
+}
+
+#[inline]
+fn contrib_sub(cnt: &mut [u32; 4], mut mask: u8) {
+    while mask != 0 {
+        cnt[mask.trailing_zeros() as usize] -= 1;
+        mask &= mask - 1;
+    }
+}
+
+/// Resumable placement scan over one stage's pending set, shared by
+/// every executor. Filling is lazy: one frontier examines tasks in
+/// ascending pending order only as far as any probe needs, and each
+/// examination fans the task's level on *every* executor (which
+/// `ensure_task` computes in one pass anyway) out to per-(executor,
+/// level) candidate bitsets. A probe for (executor, level) is then a
+/// word-wise `candidates & pending & !claimed` scan — the first set bit
+/// is exactly the task the sequential first-match walk would return, so
+/// one examination pass is shared by every executor and every pick of an
+/// assignment batch, and each task is examined at most once per *stage*
+/// (not per stage × executor) for the stage's whole lifetime.
+///
+/// The scan is **persistent**: it survives launch pops (popped tasks'
+/// bits are masked by the pending bitmap, and the frontier resumes
+/// through `PendingSet::next_after`) and residency flips (`inv_commit`
+/// moves exactly the re-leveled pending readers' bits between the level
+/// rows of exactly the affected executors — the same single-rack diff
+/// that maintains the inverted counts). Only a pending *insertion*
+/// (failure recovery) resets it, via the [`PendingSet::inserts`] key.
+/// The strict variant's best-anywhere filter reads the live `inv_best`
+/// instead of a value captured at examination time, so it never
+/// staleness-drifts. Invariant (debug-asserted on every bit-served
+/// return): a pending examined task's bit sits in the row of its
+/// *current* level on that executor.
 #[derive(Clone, Debug, Default)]
-struct ScanMemo {
-    /// `(global_gen, pending_version)` the scan was filled under;
-    /// `None` = never filled (distinct from a valid scan at gen 0).
-    key: Option<(u64, u64)>,
-    lists: [Vec<(u32, u8)>; 4],
-    /// Next pending task to examine; `None` = fully scanned.
+struct StageScan {
+    /// [`PendingSet::inserts`] the scan was filled under; `None` = never
+    /// filled (distinct from a valid scan at insert count 0).
+    key: Option<u64>,
+    /// Next pending task the frontier will examine; `None` = fully
+    /// scanned. May name a since-popped task: `next_after` chains stay
+    /// valid across pops.
     cursor: Option<u32>,
+    /// Tasks the frontier has examined, as a packed bitmap.
+    examined: Vec<u64>,
+    /// `bits[(e × 4 + level) × words + w]`: examined tasks whose current
+    /// level on executor `e` is exactly `level`.
+    bits: Vec<u64>,
+    /// Words per task bitmap (`ceil(tasks / 64)`).
+    words: usize,
 }
 
 pub struct LocalityIndex {
@@ -144,9 +220,9 @@ pub struct LocalityIndex {
     /// `task_blocks[stage][task]` = flat ids of the task's locality blocks.
     task_blocks: Vec<Vec<Vec<u32>>>,
     memo: RefCell<Vec<Vec<TaskMemo>>>,
-    contrib_memo: RefCell<Vec<Option<ContribMemo>>>,
-    /// `scan_memo[stage][exec]`.
-    scan_memo: RefCell<Vec<Vec<ScanMemo>>>,
+    contrib_memo: RefCell<Vec<ContribState>>,
+    /// One shared placement scan per stage (see [`StageScan`]).
+    scan_memo: RefCell<Vec<StageScan>>,
     queries: Cell<u64>,
     recomputes: Cell<u64>,
     invalidations: Cell<u64>,
@@ -154,6 +230,41 @@ pub struct LocalityIndex {
     score_hits: Cell<u64>,
     score_misses: Cell<u64>,
     score_invalidations: Cell<u64>,
+    // ---- Inverted pending-work index (see module docs) ----
+    /// `inv_cnt[stage][level × num_execs + exec]` for the three sub-ANY
+    /// levels: pending tasks at exactly `level` on `exec`. The ANY count
+    /// is derived (`pending_len − Σ sub-ANY counts at the executor`).
+    inv_cnt: Vec<Vec<u32>>,
+    /// Same layout, restricted to tasks whose best-anywhere level equals
+    /// the level — the strict probe's candidate set. The strict ANY count
+    /// is [`Self::inv_best_any`] (best-ANY tasks sit at ANY everywhere).
+    inv_scnt: Vec<Vec<u32>>,
+    /// Mirror of each stage's authoritative `PendingSet` membership.
+    inv_pending: Vec<Vec<bool>>,
+    inv_pending_len: Vec<u32>,
+    /// Pending tasks per stage whose best level is ANY.
+    inv_best_any: Vec<u32>,
+    /// Per-task best-anywhere level, valid while the task is pending.
+    inv_best: Vec<Vec<u8>>,
+    /// `inv_rack_best[stage][task × num_racks + rack]`: the task's best
+    /// level within the rack, valid while pending. Bounds the incremental
+    /// walks: an executor can sit below ANY only in a rack whose entry is
+    /// below ANY.
+    inv_rack_best: Vec<Vec<u8>>,
+    /// `readers[flat_block]` = the `(stage, task)` pairs reading the block
+    /// (deduplicated) — the reverse of `task_blocks`, i.e. exactly the
+    /// tasks a residency flip on the block can re-level.
+    readers: Vec<Vec<(u32, u32)>>,
+    inv_hits: Cell<u64>,
+    inv_updates: Cell<u64>,
+    inv_rebuilds: Cell<u64>,
+    // Reusable scratch for the mutation diffs (hot path: one
+    // capture/commit pair per residency flip; no per-flip allocation).
+    inv_readers_scratch: Vec<(u32, u32)>,
+    inv_levels_scratch: Vec<u8>,
+    inv_news_scratch: Vec<u8>,
+    inv_tmp_scratch: Vec<u8>,
+    inv_pairs_scratch: Vec<(u32, u8)>,
 }
 
 /// Any bit set in the contiguous bit range `[a, b)` of `row`?
@@ -175,6 +286,31 @@ fn range_any(row: &[u64], a: u32, b: u32) -> bool {
         return true;
     }
     bb > 0 && row[bw] & ((1u64 << bb) - 1) != 0
+}
+
+/// Move examined task `k`'s candidate bit on executor `e` from level row
+/// `o` to row `n`. Unexamined tasks carry no bits (nothing to move).
+/// Callers only patch *pending* readers, whose bits a live memo keeps
+/// current through exactly these patches; on a stale memo (the task was
+/// examined, popped, and re-inserted since the last scan) the old-row
+/// bit may be elsewhere — skip, the next scan resets everything through
+/// the inserts key. Live-memo drift is policed by `scan_first`'s debug
+/// asserts instead.
+fn patch_scan_bits(sm: &mut StageScan, e: usize, k: u32, o: u8, n: u8) {
+    if sm.key.is_none() {
+        return;
+    }
+    let (w, b) = ((k / 64) as usize, 1u64 << (k % 64));
+    if sm.examined[w] & b == 0 {
+        return;
+    }
+    let ob = (e * 4 + o as usize) * sm.words + w;
+    let nb = (e * 4 + n as usize) * sm.words + w;
+    if sm.bits[ob] & b == 0 {
+        return;
+    }
+    sm.bits[ob] &= !b;
+    sm.bits[nb] |= b;
 }
 
 #[inline]
@@ -258,6 +394,23 @@ impl LocalityIndex {
             .map(|per_task| vec![TaskMemo::default(); per_task.len()])
             .collect();
 
+        let mut readers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_blocks as usize];
+        for (s, per_task) in task_blocks.iter().enumerate() {
+            for (k, blocks) in per_task.iter().enumerate() {
+                for &bi in blocks {
+                    let ent = (s as u32, k as u32);
+                    let v = &mut readers[bi as usize];
+                    // Dedup (a task listing one block twice must diff once).
+                    if !v.contains(&ent) {
+                        v.push(ent);
+                    }
+                }
+            }
+        }
+
+        let n_stages = task_views.len();
+        let nr = rack_exec_range.len();
+        let ne = num_execs as usize;
         let mut idx = Self {
             rdd_base,
             exec_words,
@@ -274,11 +427,8 @@ impl LocalityIndex {
             rack_exec_range,
             task_blocks,
             memo: RefCell::new(memo),
-            contrib_memo: RefCell::new(vec![None; task_views.len()]),
-            scan_memo: RefCell::new(vec![
-                vec![ScanMemo::default(); num_execs as usize];
-                task_views.len()
-            ]),
+            contrib_memo: RefCell::new(vec![ContribState::default(); task_views.len()]),
+            scan_memo: RefCell::new(vec![StageScan::default(); task_views.len()]),
             queries: Cell::new(0),
             recomputes: Cell::new(0),
             invalidations: Cell::new(0),
@@ -286,6 +436,25 @@ impl LocalityIndex {
             score_hits: Cell::new(0),
             score_misses: Cell::new(0),
             score_invalidations: Cell::new(0),
+            inv_cnt: vec![vec![0; 3 * ne]; n_stages],
+            inv_scnt: vec![vec![0; 3 * ne]; n_stages],
+            inv_pending: task_views.iter().map(|pt| vec![false; pt.len()]).collect(),
+            inv_pending_len: vec![0; n_stages],
+            inv_best_any: vec![0; n_stages],
+            inv_best: task_views.iter().map(|pt| vec![L_ANY; pt.len()]).collect(),
+            inv_rack_best: task_views
+                .iter()
+                .map(|pt| vec![L_ANY; pt.len() * nr])
+                .collect(),
+            readers,
+            inv_hits: Cell::new(0),
+            inv_updates: Cell::new(0),
+            inv_rebuilds: Cell::new(0),
+            inv_readers_scratch: Vec::new(),
+            inv_levels_scratch: Vec::new(),
+            inv_news_scratch: Vec::new(),
+            inv_tmp_scratch: Vec::new(),
+            inv_pairs_scratch: Vec::new(),
             data: DataMap::default(),
         };
         // Ingest the initial placement (no generation bumps needed: the
@@ -302,6 +471,7 @@ impl LocalityIndex {
             }
         }
         idx.data = data;
+        idx.inv_rebuild();
         idx
     }
 
@@ -344,8 +514,11 @@ impl LocalityIndex {
     pub fn add_disk(&mut self, b: BlockId, node: NodeId) {
         let bi = self.flat_id(b) as usize;
         if !get_bit(self.disk_row(bi), node.0) {
+            let rack = self.node_rack[node.index()] as usize;
+            self.inv_capture(bi, rack);
             set_bit(self.disk_row_mut(bi), node.0);
             self.bump(bi);
+            self.inv_commit(bi, rack);
         }
         self.data.add_disk(b, node);
     }
@@ -354,8 +527,11 @@ impl LocalityIndex {
     pub fn add_cached(&mut self, b: BlockId, exec: ExecId) {
         let bi = self.flat_id(b) as usize;
         if !get_bit(self.cached_row(bi), exec.0) {
+            let rack = self.node_rack[self.exec_node[exec.index()] as usize] as usize;
+            self.inv_capture(bi, rack);
             set_bit(self.cached_row_mut(bi), exec.0);
             self.bump(bi);
+            self.inv_commit(bi, rack);
         }
         self.data.add_cached(b, exec);
     }
@@ -364,8 +540,11 @@ impl LocalityIndex {
     pub fn remove_cached(&mut self, b: BlockId, exec: ExecId) {
         let bi = self.flat_id(b) as usize;
         if get_bit(self.cached_row(bi), exec.0) {
+            let rack = self.node_rack[self.exec_node[exec.index()] as usize] as usize;
+            self.inv_capture(bi, rack);
             clear_bit(self.cached_row_mut(bi), exec.0);
             self.bump(bi);
+            self.inv_commit(bi, rack);
         }
         self.data.remove_cached(b, exec);
     }
@@ -376,10 +555,525 @@ impl LocalityIndex {
     pub fn remove_disk(&mut self, b: BlockId, node: NodeId) {
         let bi = self.flat_id(b) as usize;
         if get_bit(self.disk_row(bi), node.0) {
+            let rack = self.node_rack[node.index()] as usize;
+            self.inv_capture(bi, rack);
             clear_bit(self.disk_row_mut(bi), node.0);
             self.bump(bi);
+            self.inv_commit(bi, rack);
         }
         self.data.remove_disk(b, node);
+    }
+
+    // ------------------------------------------------------------------
+    // Inverted pending-work index
+    // ------------------------------------------------------------------
+
+    /// Does block `bi` have any replica (cached or disk) in rack `r`?
+    #[inline]
+    fn rack_has_replica(&self, bi: usize, r: usize) -> bool {
+        let (ra, rb) = self.rack_exec_range[r];
+        let (na, nb) = self.rack_node_range[r];
+        range_any(self.cached_row(bi), ra, rb) || range_any(self.disk_row(bi), na, nb)
+    }
+
+    /// Task `(s, k)`'s locality level on executor `e`, computed fresh from
+    /// the residency bitsets (max over locality blocks; ANY for a task
+    /// with no locality blocks). The oracle-side twin of the batched
+    /// [`Self::task_levels_in_rack`] and of `ensure_task`'s inner loop.
+    fn task_level_raw(&self, s: usize, k: usize, e: u32) -> u8 {
+        let blocks = &self.task_blocks[s][k];
+        if blocks.is_empty() {
+            return L_ANY;
+        }
+        let mut worst = Locality::Process.index() as u8;
+        for &bi in blocks {
+            worst = worst.max(self.block_level(bi as usize, e));
+            if worst == L_ANY {
+                break;
+            }
+        }
+        worst
+    }
+
+    /// Fill `out` with task `(s, k)`'s levels across rack `rack`'s
+    /// executors (one entry per executor in the rack's contiguous id
+    /// range). Equivalent to [`Self::task_level_raw`] per executor, but
+    /// each block is resolved once per *node* (disk bit + node cache
+    /// range) instead of once per executor — the incremental-maintenance
+    /// hot loop at large rack widths.
+    fn task_levels_in_rack(&self, s: usize, k: usize, rack: usize, out: &mut Vec<u8>) {
+        out.clear();
+        let (ra, rb) = self.rack_exec_range[rack];
+        let blocks = &self.task_blocks[s][k];
+        if blocks.is_empty() {
+            out.resize((rb - ra) as usize, L_ANY);
+            return;
+        }
+        out.resize((rb - ra) as usize, Locality::Process.index() as u8);
+        let (na, nb) = self.rack_node_range[rack];
+        for &bi in blocks {
+            let bi = bi as usize;
+            let cw = self.cached_row(bi);
+            let dw = self.disk_row(bi);
+            if !(range_any(dw, na, nb) || range_any(cw, ra, rb)) {
+                // No replica in this rack: ANY for every executor, and the
+                // max over blocks is saturated.
+                for v in out.iter_mut() {
+                    *v = L_ANY;
+                }
+                return;
+            }
+            let rack_floor = Locality::Rack.index() as u8;
+            for n in na..nb {
+                let (ea, eb) = self.node_exec_range[n as usize];
+                let node_floor = if get_bit(dw, n) || range_any(cw, ea, eb) {
+                    Locality::Node.index() as u8
+                } else {
+                    rack_floor
+                };
+                for e in ea..eb {
+                    let l = if get_bit(cw, e) {
+                        Locality::Process.index() as u8
+                    } else {
+                        node_floor
+                    };
+                    let v = &mut out[(e - ra) as usize];
+                    *v = (*v).max(l);
+                }
+            }
+        }
+    }
+
+    /// Fold task `(s, k)` into the inverted index as pending: compute its
+    /// levels over the candidate racks (racks holding a replica of its
+    /// first block — a superset of every rack where its level is below
+    /// ANY, since a sub-ANY level needs *all* blocks rack-resident),
+    /// update `cnt`/`scnt`/`best`/`rack_best` and the scalars.
+    fn inv_insert_task(&mut self, s: usize, k: usize) {
+        debug_assert!(!self.inv_pending[s][k]);
+        let nr = self.rack_exec_range.len();
+        let ne = self.num_execs as usize;
+        let empty = self.task_blocks[s][k].is_empty();
+        let fb = self.task_blocks[s][k].first().copied().unwrap_or(0) as usize;
+        let mut news = std::mem::take(&mut self.inv_news_scratch);
+        let mut pairs = std::mem::take(&mut self.inv_pairs_scratch);
+        pairs.clear();
+        let mut best = L_ANY;
+        for r in 0..nr {
+            let mut rmin = L_ANY;
+            if !empty && self.rack_has_replica(fb, r) {
+                self.task_levels_in_rack(s, k, r, &mut news);
+                let (ra, _) = self.rack_exec_range[r];
+                for (j, &l) in news.iter().enumerate() {
+                    if l < L_ANY {
+                        pairs.push((ra + j as u32, l));
+                        rmin = rmin.min(l);
+                    }
+                }
+            }
+            self.inv_rack_best[s][k * nr + r] = rmin;
+            best = best.min(rmin);
+        }
+        self.inv_pending[s][k] = true;
+        self.inv_pending_len[s] += 1;
+        self.inv_best[s][k] = best;
+        if best == L_ANY {
+            self.inv_best_any[s] += 1;
+        }
+        for &(e, l) in &pairs {
+            self.inv_cnt[s][l as usize * ne + e as usize] += 1;
+            if l == best {
+                self.inv_scnt[s][l as usize * ne + e as usize] += 1;
+            }
+        }
+        self.inv_news_scratch = news;
+        self.inv_pairs_scratch = pairs;
+    }
+
+    /// Remove task `(s, k)`'s contributions (it left the pending set).
+    /// `rack_best` bounds the walk to racks where the task actually
+    /// contributed sub-ANY counts.
+    fn inv_remove_task(&mut self, s: usize, k: usize) {
+        debug_assert!(self.inv_pending[s][k]);
+        self.inv_pending[s][k] = false;
+        self.inv_pending_len[s] -= 1;
+        let best = self.inv_best[s][k];
+        if best == L_ANY {
+            // Best ANY ⟹ ANY everywhere ⟹ no per-executor contributions.
+            self.inv_best_any[s] -= 1;
+            return;
+        }
+        let nr = self.rack_exec_range.len();
+        let ne = self.num_execs as usize;
+        let mut news = std::mem::take(&mut self.inv_news_scratch);
+        for r in 0..nr {
+            if self.inv_rack_best[s][k * nr + r] == L_ANY {
+                continue;
+            }
+            self.task_levels_in_rack(s, k, r, &mut news);
+            let (ra, _) = self.rack_exec_range[r];
+            for (j, &l) in news.iter().enumerate() {
+                if l < L_ANY {
+                    let e = ra as usize + j;
+                    self.inv_cnt[s][l as usize * ne + e] -= 1;
+                    if l == best {
+                        self.inv_scnt[s][l as usize * ne + e] -= 1;
+                    }
+                }
+            }
+        }
+        self.inv_news_scratch = news;
+    }
+
+    /// Pre-flip snapshot for the residency diff: block `bi`'s *pending*
+    /// readers and their current levels across rack `rack`'s executors —
+    /// the only executors a single-block, single-rack residency flip can
+    /// re-level (every level test in `block_level` resolves within the
+    /// executor's own rack).
+    fn inv_capture(&mut self, bi: usize, rack: usize) {
+        let mut readers = std::mem::take(&mut self.inv_readers_scratch);
+        let mut olds = std::mem::take(&mut self.inv_levels_scratch);
+        let mut news = std::mem::take(&mut self.inv_news_scratch);
+        readers.clear();
+        olds.clear();
+        for i in 0..self.readers[bi].len() {
+            let (s, k) = self.readers[bi][i];
+            if !self.inv_pending[s as usize][k as usize] {
+                continue;
+            }
+            readers.push((s, k));
+            self.task_levels_in_rack(s as usize, k as usize, rack, &mut news);
+            olds.extend_from_slice(&news);
+        }
+        self.inv_readers_scratch = readers;
+        self.inv_levels_scratch = olds;
+        self.inv_news_scratch = news;
+    }
+
+    /// Post-flip diff: recompute each captured reader's levels across the
+    /// flipped rack, adjust `cnt` where levels moved, then repair
+    /// `rack_best`/`best` and the strict counts. When a reader's best
+    /// level changes, its whole strict contribution set moves from the old
+    /// best to the new one — racks outside the flipped one kept their
+    /// levels, so their entries are recomputed on the spot.
+    fn inv_commit(&mut self, _bi: usize, rack: usize) {
+        let readers = std::mem::take(&mut self.inv_readers_scratch);
+        let olds = std::mem::take(&mut self.inv_levels_scratch);
+        let mut news = std::mem::take(&mut self.inv_news_scratch);
+        let mut tmp = std::mem::take(&mut self.inv_tmp_scratch);
+        let (ra, rb) = self.rack_exec_range[rack];
+        let w = (rb - ra) as usize;
+        let ne = self.num_execs as usize;
+        let nr = self.rack_exec_range.len();
+        let mut sms = self.scan_memo.borrow_mut();
+        let mut cms = self.contrib_memo.borrow_mut();
+        for (ri, &(s32, k32)) in readers.iter().enumerate() {
+            let (s, k) = (s32 as usize, k32 as usize);
+            let old = &olds[ri * w..][..w];
+            self.task_levels_in_rack(s, k, rack, &mut news);
+            let mut rmin = L_ANY;
+            let mut changed = false;
+            for j in 0..w {
+                let (o, n) = (old[j], news[j]);
+                rmin = rmin.min(n);
+                if o != n {
+                    changed = true;
+                    let e = ra as usize + j;
+                    if o < L_ANY {
+                        self.inv_cnt[s][o as usize * ne + e] -= 1;
+                    }
+                    if n < L_ANY {
+                        self.inv_cnt[s][n as usize * ne + e] += 1;
+                    }
+                    // Keep the persistent placement scan truthful: if
+                    // this reader was already examined (its bit sits in
+                    // the row of its pre-flip level on `e`), move it to
+                    // the new level's row. Unexamined or stale-memo
+                    // readers are a no-op.
+                    patch_scan_bits(&mut sms[s], e, k32, o, n);
+                }
+            }
+            if !changed {
+                // Levels identical ⟹ rack_best/best/scnt all unchanged.
+                continue;
+            }
+            self.inv_updates.set(self.inv_updates.get() + 1);
+            // The reader's valid-level contribution mask may have moved
+            // with its levels: queue it for the next fold (dedup'd).
+            {
+                let cm = &mut cms[s];
+                if cm.init && !cm.dirty_bit[k] {
+                    cm.dirty_bit[k] = true;
+                    cm.dirty.push(k32);
+                }
+            }
+            let old_best = self.inv_best[s][k];
+            let old_rack_best = self.inv_rack_best[s][k * nr + rack];
+            self.inv_rack_best[s][k * nr + rack] = rmin;
+            let mut new_best = L_ANY;
+            for r in 0..nr {
+                new_best = new_best.min(self.inv_rack_best[s][k * nr + r]);
+            }
+            if new_best == old_best {
+                // Strict membership can only have moved inside this rack.
+                if old_best < L_ANY {
+                    let bl = old_best;
+                    for j in 0..w {
+                        let (o, n) = (old[j], news[j]);
+                        if (o == bl) == (n == bl) {
+                            continue;
+                        }
+                        let slot = bl as usize * ne + ra as usize + j;
+                        if o == bl {
+                            self.inv_scnt[s][slot] -= 1;
+                        } else {
+                            self.inv_scnt[s][slot] += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+            self.inv_best[s][k] = new_best;
+            if old_best == L_ANY {
+                self.inv_best_any[s] -= 1;
+            }
+            if new_best == L_ANY {
+                self.inv_best_any[s] += 1;
+            }
+            // Retract the old strict contribution set (executors whose
+            // pre-flip level was the old best)…
+            if old_best < L_ANY {
+                for r in 0..nr {
+                    let prev = if r == rack {
+                        old_rack_best
+                    } else {
+                        self.inv_rack_best[s][k * nr + r]
+                    };
+                    if prev > old_best {
+                        continue;
+                    }
+                    let (qa, _) = self.rack_exec_range[r];
+                    let lv: &[u8] = if r == rack {
+                        old
+                    } else {
+                        self.task_levels_in_rack(s, k, r, &mut tmp);
+                        &tmp
+                    };
+                    for (j, &l) in lv.iter().enumerate() {
+                        if l == old_best {
+                            self.inv_scnt[s][old_best as usize * ne + qa as usize + j] -= 1;
+                        }
+                    }
+                }
+            }
+            // …and install the new one (post-flip level == new best).
+            if new_best < L_ANY {
+                for r in 0..nr {
+                    if self.inv_rack_best[s][k * nr + r] > new_best {
+                        continue;
+                    }
+                    let (qa, _) = self.rack_exec_range[r];
+                    let lv: &[u8] = if r == rack {
+                        &news
+                    } else {
+                        self.task_levels_in_rack(s, k, r, &mut tmp);
+                        &tmp
+                    };
+                    for (j, &l) in lv.iter().enumerate() {
+                        if l == new_best {
+                            self.inv_scnt[s][new_best as usize * ne + qa as usize + j] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.inv_readers_scratch = readers;
+        self.inv_levels_scratch = olds;
+        self.inv_news_scratch = news;
+        self.inv_tmp_scratch = tmp;
+    }
+
+    /// From-scratch build with every task pending — the simulator's
+    /// initial state (each `StageRuntime` starts with `PendingSet::full`,
+    /// the contract `sim.rs` documents). Runs exactly once, from [`new`].
+    ///
+    /// [`new`]: LocalityIndex::new
+    fn inv_rebuild(&mut self) {
+        self.inv_rebuilds.set(self.inv_rebuilds.get() + 1);
+        for s in 0..self.task_blocks.len() {
+            debug_assert_eq!(self.inv_pending_len[s], 0, "rebuild over a live index");
+            for k in 0..self.task_blocks[s].len() {
+                self.inv_insert_task(s, k);
+            }
+        }
+    }
+
+    /// The simulator popped task `k` of stage `s` from its pending set
+    /// (non-speculative launch). Mirrors the membership change; the
+    /// folded contribution counts subtract exactly the mask that was
+    /// folded for the task (stale-if-dirty, which is precisely what
+    /// `cnt` contains — the dirty re-fold skips popped tasks).
+    pub fn on_pending_removed(&mut self, s: usize, k: u32) {
+        self.inv_updates.set(self.inv_updates.get() + 1);
+        self.inv_remove_task(s, k as usize);
+        let cm = &mut self.contrib_memo.get_mut()[s];
+        if cm.init {
+            contrib_sub(&mut cm.cnt, cm.applied[k as usize]);
+        }
+    }
+
+    /// The simulator re-inserted task `k` of stage `s` into its pending
+    /// set (failure recovery / stage resubmission).
+    pub fn on_pending_inserted(&mut self, s: usize, k: u32) {
+        self.inv_updates.set(self.inv_updates.get() + 1);
+        self.inv_insert_task(s, k as usize);
+        if self.contrib_memo.get_mut()[s].init {
+            let mut memo = self.memo.borrow_mut();
+            let c = self.ensure_task(&mut memo, s, k as usize).contrib;
+            drop(memo);
+            let cm = &mut self.contrib_memo.get_mut()[s];
+            cm.applied[k as usize] = c;
+            contrib_add(&mut cm.cnt, c);
+        }
+    }
+
+    /// Drop stage `s`'s persistent scan (capacity included). Called by
+    /// the simulator when the stage completes: the candidate bitsets
+    /// otherwise hold `executors × 4 levels × tasks` bits for the stage's
+    /// lifetime, which at 2000 executors × 16k tasks is real memory. A
+    /// later lineage resubmission rebuilds them through the inserts-key
+    /// reset.
+    pub fn release_stage(&mut self, s: usize) {
+        self.scan_memo.borrow_mut()[s] = StageScan::default();
+        // Contribution counts drain to zero with pending; free the
+        // per-task vectors too. A lineage resubmission re-folds from
+        // scratch through the `init` flag.
+        self.contrib_memo.get_mut()[s] = ContribState::default();
+    }
+
+    /// Pending tasks of stage `s` at exactly `level` on executor `e`.
+    ///
+    /// Claims-blind by design, which keeps the zero-test *conservative
+    /// and exact* as a probe gate: a claims-aware probe only ever sees a
+    /// subset of these tasks, so a zero here proves
+    /// [`scan_first`](Self::scan_first) would return `None` — and a
+    /// non-zero takes the real claims-aware probe, identical to the
+    /// ungated walk. First-match order is therefore preserved bit-for-bit.
+    pub fn pending_level_count(&self, s: usize, e: ExecId, level: Locality) -> u32 {
+        let ne = self.num_execs as usize;
+        let li = level.index();
+        let c = if li < L_ANY as usize {
+            self.inv_cnt[s][li * ne + e.index()]
+        } else {
+            let ei = e.index();
+            self.inv_pending_len[s]
+                - self.inv_cnt[s][ei]
+                - self.inv_cnt[s][ne + ei]
+                - self.inv_cnt[s][2 * ne + ei]
+        };
+        if c == 0 {
+            self.inv_hits.set(self.inv_hits.get() + 1);
+        }
+        c
+    }
+
+    /// Pending tasks of stage `s` at exactly `level` on executor `e`
+    /// whose best level anywhere is also `level` — the strict probe's
+    /// candidate count (`best ≥ level` with `level(e) = level` collapses
+    /// to `best = level`, since `best ≤ level(e)` always). Claims-blind
+    /// like [`pending_level_count`](Self::pending_level_count).
+    pub fn pending_strict_count(&self, s: usize, e: ExecId, level: Locality) -> u32 {
+        let li = level.index();
+        let c = if li < L_ANY as usize {
+            self.inv_scnt[s][li * self.num_execs as usize + e.index()]
+        } else {
+            // Best-ANY tasks sit at ANY on every executor.
+            self.inv_best_any[s]
+        };
+        if c == 0 {
+            self.inv_hits.set(self.inv_hits.get() + 1);
+        }
+        c
+    }
+
+    /// From-scratch oracle for the inverted index on stage `s`: rebuild
+    /// every count from the raw residency bitsets and the authoritative
+    /// `pending` set, and compare against the incrementally maintained
+    /// state (including the mirror itself). Debug-assert fodder for the
+    /// simulator's scheduling loop and the differential proptests.
+    pub fn check_inv_consistency(&self, s: usize, pending: &PendingSet) -> bool {
+        let ne = self.num_execs as usize;
+        let nr = self.rack_exec_range.len();
+        if pending.len() as u32 != self.inv_pending_len[s] {
+            return false;
+        }
+        for (k, &p) in self.inv_pending[s].iter().enumerate() {
+            if p != pending.contains(k as u32) {
+                return false;
+            }
+        }
+        let cms = self.contrib_memo.borrow();
+        let cm = &cms[s];
+        let mut applied_sum = [0u32; 4];
+        let mut cnt = vec![0u32; 3 * ne];
+        let mut scnt = vec![0u32; 3 * ne];
+        let mut best_any = 0u32;
+        let mut levels = vec![0u8; ne];
+        for k in pending.iter() {
+            let ku = k as usize;
+            let mut best = L_ANY;
+            for e in 0..self.num_execs {
+                let l = self.task_level_raw(s, ku, e);
+                levels[e as usize] = l;
+                best = best.min(l);
+            }
+            if best != self.inv_best[s][ku] {
+                return false;
+            }
+            if cm.init {
+                // The folded counts must equal Σ applied over pending
+                // (pops subtract exactly what was applied), and any task
+                // not queued dirty must have a *current* mask applied.
+                contrib_add(&mut applied_sum, cm.applied[ku]);
+                if !cm.dirty_bit[ku] {
+                    let mut c = 0u8;
+                    for &l in levels.iter() {
+                        c |= 1 << l;
+                        if l == Locality::Process.index() as u8 {
+                            break;
+                        }
+                    }
+                    if cm.applied[ku] != c {
+                        return false;
+                    }
+                }
+            }
+            if best == L_ANY {
+                best_any += 1;
+            }
+            for (e, &l) in levels.iter().enumerate() {
+                if l < L_ANY {
+                    cnt[l as usize * ne + e] += 1;
+                    if l == best {
+                        scnt[l as usize * ne + e] += 1;
+                    }
+                }
+            }
+            for r in 0..nr {
+                let (ra, rb) = self.rack_exec_range[r];
+                let mut rmin = L_ANY;
+                for e in ra..rb {
+                    rmin = rmin.min(levels[e as usize]);
+                }
+                if rmin != self.inv_rack_best[s][ku * nr + r] {
+                    return false;
+                }
+            }
+        }
+        if cm.init && cm.cnt != applied_sum {
+            return false;
+        }
+        cnt == self.inv_cnt[s] && scnt == self.inv_scnt[s] && best_any == self.inv_best_any[s]
     }
 
     /// Does any disk replica of the block exist?
@@ -543,10 +1237,11 @@ impl LocalityIndex {
     /// the result is `{l ∈ {P,N,R} : some unclaimed pending task
     /// contributes l} ∪ {ANY if any task is unclaimed}` — the scan's
     /// early exits never change that set, only how fast it is found. The
-    /// per-stage contribution counts are keyed on (residency generation,
-    /// pending version) alone; claims are *subtracted per query*, so the
-    /// picks of an assignment batch share one rebuild instead of forcing
-    /// one each.
+    /// per-stage contribution counts are folded once and maintained
+    /// incrementally from the pending-churn and residency-flip delta
+    /// streams (see [`ContribState`]); claims are *subtracted per
+    /// query*, so the picks of an assignment batch never invalidate
+    /// anything.
     pub fn valid_levels(
         &self,
         s: usize,
@@ -554,39 +1249,54 @@ impl LocalityIndex {
         claimed_bits: &[u64],
         claimed_count: u32,
     ) -> ([Locality; 4], usize) {
-        let mut cm = self.contrib_memo.borrow_mut();
-        let valid = matches!(
-            &cm[s],
-            Some(m) if m.global_gen == self.global_gen
-                && m.pending_version == pending.version()
-        );
-        if !valid {
-            if cm[s].is_some() {
-                self.score_invalidations
-                    .set(self.score_invalidations.get() + 1);
-            }
+        let mut cms = self.contrib_memo.borrow_mut();
+        let cm = &mut cms[s];
+        if !cm.init {
             self.valid_rebuilds.set(self.valid_rebuilds.get() + 1);
             self.score_misses.set(self.score_misses.get() + 1);
-            let mut cnt = [0u32; 4];
+            let n = self.task_blocks[s].len();
+            cm.applied.clear();
+            cm.applied.resize(n, 0);
+            cm.dirty_bit.clear();
+            cm.dirty_bit.resize(n, false);
+            cm.dirty.clear();
+            cm.cnt = [0u32; 4];
             let mut memo = self.memo.borrow_mut();
             for k in pending.iter() {
-                let m = self.ensure_task(&mut memo, s, k as usize);
-                let mut c = m.contrib;
-                while c != 0 {
-                    let l = c.trailing_zeros() as usize;
-                    cnt[l] += 1;
-                    c &= c - 1;
+                let c = self.ensure_task(&mut memo, s, k as usize).contrib;
+                cm.applied[k as usize] = c;
+                contrib_add(&mut cm.cnt, c);
+            }
+            cm.init = true;
+        } else if cm.dirty.is_empty() {
+            self.score_hits.set(self.score_hits.get() + 1);
+        } else {
+            // Re-fold exactly the readers the residency flips re-leveled
+            // since the last query. Popped dirty tasks were already
+            // subtracted at pop time; skip them.
+            self.score_misses.set(self.score_misses.get() + 1);
+            self.score_invalidations
+                .set(self.score_invalidations.get() + 1);
+            let mut memo = self.memo.borrow_mut();
+            let mut dirty = std::mem::take(&mut cm.dirty);
+            for &k in &dirty {
+                let ku = k as usize;
+                cm.dirty_bit[ku] = false;
+                if !self.inv_pending[s][ku] {
+                    continue;
+                }
+                let new = self.ensure_task(&mut memo, s, ku).contrib;
+                let old = cm.applied[ku];
+                if old != new {
+                    contrib_sub(&mut cm.cnt, old);
+                    contrib_add(&mut cm.cnt, new);
+                    cm.applied[ku] = new;
                 }
             }
-            cm[s] = Some(ContribMemo {
-                global_gen: self.global_gen,
-                pending_version: pending.version(),
-                cnt,
-            });
-        } else {
-            self.score_hits.set(self.score_hits.get() + 1);
+            dirty.clear();
+            cm.dirty = dirty;
         }
-        let mut cnt = cm[s].as_ref().unwrap().cnt;
+        let mut cnt = cm.cnt;
         if claimed_count > 0 {
             let mut memo = self.memo.borrow_mut();
             for (w, &word) in claimed_bits.iter().enumerate() {
@@ -624,9 +1334,13 @@ impl LocalityIndex {
     /// `pending_with_locality`. With `strict`, additionally require the
     /// task's best achievable level anywhere to be no better than `level`.
     ///
-    /// Served from an internal per-(stage, executor) scan memo: identical to
-    /// the sequential first-match scan, but tasks already examined for an
-    /// earlier pick of the same batch are never re-examined.
+    /// Served from the stage's persistent shared scan: identical to the
+    /// sequential first-match walk, but each task is examined at most
+    /// once per *stage* for the stage's whole lifetime (one frontier
+    /// feeds every executor's candidate bitsets — see [`StageScan`]).
+    /// Launch pops are masked by the pending bitmap, residency flips
+    /// patch the affected bits in place, and only a pending re-insertion
+    /// (failure recovery) forces a rescan.
     pub fn scan_first(
         &self,
         s: usize,
@@ -638,17 +1352,21 @@ impl LocalityIndex {
     ) -> Option<u32> {
         self.queries.set(self.queries.get() + 1);
         let mut sms = self.scan_memo.borrow_mut();
-        let sm = &mut sms[s][e.index()];
-        let key = (self.global_gen, pending.version());
+        let sm = &mut sms[s];
+        let key = pending.inserts();
+        let ne = self.num_execs as usize;
         if sm.key != Some(key) {
             if sm.key.is_some() {
                 self.score_invalidations
                     .set(self.score_invalidations.get() + 1);
             }
             self.score_misses.set(self.score_misses.get() + 1);
-            for l in &mut sm.lists {
-                l.clear();
-            }
+            let words = self.task_blocks[s].len().div_ceil(64);
+            sm.words = words;
+            sm.examined.clear();
+            sm.examined.resize(words, 0);
+            sm.bits.clear();
+            sm.bits.resize(ne * 4 * words, 0);
             sm.cursor = pending.first();
             sm.key = Some(key);
         } else {
@@ -656,24 +1374,59 @@ impl LocalityIndex {
         }
         let li = level.index();
         let lu = li as u8;
-        let claimed = |k: u32| -> bool { !claimed_bits.is_empty() && get_bit(claimed_bits, k) };
-        // 1. Already-examined candidates at this level, ascending.
-        for &(k, best) in &sm.lists[li] {
-            if claimed(k) || (strict && best < lu) {
-                continue;
+        let words = sm.words;
+        let pw = pending.word_bits();
+        // 1. Already-examined candidates: first set bit of
+        // `row & pending & !claimed`, ascending. Popped tasks are masked
+        // out by the pending bitmap (their bits may be stale — patching
+        // tracks pending readers only); the strict filter reads the live
+        // best-anywhere level, not one captured at scan time.
+        let row = &sm.bits[(e.index() * 4 + li) * words..][..words];
+        for (w, &rw) in row.iter().enumerate() {
+            let mut cand = rw & pw[w] & !claimed_bits.get(w).copied().unwrap_or(0);
+            while cand != 0 {
+                let k = (w * 64) as u32 + cand.trailing_zeros();
+                cand &= cand - 1;
+                if strict && self.inv_best[s][k as usize] < lu {
+                    continue;
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let mut memo = self.memo.borrow_mut();
+                    let m = self.ensure_task(&mut memo, s, k as usize);
+                    debug_assert_eq!(
+                        m.levels[e.index()],
+                        lu,
+                        "scan bit drifted from live level (stage {s} task {k})"
+                    );
+                    debug_assert_eq!(
+                        m.best, self.inv_best[s][k as usize],
+                        "inv_best drifted from recomputation (stage {s} task {k})"
+                    );
+                }
+                return Some(k);
             }
-            return Some(k);
         }
-        // 2. Extend the scan, binning each examined task by its level.
+        // 2. Extend the shared frontier, fanning each examined task's
+        // level out to every executor's bitsets. The cursor may point at
+        // a since-popped task: `next_after` chains through it (see
+        // `PendingSet::next_after` for why no member can be skipped while
+        // the inserts key is unchanged).
+        let claimed = |k: u32| -> bool { !claimed_bits.is_empty() && get_bit(claimed_bits, k) };
         let mut memo = self.memo.borrow_mut();
         while let Some(k) = sm.cursor {
-            sm.cursor = pending.next_member(k);
+            sm.cursor = pending.next_after(k);
+            if !pending.contains(k) {
+                continue;
+            }
             self.queries.set(self.queries.get() + 1);
             let m = self.ensure_task(&mut memo, s, k as usize);
-            let l = m.levels[e.index()];
-            let best = m.best;
-            sm.lists[l as usize].push((k, best));
-            if l == lu && !claimed(k) && (!strict || best >= lu) {
+            let (w, b) = ((k / 64) as usize, 1u64 << (k % 64));
+            sm.examined[w] |= b;
+            for (e2, &l2) in m.levels.iter().enumerate() {
+                sm.bits[(e2 * 4 + l2 as usize) * words + w] |= b;
+            }
+            if m.levels[e.index()] == lu && !claimed(k) && (!strict || m.best >= lu) {
                 return Some(k);
             }
         }
@@ -690,6 +1443,9 @@ impl LocalityIndex {
             score_cache_hits: self.score_hits.get(),
             score_cache_misses: self.score_misses.get(),
             score_cache_invalidations: self.score_invalidations.get(),
+            inv_index_hits: self.inv_hits.get(),
+            inv_index_updates: self.inv_updates.get(),
+            inv_index_rebuilds: self.inv_rebuilds.get(),
         }
     }
 }
@@ -820,7 +1576,7 @@ mod tests {
 
     #[test]
     fn valid_levels_memo_tracks_pending_and_claims() {
-        let (_dag, _topo, idx) = build();
+        let (_dag, _topo, mut idx) = build();
         let mut pending = PendingSet::full(6);
         let (lv, n) = idx.valid_levels(0, &pending, &[], 0);
         assert!(n >= 2);
@@ -828,19 +1584,23 @@ mod tests {
         let rebuilds0 = idx.stats().valid_level_rebuilds;
         let _ = idx.valid_levels(0, &pending, &[], 0); // memo hit
         assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0);
+        // A pending pop (mirrored per the maintenance contract) adjusts
+        // the folded counts in place: no rebuild.
         pending.remove(0);
-        let _ = idx.valid_levels(0, &pending, &[], 0); // version change
-        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        idx.on_pending_removed(0, 0);
+        let _ = idx.valid_levels(0, &pending, &[], 0);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0);
+        assert!(idx.check_inv_consistency(0, &pending));
         // Claims subtract from the contribution counts per query — no
         // rebuild, and a fully-claimed stage has no valid levels.
         let claimed = vec![0b10u64]; // task 1 claimed
         let (_, n1) = idx.valid_levels(0, &pending, &claimed, 1);
-        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0);
         assert!(n1 >= 1);
         let all = vec![0b111110u64]; // tasks 1..=5 claimed (0 was removed)
         let (_, n2) = idx.valid_levels(0, &pending, &all, 5);
         assert_eq!(n2, 0);
-        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0 + 1);
+        assert_eq!(idx.stats().valid_level_rebuilds, rebuilds0);
     }
 
     #[test]
@@ -874,6 +1634,147 @@ mod tests {
         let after = idx.scan_first(0, ExecId(3), Locality::Process, false, &pending, &claimed);
         assert_eq!(after, None);
         assert!(idx.stats().score_cache_hits > hits0);
+    }
+
+    /// Brute-force inverted-index gate counts straight from the memo-free
+    /// level recomputation.
+    fn brute_counts(
+        idx: &LocalityIndex,
+        s: usize,
+        pending: &PendingSet,
+        e: ExecId,
+        level: Locality,
+    ) -> (u32, u32) {
+        let (mut cnt, mut strict) = (0, 0);
+        for k in pending.iter() {
+            let l = idx.task_level_raw(s, k as usize, e.0);
+            if l != level.index() as u8 {
+                continue;
+            }
+            cnt += 1;
+            let best = (0..idx.num_execs)
+                .map(|x| idx.task_level_raw(s, k as usize, x))
+                .min()
+                .unwrap_or(L_ANY);
+            if best == l {
+                strict += 1;
+            }
+        }
+        (cnt, strict)
+    }
+
+    #[test]
+    fn inv_counts_match_brute_force_through_history() {
+        let (_dag, _topo, mut idx) = build();
+        let mut pending = PendingSet::full(6);
+        assert_eq!(idx.stats().inv_index_rebuilds, 1);
+        assert!(idx.check_inv_consistency(0, &pending));
+
+        // Interleave residency flips with pending pops/reinserts,
+        // checking the full oracle and the per-gate counts at each step.
+        let b0 = BlockId::new(RddId(0), 0);
+        let b4 = BlockId::new(RddId(0), 4);
+        idx.add_cached(b0, ExecId(1));
+        assert!(idx.check_inv_consistency(0, &pending));
+        pending.remove(2);
+        idx.on_pending_removed(0, 2);
+        assert!(idx.check_inv_consistency(0, &pending));
+        idx.add_cached(b4, ExecId(6));
+        idx.add_disk(b4, NodeId(0));
+        assert!(idx.check_inv_consistency(0, &pending));
+        pending.remove(0);
+        idx.on_pending_removed(0, 0);
+        idx.remove_cached(b0, ExecId(1));
+        assert!(idx.check_inv_consistency(0, &pending));
+        assert!(pending.insert(2));
+        idx.on_pending_inserted(0, 2);
+        assert!(idx.check_inv_consistency(0, &pending));
+        // Crash-style loss: drop every replica of block 4.
+        idx.remove_cached(b4, ExecId(6));
+        idx.remove_disk(b4, NodeId(0));
+        for n in 0..4u32 {
+            idx.remove_disk(b4, NodeId(n));
+        }
+        assert!(idx.check_inv_consistency(0, &pending));
+
+        for e in 0..8u32 {
+            for level in Locality::ALL {
+                let (cnt, strict) = brute_counts(&idx, 0, &pending, ExecId(e), level);
+                assert_eq!(
+                    idx.pending_level_count(0, ExecId(e), level),
+                    cnt,
+                    "exec {e} level {level:?}"
+                );
+                assert_eq!(
+                    idx.pending_strict_count(0, ExecId(e), level),
+                    strict,
+                    "strict exec {e} level {level:?}"
+                );
+            }
+        }
+        assert!(idx.stats().inv_index_updates > 0);
+        assert_eq!(idx.stats().inv_index_rebuilds, 1);
+    }
+
+    #[test]
+    fn rack_batched_levels_match_per_exec_recomputation() {
+        let (_dag, _topo, mut idx) = build();
+        idx.add_cached(BlockId::new(RddId(0), 1), ExecId(7));
+        idx.add_disk(BlockId::new(RddId(0), 5), NodeId(2));
+        let mut out = Vec::new();
+        for k in 0..6 {
+            for rack in 0..idx.rack_exec_range.len() {
+                idx.task_levels_in_rack(0, k, rack, &mut out);
+                let (ra, rb) = idx.rack_exec_range[rack];
+                assert_eq!(out.len(), (rb - ra) as usize);
+                for (j, &l) in out.iter().enumerate() {
+                    assert_eq!(
+                        l,
+                        idx.task_level_raw(0, k, ra + j as u32),
+                        "task {k} rack {rack} slot {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_zero_implies_probe_none() {
+        let (_dag, _topo, mut idx) = build();
+        let pending = PendingSet::full(6);
+        idx.add_cached(BlockId::new(RddId(0), 3), ExecId(2));
+        for e in 0..8u32 {
+            for level in Locality::ALL {
+                for strict in [false, true] {
+                    let gate = if strict {
+                        idx.pending_strict_count(0, ExecId(e), level)
+                    } else {
+                        idx.pending_level_count(0, ExecId(e), level)
+                    };
+                    let probe = idx.scan_first(0, ExecId(e), level, strict, &pending, &[]);
+                    if gate == 0 {
+                        assert_eq!(probe, None, "exec {e} {level:?} strict {strict}");
+                    } else {
+                        assert!(probe.is_some(), "exec {e} {level:?} strict {strict}");
+                    }
+                }
+            }
+        }
+        assert!(idx.stats().inv_index_hits > 0);
+    }
+
+    #[test]
+    fn oracle_detects_injected_drift() {
+        let (_dag, _topo, mut idx) = build();
+        let pending = PendingSet::full(6);
+        assert!(idx.check_inv_consistency(0, &pending));
+        let slot = idx.inv_cnt[0].iter().position(|&c| c > 0).unwrap();
+        idx.inv_cnt[0][slot] -= 1;
+        assert!(!idx.check_inv_consistency(0, &pending));
+        idx.inv_cnt[0][slot] += 1;
+        assert!(idx.check_inv_consistency(0, &pending));
+        idx.inv_best_any[0] += 1;
+        assert!(!idx.check_inv_consistency(0, &pending));
     }
 
     #[test]

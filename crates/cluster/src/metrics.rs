@@ -229,6 +229,15 @@ pub struct SchedulerStats {
     pub ect_heap_pops: u64,
     /// Examined heap entries discarded as stale (lazy deletions realized).
     pub ect_heap_stale: u64,
+    /// Inverted-index gates that answered "no pending work at this
+    /// (stage, level, executor)" — placement probes skipped outright.
+    pub inv_index_hits: u64,
+    /// Incremental inverted-index maintenance operations (pending-set
+    /// mirror events plus per-reader residency diffs).
+    pub inv_index_updates: u64,
+    /// From-scratch inverted-index builds (O(1) per run: once at startup,
+    /// like `ready_list_rebuilds`).
+    pub inv_index_rebuilds: u64,
 }
 
 /// Fault-injection and recovery counters. All zero in fault-free runs.
@@ -429,6 +438,9 @@ impl SimResult {
         r.counter("sched/ready_list_rebuilds", s.ready_list_rebuilds);
         r.counter("sched/ect_heap_pops", s.ect_heap_pops);
         r.counter("sched/ect_heap_stale", s.ect_heap_stale);
+        r.counter("sched/inv_index_hits", s.inv_index_hits);
+        r.counter("sched/inv_index_updates", s.inv_index_updates);
+        r.counter("sched/inv_index_rebuilds", s.inv_index_rebuilds);
         let f = &self.metrics.faults;
         r.counter("faults/exec_crashes", f.exec_crashes);
         r.counter("faults/exec_restarts", f.exec_restarts);

@@ -11,6 +11,15 @@
 //! A version counter increments on every removal so memoized derived state
 //! (the [`crate::locality_index::LocalityIndex`] valid-level cache) can
 //! detect staleness without hashing the contents.
+//!
+//! The inverted pending-work index keeps its own membership mirror of this
+//! set (per-stage `inv_pending` in [`crate::locality_index`]): every
+//! simulator transition that pops or re-inserts a member must be paired
+//! with `on_pending_removed` / `on_pending_inserted` on the index, and the
+//! mirror is cross-checked against this set by `check_inv_consistency` at
+//! every scheduling opportunity in debug builds. `insert`/`remove` return
+//! whether membership actually changed precisely so those call sites can
+//! mirror conditionally and never double-count.
 
 // Dense u32 task indices: `present.len()` is a per-stage task count,
 // bounded far below u32::MAX by workload construction.
@@ -24,8 +33,13 @@ pub struct PendingSet {
     next: Vec<u32>,
     prev: Vec<u32>,
     present: Vec<bool>,
+    /// `present` as a packed bitmap (bit `k` of word `k / 64`), kept in
+    /// lockstep so set-algebra consumers (the placement scan's candidate
+    /// bitsets) can AND against membership a word at a time.
+    words: Vec<u64>,
     len: u32,
     version: u64,
+    inserts: u64,
 }
 
 impl PendingSet {
@@ -38,12 +52,18 @@ impl PendingSet {
             next.push((i + 1) % (n + 1));
             prev.push(if i == 0 { n } else { i - 1 });
         }
+        let mut words = vec![0u64; nu.div_ceil(64)];
+        for k in 0..nu {
+            words[k / 64] |= 1 << (k % 64);
+        }
         Self {
             next,
             prev,
             present: vec![true; nu],
+            words,
             len: n,
             version: 0,
+            inserts: 0,
         }
     }
 
@@ -68,6 +88,7 @@ impl PendingSet {
         self.next[p as usize] = nx;
         self.prev[nx as usize] = p;
         self.present[k as usize] = false;
+        self.words[(k / 64) as usize] &= !(1 << (k % 64));
         self.len -= 1;
         self.version += 1;
         true
@@ -97,8 +118,10 @@ impl PendingSet {
         self.next[k as usize] = nx;
         self.prev[nx as usize] = k;
         self.present[k as usize] = true;
+        self.words[(k / 64) as usize] |= 1 << (k % 64);
         self.len += 1;
         self.version += 1;
+        self.inserts += 1;
         true
     }
 
@@ -106,10 +129,14 @@ impl PendingSet {
     pub fn clear(&mut self) {
         let n = self.present.len() as u32;
         self.present.fill(false);
+        self.words.fill(0);
         self.next[n as usize] = n;
         self.prev[n as usize] = n;
         self.len = 0;
         self.version += 1;
+        // Membership was reshaped wholesale: scans resumed from stale
+        // cursors would be unsound, so count it as an insertion event.
+        self.inserts += 1;
     }
 
     /// Smallest member, if any.
@@ -139,10 +166,40 @@ impl PendingSet {
         }
     }
 
+    /// The member after `k` in ascending order, where `k` may itself have
+    /// been **removed** since it was last a member. Removal leaves the
+    /// removed index's own links untouched (only its neighbors are
+    /// rewired), so `next[k]` still names `k`'s successor at the moment
+    /// of removal — every member between the two would have had to be
+    /// *inserted* after that moment. Callers resuming a scan from a
+    /// possibly-stale cursor must therefore key on [`Self::inserts`]
+    /// (chains only skip members across insertions, never removals) and
+    /// filter the returned index with [`Self::contains`].
+    pub fn next_after(&self, k: u32) -> Option<u32> {
+        let sentinel = self.present.len() as u32;
+        let nx = self.next[k as usize];
+        (nx != sentinel).then_some(nx)
+    }
+
     /// Monotone counter bumped on every mutation; lets caches key on
     /// "same pending contents" without comparing them.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Monotone counter bumped only on [`Self::insert`] (and
+    /// [`Self::clear`]). Scans that tolerate removals — skipping absent
+    /// members via [`Self::contains`] and resuming through
+    /// [`Self::next_after`] — stay valid while this is unchanged, which
+    /// is what lets the placement scan memos survive launch pops.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Membership as a packed bitmap: bit `k % 64` of word `k / 64` is
+    /// set iff `k` is present. `len() == ceil(universe / 64)`.
+    pub fn word_bits(&self) -> &[u64] {
+        &self.words
     }
 }
 

@@ -29,6 +29,13 @@ pub trait Scheduler {
     /// Produce assignments for the current state. Called repeatedly until it
     /// returns an empty batch. Must not assign more resources than the view
     /// reports free, nor the same pending task twice in one batch.
+    ///
+    /// Within-batch claim tracking is the scheduler's own job (the view's
+    /// pending sets only shrink when the simulator confirms a launch).
+    /// Note the view's pending-work gates (`has_pending_at` /
+    /// `has_pending_strict_at`) are deliberately claims-blind: a zero
+    /// answer is valid under *any* claim state, so they may be used to
+    /// skip probes but never to conclude a claimed task is available.
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Assignment>;
 
     /// A stage's parents all completed; its tasks are now pending.

@@ -415,6 +415,9 @@ impl Simulation {
         self.metrics.sched.ready_list_rebuilds = self.cview.ready_list_rebuilds();
         self.metrics.sched.ect_heap_pops = self.cview.ect_heap_pops();
         self.metrics.sched.ect_heap_stale = self.cview.ect_heap_stale();
+        self.metrics.sched.inv_index_hits = is.inv_index_hits;
+        self.metrics.sched.inv_index_updates = is.inv_index_updates;
+        self.metrics.sched.inv_index_rebuilds = is.inv_index_rebuilds;
         SimResult {
             jct,
             metrics: self.metrics,
@@ -532,6 +535,19 @@ impl Simulation {
             self.cview.check_ready_consistency(&self.stages),
             "incremental ready list drifted from stage-table scan"
         );
+        #[cfg(debug_assertions)]
+        for &s in self.cview.ready_stages() {
+            // The inverted pending-work index vs a from-scratch rebuild,
+            // at every scheduling opportunity (the PR-1/3/6 oracle
+            // discipline). Ready stages only: an unready stage's drift
+            // would be caught at its first ready round, and the proptests
+            // cover all-stage checks.
+            debug_assert!(
+                self.data
+                    .check_inv_consistency(s as usize, &self.stages[s as usize].pending),
+                "inverted locality index drifted from from-scratch rebuild (stage {s})"
+            );
+        }
         loop {
             self.metrics.sched.schedule_invocations += 1;
             self.cview.compact_free_execs();
@@ -838,6 +854,7 @@ impl Simulation {
             let srt = &mut self.stages[a.stage.index()];
             srt.pending.remove(a.task_index);
             srt.running += 1;
+            self.data.on_pending_removed(a.stage.index(), a.task_index);
             sync_ready(&mut self.cview, &self.stages, a.stage.index());
             let work = task_work;
             self.tracker.on_task_launched(task, work);
@@ -1035,6 +1052,10 @@ impl Simulation {
         sync_ready(&mut self.cview, &self.stages, s.index());
         self.metrics.per_stage[s.index()].completed_at = Some(self.now);
         self.completed_count += 1;
+        // Free the stage's persistent placement-scan memos: nothing probes
+        // a completed stage, and a lineage resubmission rebuilds them from
+        // the pending-set inserts key.
+        self.data.release_stage(s.index());
         // Advance the FIFO frontier for MRD.
         self.profile.frontier = self
             .dag
@@ -1412,6 +1433,8 @@ impl Simulation {
         // One in-flight slot was accounted for this task (the primary's,
         // inherited by the speculative copy if the primary died first).
         srt.running = srt.running.saturating_sub(1);
+        self.data
+            .on_pending_inserted(task.stage.index(), task.index);
         sync_ready(&mut self.cview, &self.stages, task.stage.index());
         self.spec_launched.remove(&task);
         let work = self.dag.stage(task.stage).task_work(task.index);
@@ -1624,6 +1647,9 @@ impl Simulation {
         let had_pending = !self.stages[si].pending.is_empty();
         let inserted = self.stages[si].pending.insert(k);
         debug_assert!(inserted);
+        if inserted {
+            self.data.on_pending_inserted(si, k);
+        }
         // The task's input reads re-enter the master's reference profile
         // (they were removed when it finished).
         for &(b, _) in self.task_inputs[si][k as usize].iter() {

@@ -693,6 +693,41 @@ impl<'a> SimView<'a> {
         )
     }
 
+    /// Inverted-index gate: does stage `s` have any *pending* task at
+    /// exactly `level` on `e`? Claims-blind on purpose — the claims-aware
+    /// probe can only find a subset of these tasks, so `false` proves
+    /// [`pending_with_locality`](Self::pending_with_locality) would
+    /// return `None`, while `true` routes to the real probe. Gating on
+    /// this is therefore schedule-neutral (DESIGN.md §14).
+    pub fn has_pending_at(&self, s: StageId, e: ExecId, level: Locality) -> bool {
+        self.index.pending_level_count(s.index(), e, level) > 0
+    }
+
+    /// The strict-probe twin of [`has_pending_at`](Self::has_pending_at):
+    /// any pending task at exactly `level` on `e` whose best level
+    /// anywhere is also `level`?
+    pub fn has_pending_strict_at(&self, s: StageId, e: ExecId, level: Locality) -> bool {
+        self.index.pending_strict_count(s.index(), e, level) > 0
+    }
+
+    /// One-sided *unclaimed* existence test: `true` proves stage `s` has
+    /// an unclaimed pending task at exactly `level` on `e` without
+    /// identifying it. The claims-blind count overstates the unclaimed
+    /// population by at most the stage's claimed total (claims are a
+    /// subset of pending), so `count > claimed` is a proof; `false` means
+    /// "can't tell" and the claims-aware probe must decide. This is what
+    /// lets the pick loop's reject-and-park path (Alg. 2 line 9, which
+    /// discards the found task) skip the scan entirely.
+    pub fn has_unclaimed_pending_at(
+        &self,
+        s: StageId,
+        e: ExecId,
+        level: Locality,
+        shadow: &ScheduleShadow,
+    ) -> bool {
+        self.index.pending_level_count(s.index(), e, level) > shadow.claimed_count(s)
+    }
+
     /// Locality levels for which stage `s` has at least one unclaimed
     /// pending task on *some* executor — the "valid locality levels" of
     /// Alg. 2 / Spark's `computeValidLocalityLevels`. Always includes

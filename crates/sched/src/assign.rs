@@ -17,6 +17,12 @@
 //! so a partially-discarded batch can be rolled back to its last confirmed
 //! assignment — the batched loop is bit-for-bit equivalent to the old
 //! one-assignment-per-call loop, minus the per-pick view rebuilds.
+//!
+//! The placement half additionally gates each executor probe on the
+//! view's inverted pending-work counts (`has_pending_at`, DESIGN.md §14):
+//! the counts are claims-blind, so the shadow's within-batch claims never
+//! invalidate a zero answer, and the pick loop skips provably-empty
+//! probes while preserving the exact first-match order.
 
 use dagon_cluster::{Assignment, Locality, ScheduleShadow, Scheduler, SimView};
 use dagon_dag::{SimTime, StageId, TaskId};

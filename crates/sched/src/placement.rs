@@ -168,6 +168,12 @@ impl Placement for NativeDelay {
                 continue;
             }
             for &level in valid.iter().filter(|l| **l <= allowed) {
+                // Inverted-index gate: a zero count proves the probe below
+                // would return None (claims only shrink the candidate
+                // set), so skipping it is schedule-neutral.
+                if !view.has_pending_at(stage, e.id, level) {
+                    continue;
+                }
                 if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
                     if self.tracing {
                         self.note = Some(PlacementNote {
@@ -318,10 +324,23 @@ impl Placement for SensitivityAware {
         // insensitive at that level (§II-A's rack ≈ node ≈ process case).
         let best_est = self.est_finish_ms(stage, valid[0], view);
         let threshold = ect.max(self.insensitivity_factor * best_est);
+        // Steal admissibility is executor-independent (a pure function of
+        // (stage, level, view)); resolving it once per level lifts the
+        // estimate out of the executor loop.
+        let mut steal_ok = [false; 4];
+        for &level in &valid {
+            if level > allowed {
+                steal_ok[level.index()] = self.est_finish_ms(stage, level, view) < threshold;
+            }
+        }
         // Alg. 2 line 3-12: executors outer, locality levels (ascending)
         // inner. Only free executors are visited: the ascending free list
         // matches the full ascending walk after the fits filter (a stage
-        // demand always includes a cpu).
+        // demand always includes a cpu). Every probe is gated on the
+        // inverted index's per-(stage, level, executor) pending counts: a
+        // zero count proves the probe would return None (claims only
+        // shrink the candidate set), so the gates skip work without ever
+        // changing which task the first-match walk finds.
         for &ei in view.free_execs {
             let e = view.exec(ExecId(ei));
             if !shadow.fits(e.id, demand) {
@@ -329,9 +348,11 @@ impl Placement for SensitivityAware {
             }
             for &level in &valid {
                 if level <= allowed {
-                    if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
-                        self.note_pick(stage, level, allowed, ect, threshold, view);
-                        return Some((k, e.id, level));
+                    if view.has_pending_at(stage, e.id, level) {
+                        if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
+                            self.note_pick(stage, level, allowed, ect, threshold, view);
+                            return Some((k, e.id, level));
+                        }
                     }
                     continue;
                 }
@@ -339,14 +360,13 @@ impl Placement for SensitivityAware {
                 // this level has no better home to wait for: launching it
                 // here can only help, whatever the wait clock says (the
                 // master's block registry makes this check possible).
-                if let Some(k) = view.pending_with_locality_strict(stage, e.id, level, shadow) {
-                    self.note_pick(stage, level, allowed, ect, threshold, view);
-                    return Some((k, e.id, level));
+                if view.has_pending_strict_at(stage, e.id, level) {
+                    if let Some(k) = view.pending_with_locality_strict(stage, e.id, level, shadow) {
+                        self.note_pick(stage, level, allowed, ect, threshold, view);
+                        return Some((k, e.id, level));
+                    }
                 }
-                if view
-                    .pending_with_locality(stage, e.id, level, shadow)
-                    .is_none()
-                {
+                if !view.has_pending_at(stage, e.id, level) {
                     continue;
                 }
                 // Remaining candidates at this level have a better home
@@ -354,15 +374,33 @@ impl Placement for SensitivityAware {
                 // one is harmless only when the stage wouldn't finish any
                 // sooner without it (Eq. 7) or is insensitive at this level
                 // (§II-A's rack ≈ node ≈ process case).
-                if self.est_finish_ms(stage, level, view) < threshold {
-                    if let Some(k) = view.pending_with_locality(stage, e.id, level, shadow) {
+                if !steal_ok[level.index()] {
+                    // Line 9: an unclaimed candidate here parks the
+                    // executor — only its *existence* matters, never its
+                    // identity, so prove it from the counts when possible
+                    // and fall back to the scan only when claims leave the
+                    // answer ambiguous. This is the dominant outcome for a
+                    // stage inside its locality-wait window, and skipping
+                    // the scan here is what keeps failed pick rounds free
+                    // of per-executor pending walks.
+                    if view.has_unclaimed_pending_at(stage, e.id, level, shadow) {
+                        break;
+                    }
+                    match view.pending_with_locality(stage, e.id, level, shadow) {
+                        // Claims exhausted the level on this executor —
+                        // the ungated loop's existence probe came up
+                        // empty too.
+                        None => continue,
+                        Some(_) => break,
+                    }
+                }
+                match view.pending_with_locality(stage, e.id, level, shadow) {
+                    None => continue,
+                    Some(k) => {
                         self.note_pick(stage, level, allowed, ect, threshold, view);
                         return Some((k, e.id, level));
                     }
                 }
-                // Line 9: this executor only has tasks above the allowed
-                // level that would hurt the stage — skip it.
-                break;
             }
         }
         None

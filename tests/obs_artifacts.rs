@@ -173,6 +173,9 @@ const REGISTRY_KEYS: &[&str] = &[
     "sched/ect_heap_pops",
     "sched/ect_heap_stale",
     "sched/index_invalidations",
+    "sched/inv_index_hits",
+    "sched/inv_index_rebuilds",
+    "sched/inv_index_updates",
     "sched/locality_queries",
     "sched/locality_recomputes",
     "sched/ready_list_rebuilds",
@@ -215,6 +218,22 @@ fn metrics_registry_snapshot_on_paper_scale_run() {
         num("sched/ready_list_rebuilds") as u64,
         1,
         "ready list rebuilt mid-run"
+    );
+    // Same discipline for the inverted pending-work index: one build at
+    // startup, incrementally maintained ever after — and it must actually
+    // absorb placement probes at paper scale.
+    assert_eq!(
+        num("sched/inv_index_rebuilds") as u64,
+        1,
+        "inverted locality index rebuilt mid-run"
+    );
+    assert!(
+        num("sched/inv_index_hits") > 0.0,
+        "inverted-index gates never skipped a probe at paper scale"
+    );
+    assert!(
+        num("sched/inv_index_updates") > 0.0,
+        "inverted index never updated at paper scale"
     );
     // The lazy free-executor heap must be live (pops) and actually skip
     // stale entries under consume/release churn.
