@@ -192,6 +192,22 @@ struct StageScan {
     words: usize,
 }
 
+// lint: incremental(data, mutators = [add_disk, add_cached, remove_cached, remove_disk], init = [new], via = [add_disk, add_cached, remove_cached, remove_disk], pairs = [inv_capture, inv_commit], oracle = check_inv_consistency)
+// lint: incremental(cached_bits, mutators = [cached_row_mut])
+// lint: incremental(disk_bits, mutators = [disk_row_mut])
+// lint: incremental(gen, mutators = [bump])
+// lint: incremental(inv_cnt, mutators = [inv_insert_task, inv_remove_task, inv_commit], oracle = check_inv_consistency)
+// lint: incremental(inv_scnt, mutators = [inv_insert_task, inv_remove_task, inv_commit], oracle = check_inv_consistency)
+// lint: incremental(inv_pending, mutators = [inv_insert_task, inv_remove_task])
+// lint: incremental(inv_pending_len, mutators = [inv_insert_task, inv_remove_task])
+// lint: incremental(inv_best, mutators = [inv_insert_task, inv_commit])
+// lint: incremental(inv_best_any, mutators = [inv_insert_task, inv_remove_task, inv_commit])
+// lint: incremental(inv_rack_best, mutators = [inv_insert_task, inv_commit])
+// lint: incremental(readers)
+// lint: incremental(memo, mutators = [on_pending_inserted, task_locality, task_best_level, valid_levels, scan_first])
+// lint: incremental(contrib_memo, mutators = [inv_commit, on_pending_removed, on_pending_inserted, release_stage, valid_levels])
+// lint: incremental(scan_memo, mutators = [inv_commit, release_stage, scan_first])
+// lint: hotpath(bump, inv_capture, inv_commit, inv_insert_task, inv_remove_task, pending_level_count, pending_strict_count, scan_first)
 pub struct LocalityIndex {
     data: DataMap,
     /// Flat block id = `rdd_base[rdd] + partition`.
@@ -500,6 +516,7 @@ impl LocalityIndex {
         &mut self.disk_bits[bi * self.node_words..][..self.node_words]
     }
 
+    // lint: allow(panic-surface): `bi` is a flat block id < num_blocks, the size `gen` was built with
     fn bump(&mut self, bi: usize) {
         self.gen[bi] += 1;
         self.global_gen += 1;
@@ -649,6 +666,7 @@ impl LocalityIndex {
     /// first block — a superset of every rack where its level is below
     /// ANY, since a sub-ANY level needs *all* blocks rack-resident),
     /// update `cnt`/`scnt`/`best`/`rack_best` and the scalars.
+    // lint: allow(panic-surface): (s, k) is a live (stage, task) pair; every inv_* row is sized to the task universe
     fn inv_insert_task(&mut self, s: usize, k: usize) {
         debug_assert!(!self.inv_pending[s][k]);
         let nr = self.rack_exec_range.len();
@@ -693,6 +711,7 @@ impl LocalityIndex {
     /// Remove task `(s, k)`'s contributions (it left the pending set).
     /// `rack_best` bounds the walk to racks where the task actually
     /// contributed sub-ANY counts.
+    // lint: allow(panic-surface): (s, k) is a live (stage, task) pair; every inv_* row is sized to the task universe
     fn inv_remove_task(&mut self, s: usize, k: usize) {
         debug_assert!(self.inv_pending[s][k]);
         self.inv_pending[s][k] = false;
@@ -730,6 +749,7 @@ impl LocalityIndex {
     /// the only executors a single-block, single-rack residency flip can
     /// re-level (every level test in `block_level` resolves within the
     /// executor's own rack).
+    // lint: allow(panic-surface): reader (stage, task) pairs were minted from task_blocks; all rows sized at build
     fn inv_capture(&mut self, bi: usize, rack: usize) {
         let mut readers = std::mem::take(&mut self.inv_readers_scratch);
         let mut olds = std::mem::take(&mut self.inv_levels_scratch);
@@ -756,6 +776,7 @@ impl LocalityIndex {
     /// level changes, its whole strict contribution set moves from the old
     /// best to the new one — racks outside the flipped one kept their
     /// levels, so their entries are recomputed on the spot.
+    // lint: allow(panic-surface): captured readers index rows sized at build; rack ranges come from the topology
     fn inv_commit(&mut self, _bi: usize, rack: usize) {
         let readers = std::mem::take(&mut self.inv_readers_scratch);
         let olds = std::mem::take(&mut self.inv_levels_scratch);
@@ -959,6 +980,7 @@ impl LocalityIndex {
     /// [`scan_first`](Self::scan_first) would return `None` — and a
     /// non-zero takes the real claims-aware probe, identical to the
     /// ungated walk. First-match order is therefore preserved bit-for-bit.
+    // lint: allow(panic-surface): stage/executor ids are dense and bound the per-stage count rows by construction
     pub fn pending_level_count(&self, s: usize, e: ExecId, level: Locality) -> u32 {
         let ne = self.num_execs as usize;
         let li = level.index();
@@ -982,6 +1004,7 @@ impl LocalityIndex {
     /// candidate count (`best ≥ level` with `level(e) = level` collapses
     /// to `best = level`, since `best ≤ level(e)` always). Claims-blind
     /// like [`pending_level_count`](Self::pending_level_count).
+    // lint: allow(panic-surface): stage/executor ids are dense and bound the per-stage count rows by construction
     pub fn pending_strict_count(&self, s: usize, e: ExecId, level: Locality) -> u32 {
         let li = level.index();
         let c = if li < L_ANY as usize {
@@ -1239,7 +1262,7 @@ impl LocalityIndex {
     /// early exits never change that set, only how fast it is found. The
     /// per-stage contribution counts are folded once and maintained
     /// incrementally from the pending-churn and residency-flip delta
-    /// streams (see [`ContribState`]); claims are *subtracted per
+    /// streams (see `ContribState`); claims are *subtracted per
     /// query*, so the picks of an assignment batch never invalidate
     /// anything.
     pub fn valid_levels(
@@ -1337,10 +1360,11 @@ impl LocalityIndex {
     /// Served from the stage's persistent shared scan: identical to the
     /// sequential first-match walk, but each task is examined at most
     /// once per *stage* for the stage's whole lifetime (one frontier
-    /// feeds every executor's candidate bitsets — see [`StageScan`]).
+    /// feeds every executor's candidate bitsets — see `StageScan`).
     /// Launch pops are masked by the pending bitmap, residency flips
     /// patch the affected bits in place, and only a pending re-insertion
     /// (failure recovery) forces a rescan.
+    // lint: allow(panic-surface): bitset words and memo rows are sized to the stage's task universe at fill time
     pub fn scan_first(
         &self,
         s: usize,
@@ -1769,11 +1793,11 @@ mod tests {
         let pending = PendingSet::full(6);
         assert!(idx.check_inv_consistency(0, &pending));
         let slot = idx.inv_cnt[0].iter().position(|&c| c > 0).unwrap();
-        idx.inv_cnt[0][slot] -= 1;
+        idx.inv_cnt[0][slot] -= 1; // lint: allow(mutation-escape): deliberate drift injection to prove the oracle trips
         assert!(!idx.check_inv_consistency(0, &pending));
-        idx.inv_cnt[0][slot] += 1;
+        idx.inv_cnt[0][slot] += 1; // lint: allow(mutation-escape): undo the injected drift
         assert!(idx.check_inv_consistency(0, &pending));
-        idx.inv_best_any[0] += 1;
+        idx.inv_best_any[0] += 1; // lint: allow(mutation-escape): deliberate drift injection to prove the oracle trips
         assert!(!idx.check_inv_consistency(0, &pending));
     }
 

@@ -26,6 +26,14 @@
 #![allow(clippy::cast_possible_truncation)]
 
 /// Ordered set of task indices over a fixed universe `0..n`.
+// lint: incremental(next, mutators = [remove, insert, clear])
+// lint: incremental(prev, mutators = [remove, insert, clear])
+// lint: incremental(present, mutators = [remove, insert, clear])
+// lint: incremental(words, mutators = [remove, insert, clear], oracle = check_mirror)
+// lint: incremental(len, mutators = [remove, insert, clear], oracle = check_mirror)
+// lint: incremental(version, mutators = [remove, insert, clear])
+// lint: incremental(inserts, mutators = [insert, clear])
+// lint: hotpath(remove, next_member, next_after)
 #[derive(Clone, Debug)]
 pub struct PendingSet {
     /// `next[i]` / `prev[i]` thread present members in ascending order;
@@ -80,6 +88,7 @@ impl PendingSet {
     }
 
     /// Remove `k`; returns whether it was present.
+    // lint: allow(panic-surface): `k` is a task index < n, the universe every array is sized to
     pub fn remove(&mut self, k: u32) -> bool {
         if !self.contains(k) {
             return false;
@@ -122,6 +131,7 @@ impl PendingSet {
         self.len += 1;
         self.version += 1;
         self.inserts += 1;
+        debug_assert!(self.check_mirror());
         true
     }
 
@@ -137,6 +147,7 @@ impl PendingSet {
         // Membership was reshaped wholesale: scans resumed from stale
         // cursors would be unsound, so count it as an insertion event.
         self.inserts += 1;
+        debug_assert!(self.check_mirror());
     }
 
     /// Smallest member, if any.
@@ -149,6 +160,7 @@ impl PendingSet {
     /// The member after `k` (which must be present) in ascending order.
     /// O(1): this is what lets a scan over the set pause and resume at a
     /// cursor as long as the version is unchanged.
+    // lint: allow(panic-surface): `k` is a member, so < n; the link arrays carry n + 1 entries
     pub fn next_member(&self, k: u32) -> Option<u32> {
         debug_assert!(self.contains(k));
         let sentinel = self.present.len() as u32;
@@ -175,6 +187,7 @@ impl PendingSet {
     /// possibly-stale cursor must therefore key on [`Self::inserts`]
     /// (chains only skip members across insertions, never removals) and
     /// filter the returned index with [`Self::contains`].
+    // lint: allow(panic-surface): `k` was once a member, so < n; removal never shrinks the link arrays
     pub fn next_after(&self, k: u32) -> Option<u32> {
         let sentinel = self.present.len() as u32;
         let nx = self.next[k as usize];
@@ -200,6 +213,23 @@ impl PendingSet {
     /// set iff `k` is present. `len() == ceil(universe / 64)`.
     pub fn word_bits(&self) -> &[u64] {
         &self.words
+    }
+
+    /// From-scratch oracle: the packed `words` bitmap and `len` both match
+    /// the authoritative `present` flags. Debug-asserted on the mutations
+    /// that reshape membership (`insert`/`clear`; `remove` is the per-launch
+    /// hot path and is covered transitively by the inverted-index
+    /// cross-check at every scheduling opportunity).
+    pub fn check_mirror(&self) -> bool {
+        let mut words = vec![0u64; self.present.len().div_ceil(64)];
+        let mut n = 0u32;
+        for (k, &p) in self.present.iter().enumerate() {
+            if p {
+                words[k / 64] |= 1 << (k % 64);
+                n += 1;
+            }
+        }
+        words == self.words && n == self.len
     }
 }
 

@@ -63,6 +63,8 @@ struct RunningAttempt {
 }
 
 /// One simulation run in progress.
+// lint: incremental(cview, mutators = [handle, launch, do_schedule, teardown_attempt, complete_stage, fail_attempt, requeue_task, exec_crash, exec_restart, resubmit_task], via = [apply, init_ready_list, set_stage_schedulable, compact_free_execs], oracle = check_consistency)
+// lint: incremental(data, mutators = [launch, finish_task, complete_stage, proactive_sweeps, prefetch_arrive, exec_crash, block_loss, requeue_task, resubmit_task], via = [add_disk, add_cached, remove_cached, remove_disk, on_pending_removed, on_pending_inserted, release_stage], oracle = check_inv_consistency)
 pub struct Simulation {
     dag: JobDag,
     cfg: ClusterConfig,

@@ -51,6 +51,15 @@ pub struct ExecView {
 /// executor is down (a crash tears down its attempts *after* marking it
 /// dead), and the *effective* view exposed to schedulers, which is zeroed
 /// while the executor is unusable so no placement policy can target it.
+// lint: incremental(execs, mutators = [apply], oracle = check_consistency)
+// lint: incremental(real_free, mutators = [apply], oracle = check_consistency)
+// lint: incremental(usable, mutators = [apply], oracle = check_consistency)
+// lint: incremental(ready_list, mutators = [init_ready_list, set_stage_schedulable], oracle = check_ready_consistency)
+// lint: incremental(stage_on, mutators = [init_ready_list, set_stage_schedulable], oracle = check_ready_consistency)
+// lint: incremental(free_heap, mutators = [apply, compact_free_execs], oracle = check_free_consistency)
+// lint: incremental(free_since, mutators = [apply], oracle = check_free_consistency)
+// lint: incremental(free_list, mutators = [compact_free_execs], oracle = check_free_consistency)
+// lint: hotpath(apply, set_stage_schedulable, compact_free_execs)
 #[derive(Clone, Debug)]
 pub struct ClusterView {
     /// Effective per-executor views (dead/blacklisted execs zeroed).
@@ -149,6 +158,7 @@ impl ClusterView {
 
     /// Apply one delta. The effective view entry is updated in place; no
     /// other executor's entry is touched.
+    // lint: allow(panic-surface): every index is an ExecId minted by the topology, < n_exec by construction
     pub fn apply(&mut self, d: ViewDelta) {
         self.exec_gen += 1;
         self.deltas += 1;
@@ -285,6 +295,7 @@ impl ClusterView {
     /// matches — callers re-derive the predicate (`ready && !completed &&
     /// pending non-empty`) after every stage mutation and need not track
     /// whether it actually changed.
+    // lint: allow(panic-surface): `si` is a StageId < num_stages and `pos` comes from binary_search on the list itself
     pub fn set_stage_schedulable(&mut self, si: usize, on: bool) {
         if self.stage_on[si] == on {
             return;
@@ -334,6 +345,7 @@ impl ClusterView {
     /// scheduling round is O(free · log free) plus the stale backlog — and
     /// zero when no executor entered or left the free set since the last
     /// compaction (the typical round).
+    // lint: allow(panic-surface): heap entries hold ExecIds < n_exec; `free_since` is sized to n_exec at build
     pub fn compact_free_execs(&mut self) {
         if self.compacted_gen == self.free_set_gen {
             return;

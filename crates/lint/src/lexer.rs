@@ -42,11 +42,50 @@ pub struct Waiver {
     pub line: u32,
 }
 
-/// Lexer output: the token stream plus every waiver comment encountered.
+/// An incremental-state registration:
+/// `// lint: incremental(<field>, mutators = [a, b], init = [new],
+/// via = [m], pairs = [pre, post], oracle = <fn>)`.
+///
+/// `field` is a struct field of this file whose every mutation must happen
+/// inside one of `mutators` ∪ `init` (rule S1). `via` extends the set of
+/// method names that count as *mutating* when called on the field (for
+/// fields whose type lives elsewhere, e.g. a `ClusterView` mutated through
+/// `apply`). `pairs = [pre, post]` demands every mutator call `pre` before
+/// `post` (rule S2). `oracle` names the from-scratch rebuild check that
+/// must be exercised under `debug_assert!` somewhere in the owning crate
+/// (rule S3). All clauses except the field are optional.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registration {
+    pub field: String,
+    pub mutators: Vec<String>,
+    pub init: Vec<String>,
+    pub via: Vec<String>,
+    pub pairs: Vec<String>,
+    pub oracle: Option<String>,
+    pub line: u32,
+    /// Grammar error, reported as `bad-registration`.
+    pub error: Option<String>,
+}
+
+/// A `// lint: hotpath(f, g, ...)` annotation: the named functions are
+/// scheduler hot path, so rule S5 audits their panic surface
+/// (`unwrap`/`expect`/direct indexing needs a reasoned waiver).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HotPath {
+    pub fns: Vec<String>,
+    pub line: u32,
+    pub error: Option<String>,
+}
+
+/// Lexer output: the token stream plus every annotation comment
+/// encountered (waivers, incremental-state registrations, hot-path
+/// declarations).
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub waivers: Vec<Waiver>,
+    pub regs: Vec<Registration>,
+    pub hots: Vec<HotPath>,
 }
 
 /// Lex `src`. Unterminated strings/comments are tolerated (the rest of the
@@ -81,7 +120,7 @@ pub fn lex(src: &str) -> Lexed {
                 while i < b.len() && b[i] != b'\n' {
                     bump!();
                 }
-                scan_waiver(&src[start..i], at_line, &mut out.waivers);
+                scan_annotation(&src[start..i], at_line, &mut out);
             }
             b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
                 let start = i;
@@ -103,7 +142,7 @@ pub fn lex(src: &str) -> Lexed {
                         bump!();
                     }
                 }
-                scan_waiver(&src[start..i.min(src.len())], at_line, &mut out.waivers);
+                scan_annotation(&src[start..i.min(src.len())], at_line, &mut out);
             }
             b'"' => {
                 out.tokens.push(tok(TokKind::Literal, line, col));
@@ -254,23 +293,141 @@ fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     j < b.len() && b[j] == b'"'
 }
 
-/// Extract a waiver from one comment's text. To count, the annotation must
-/// *start* the comment (right after the `//`/`/*` marker): prose that
-/// merely mentions the syntax — like this crate's own docs — is not a
-/// waiver.
-fn scan_waiver(comment: &str, line: u32, out: &mut Vec<Waiver>) {
+/// Extract an annotation from one comment's text. To count, the annotation
+/// must *start* the comment (right after the `//`/`/*` marker): prose that
+/// merely mentions the syntax — like this crate's own docs — is not an
+/// annotation.
+fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     let body = comment.trim_start_matches(['/', '*', '!']).trim_start();
-    let Some(after) = body.strip_prefix("lint: allow(") else {
-        return;
+    if let Some(after) = body.strip_prefix("lint: allow(") {
+        let Some(close) = after.find(')') else { return };
+        let rule = after[..close].trim().to_string();
+        let tail = after[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        out.waivers.push(Waiver { rule, reason, line });
+    } else if let Some(after) = body.strip_prefix("lint: incremental(") {
+        out.regs.push(parse_registration(after, line));
+    } else if let Some(after) = body.strip_prefix("lint: hotpath(") {
+        let mut hot = HotPath {
+            line,
+            ..HotPath::default()
+        };
+        match after.find(')') {
+            Some(close) => {
+                for name in after[..close].split(',') {
+                    let name = name.trim();
+                    if name.is_empty() || !is_ident(name) {
+                        hot.error = Some(format!("bad function name `{name}`"));
+                    } else {
+                        hot.fns.push(name.to_string());
+                    }
+                }
+                if hot.fns.is_empty() && hot.error.is_none() {
+                    hot.error = Some("empty hotpath list".to_string());
+                }
+            }
+            None => hot.error = Some("missing `)`".to_string()),
+        }
+        out.hots.push(hot);
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        && !s.as_bytes()[0].is_ascii_digit()
+}
+
+/// Parse the clause list of one `incremental(...)` registration. Grammar
+/// errors never abort the analysis; they land in `error` and surface as
+/// `bad-registration` findings.
+fn parse_registration(after: &str, line: u32) -> Registration {
+    let mut reg = Registration {
+        line,
+        ..Registration::default()
     };
-    let Some(close) = after.find(')') else { return };
-    let rule = after[..close].trim().to_string();
-    let tail = after[close + 1..].trim_start();
-    let reason = tail
-        .strip_prefix(':')
-        .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
-        .unwrap_or_default();
-    out.push(Waiver { rule, reason, line });
+    let Some(close) = after.find(')') else {
+        reg.error = Some("missing `)`".to_string());
+        return reg;
+    };
+    let content = &after[..close];
+    // Split on commas outside `[...]` lists.
+    let mut clauses: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in content.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                clauses.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    clauses.push(cur);
+    let mut it = clauses.iter().map(|s| s.trim());
+    match it.next() {
+        Some(f) if is_ident(f) => reg.field = f.to_string(),
+        other => {
+            reg.error = Some(format!("bad field name `{}`", other.unwrap_or("")));
+            return reg;
+        }
+    }
+    for clause in it {
+        let Some((key, value)) = clause.split_once('=') else {
+            reg.error = Some(format!("clause `{clause}` is not `key = value`"));
+            return reg;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let parse_list = |v: &str| -> Result<Vec<String>, String> {
+            let inner = v
+                .strip_prefix('[')
+                .and_then(|v| v.strip_suffix(']'))
+                .ok_or_else(|| format!("`{key}` expects a `[a, b, ...]` list"))?;
+            let mut names = Vec::new();
+            for name in inner.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    continue;
+                }
+                if !is_ident(name) {
+                    return Err(format!("bad name `{name}` in `{key}` list"));
+                }
+                names.push(name.to_string());
+            }
+            Ok(names)
+        };
+        let res = match key {
+            "mutators" => parse_list(value).map(|l| reg.mutators = l),
+            "init" => parse_list(value).map(|l| reg.init = l),
+            "via" => parse_list(value).map(|l| reg.via = l),
+            "pairs" => parse_list(value).map(|l| reg.pairs = l),
+            "oracle" if is_ident(value) => {
+                reg.oracle = Some(value.to_string());
+                Ok(())
+            }
+            "oracle" => Err(format!("bad oracle name `{value}`")),
+            _ => Err(format!("unknown clause `{key}`")),
+        };
+        if let Err(e) = res {
+            reg.error = Some(e);
+            return reg;
+        }
+    }
+    if !reg.pairs.is_empty() && reg.pairs.len() != 2 {
+        reg.error = Some("`pairs` expects exactly [pre, post]".to_string());
+    }
+    reg
 }
 
 #[cfg(test)]
@@ -340,6 +497,43 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn registrations_parse_all_clauses() {
+        let src = "// lint: incremental(inv_cnt, mutators = [ins, del], init = [new], \
+                   via = [apply], pairs = [cap, com], oracle = check)\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.regs,
+            vec![Registration {
+                field: "inv_cnt".into(),
+                mutators: vec!["ins".into(), "del".into()],
+                init: vec!["new".into()],
+                via: vec!["apply".into()],
+                pairs: vec!["cap".into(), "com".into()],
+                oracle: Some("check".into()),
+                line: 1,
+                error: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_registrations_carry_an_error() {
+        let cases = [
+            "// lint: incremental()",
+            "// lint: incremental(f, mutators = push)",
+            "// lint: incremental(f, pairs = [a])",
+            "// lint: incremental(f, frobnicate = [a])",
+        ];
+        for src in cases {
+            let lexed = lex(src);
+            assert!(lexed.regs[0].error.is_some(), "{src}");
+        }
+        let hot = lex("// lint: hotpath(pick, apply)");
+        assert_eq!(hot.hots[0].fns, vec!["pick".to_string(), "apply".into()]);
+        assert!(lex("// lint: hotpath()").hots[0].error.is_some());
     }
 
     #[test]

@@ -3,22 +3,34 @@
 //!
 //! Every guarantee the reproduction makes (pinned goldens, the
 //! empty-fault-plan differential, old-vs-new figure diffs) rests on
-//! bit-for-bit deterministic simulation. This crate enforces that property
-//! *before* the golden tests can catch a violation after the fact, with
-//! five machine-checked rules:
+//! bit-for-bit deterministic simulation *and* on the incrementally
+//! maintained mirrors of simulator state staying consistent with the
+//! ground truth they mirror. Two machine-checked rule families enforce
+//! those properties before the golden tests can catch a violation after
+//! the fact:
 //!
 //! | rule | id | invariant |
 //! |------|----|-----------|
-//! | D1 | `hash-ordered`  | no `HashMap`/`HashSet` in sim crates |
-//! | D2 | `ambient-time`  | no wall-clock time in sim logic |
-//! | D3 | `unseeded-rng`  | no entropy-seeded randomness anywhere |
-//! | D4 | `float-ord`     | no `partial_cmp` in comparators |
-//! | D5 | `narrow-cast`   | no `as`-truncation of ticks/sizes in `cluster`/`sched` |
+//! | D1 | `hash-ordered`    | no `HashMap`/`HashSet` in sim crates |
+//! | D2 | `ambient-time`    | no wall-clock time in sim logic |
+//! | D3 | `unseeded-rng`    | no entropy-seeded randomness in lib code |
+//! | D4 | `float-ord`       | no `partial_cmp` in comparators |
+//! | D5 | `narrow-cast`     | no `as`-truncation of ticks/sizes in `cluster`/`sched` |
+//! | S1 | `mutation-escape` | registered incremental fields mutate only in registered mutators |
+//! | S2 | `delta-pairing`   | registered mutators call their capture/commit pair |
+//! | S3 | `oracle-coverage` | oracles are debug-asserted; debug-only fns are registered |
+//! | S4 | `assert-purity`   | assert arguments never call mutating fns |
+//! | S5 | `panic-surface`   | `unwrap`/`expect`/indexing in hot-path fns needs a waiver |
+//!
+//! The S-rules are driven by in-source registrations
+//! (`// lint: incremental(<field>, mutators = [...], oracle = <fn>)`,
+//! `// lint: hotpath(...)`) — see [`srules`] and DESIGN.md §15.
 //!
 //! Violations are waived per-site with `// lint: allow(<rule>): <reason>`
 //! on the offending line or the line above; the reason is mandatory and a
 //! waiver that suppresses nothing is itself an error (`unused-waiver`), so
-//! the allowlist cannot rot.
+//! the allowlist cannot rot. Annotation problems (bad/stale waivers,
+//! malformed registrations) are *meta-findings* and exit with code 2.
 //!
 //! Run as `cargo run -p dagon-lint` (exits nonzero on findings; `--json
 //! <path>` writes a machine-readable report for CI artifacts). The same
@@ -26,10 +38,15 @@
 //! seeded violation even if the CI lint job is skipped.
 
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod srules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use rules::{Dir, Scope, WaiverStats, META_RULES};
+use srules::FileCtx;
 
 pub use rules::Finding;
 
@@ -38,11 +55,24 @@ pub use rules::Finding;
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Incremental-state registrations parsed across the tree.
+    pub registrations: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_active: usize,
+    /// Stale waivers (also reported as `unused-waiver` findings).
+    pub waivers_stale: usize,
 }
 
 impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Any finding about the annotations themselves (bad/stale waiver,
+    /// malformed registration)? These exit with code 2 so CI can tell a
+    /// rotted allowlist from a code violation.
+    pub fn has_meta_findings(&self) -> bool {
+        self.findings.iter().any(|f| META_RULES.contains(&f.rule))
     }
 
     /// Machine-readable form (hand-rolled: the workspace is offline and
@@ -61,7 +91,12 @@ impl Report {
             ));
         }
         s.push_str(&format!(
-            "  ],\n  \"files_scanned\": {},\n  \"total_findings\": {}\n}}\n",
+            "  ],\n  \"waivers\": {{\"active\": {}, \"stale\": {}}},\n",
+            self.waivers_active, self.waivers_stale
+        ));
+        s.push_str(&format!(
+            "  \"registrations\": {},\n  \"files_scanned\": {},\n  \"total_findings\": {}\n}}\n",
+            self.registrations,
             self.files_scanned,
             self.findings.len()
         ));
@@ -86,14 +121,34 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Which crate does a workspace-relative path belong to? Files outside
-/// `crates/` (root `src/`, `tests/`, `examples/`) are the `repro` crate.
-fn crate_of(rel: &Path) -> String {
-    let mut comps = rel.components().filter_map(|c| c.as_os_str().to_str());
-    match comps.next() {
-        Some("crates") => comps.next().unwrap_or("repro").to_string(),
-        _ => "repro".to_string(),
-    }
+/// Scope of a workspace-relative path: crate name (files outside `crates/`
+/// — root `src/`, `tests/`, `examples/` — are the `repro` crate) plus the
+/// directory kind that drives per-directory rule scoping.
+fn scope_of(rel: &Path) -> Scope {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let crate_name = match comps.first() {
+        Some(&"crates") => comps.get(1).copied().unwrap_or("repro"),
+        _ => "repro",
+    };
+    // The first directory-kind component wins, wherever it sits (root
+    // `tests/golden.rs` and `crates/cluster/tests/chaos.rs` are both
+    // `Tests`).
+    let dirs = &comps[..comps.len().saturating_sub(1)];
+    let dir = if dirs.contains(&"tests") {
+        Dir::Tests
+    } else if dirs.contains(&"examples") {
+        Dir::Examples
+    } else if dirs.contains(&"benches") {
+        Dir::Benches
+    } else if comps.first() == Some(&"crates") {
+        Dir::CrateSrc
+    } else {
+        Dir::RootSrc
+    };
+    Scope::new(crate_name, dir)
 }
 
 /// Directories never descended into: build output, vendored stand-ins,
@@ -120,25 +175,76 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Analyze a set of already-loaded sources (`(workspace-relative path,
+/// source)` pairs). This is the whole pipeline minus the filesystem walk;
+/// the fixture self-tests call it directly.
+pub fn analyze_sources(sources: &[(String, String)]) -> Report {
+    // Pass 1: lex + parse everything (S3/S4 need cross-file context).
+    let ctxs: Vec<FileCtx> = sources
+        .iter()
+        .map(|(rel, src)| {
+            let lexed = lexer::lex(src);
+            let parsed = parser::parse(&lexed.tokens);
+            FileCtx {
+                rel: rel.clone(),
+                scope: scope_of(Path::new(rel)),
+                lexed,
+                parsed,
+            }
+        })
+        .collect();
+
+    // Pass 2: per-file token rules (D1-D5) + file-local S-rules (S1/S2/S5
+    // + registration validation).
+    let mut raw_by_file: Vec<Vec<Finding>> = ctxs
+        .iter()
+        .map(|c| {
+            let mut raw = rules::check_dtokens(&c.rel, &c.scope, &c.lexed);
+            raw.extend(srules::check_file(&c.rel, &c.scope, &c.lexed, &c.parsed));
+            raw
+        })
+        .collect();
+
+    // Pass 3: crate-level S-rules (S3 oracle coverage, S4 assert purity),
+    // routed back to the file each finding belongs to so its waivers see
+    // it.
+    for f in srules::check_crates(&ctxs) {
+        let fi = ctxs
+            .iter()
+            .position(|c| c.rel == f.file)
+            .expect("crate-pass finding refers to an analyzed file");
+        raw_by_file[fi].push(f);
+    }
+
+    // Pass 4: waivers, with accounting.
+    let mut report = Report {
+        files_scanned: ctxs.len(),
+        ..Report::default()
+    };
+    for (c, raw) in ctxs.iter().zip(raw_by_file) {
+        let (kept, stats): (Vec<Finding>, WaiverStats) =
+            rules::apply_waivers(&c.rel, &c.lexed, &c.parsed, raw);
+        report.findings.extend(kept);
+        report.waivers_active += stats.active;
+        report.waivers_stale += stats.stale;
+        report.registrations += c.lexed.regs.iter().filter(|r| r.error.is_none()).count();
+    }
+    report.findings.sort();
+    report
+}
+
 /// Analyze every first-party `.rs` file under `root` (a workspace layout:
 /// `crates/<name>/...` plus root `src`/`tests`/`examples`).
 pub fn analyze(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs(root, &mut files);
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let crate_name = crate_of(&rel);
         let src = fs::read_to_string(&path)?;
-        let lexed = lexer::lex(&src);
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        report
-            .findings
-            .extend(rules::check_file(&rel_str, &crate_name, &lexed));
-        report.files_scanned += 1;
+        sources.push((rel.to_string_lossy().replace('\\', "/"), src));
     }
-    report.findings.sort();
-    Ok(report)
+    Ok(analyze_sources(&sources))
 }
 
 /// Render one finding as a rustc-style diagnostic.
@@ -175,18 +281,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn crate_scoping_from_paths() {
-        assert_eq!(crate_of(Path::new("crates/cluster/src/sim.rs")), "cluster");
-        assert_eq!(
-            crate_of(Path::new("crates/bench/benches/figures.rs")),
-            "bench"
-        );
-        assert_eq!(crate_of(Path::new("tests/golden.rs")), "repro");
-        assert_eq!(crate_of(Path::new("src/lib.rs")), "repro");
+    fn scope_from_paths() {
+        let s = scope_of(Path::new("crates/cluster/src/sim.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("cluster", Dir::CrateSrc));
+        let s = scope_of(Path::new("crates/bench/benches/figures.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("bench", Dir::Benches));
+        let s = scope_of(Path::new("crates/cluster/tests/chaos.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("cluster", Dir::Tests));
+        let s = scope_of(Path::new("tests/golden.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("repro", Dir::Tests));
+        let s = scope_of(Path::new("src/lib.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("repro", Dir::RootSrc));
+        let s = scope_of(Path::new("examples/demo.rs"));
+        assert_eq!((s.crate_name.as_str(), s.dir), ("repro", Dir::Examples));
     }
 
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_has_waiver_and_registration_sections() {
+        let r = Report {
+            waivers_active: 3,
+            waivers_stale: 1,
+            registrations: 12,
+            ..Report::default()
+        };
+        let j = r.to_json();
+        assert!(
+            j.contains("\"waivers\": {\"active\": 3, \"stale\": 1}"),
+            "{j}"
+        );
+        assert!(j.contains("\"registrations\": 12"), "{j}");
+    }
+
+    #[test]
+    fn meta_findings_detected() {
+        let r = analyze_sources(&[(
+            "crates/cluster/src/a.rs".to_string(),
+            "// lint: allow(hash-ordered): nothing here\nlet x = 1;".to_string(),
+        )]);
+        assert!(r.has_meta_findings(), "{:?}", r.findings);
+        assert_eq!(r.waivers_stale, 1);
     }
 }

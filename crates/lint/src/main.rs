@@ -1,7 +1,9 @@
 //! CLI driver: `cargo run -p dagon-lint [-- --root <dir>] [--json <path>]`.
 //!
-//! Exits 0 when the tree is clean, 1 on any un-waived finding, 2 on I/O
-//! or usage errors — so CI can distinguish "violations" from "broken run".
+//! Exits 0 when the tree is clean, 1 on any un-waived code finding, 2 on
+//! meta-findings (bad/stale waivers, malformed registrations) and on I/O
+//! or usage errors — so CI can distinguish "the code violates an
+//! invariant" from "the annotation layer rotted / broken run".
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -61,12 +63,18 @@ fn main() -> ExitCode {
         eprintln!("{}", dagon_lint::render(f));
     }
     eprintln!(
-        "dagon-lint: {} file(s) scanned, {} finding(s)",
+        "dagon-lint: {} file(s) scanned, {} finding(s), {} registration(s), \
+         {} active / {} stale waiver(s)",
         report.files_scanned,
-        report.findings.len()
+        report.findings.len(),
+        report.registrations,
+        report.waivers_active,
+        report.waivers_stale
     );
     if report.is_clean() {
         ExitCode::SUCCESS
+    } else if report.has_meta_findings() {
+        ExitCode::from(2)
     } else {
         ExitCode::FAILURE
     }

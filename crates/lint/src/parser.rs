@@ -1,0 +1,522 @@
+//! A lightweight brace-matched item/block parser over the token stream.
+//!
+//! The S-rules need more structure than a flat token scan: which function
+//! a token belongs to (and whether that function takes `&mut self`), which
+//! struct declares which fields, where `assert!`-family macro arguments
+//! begin and end, and which regions are `#[cfg(test)]` /
+//! `#[cfg(debug_assertions)]`-gated. This module recovers exactly that —
+//! item boundaries by brace matching — and nothing more; it is not an AST.
+//! Like the lexer it must tolerate arbitrary (even non-compiling) input
+//! without panicking.
+
+use crate::lexer::{TokKind, Token};
+
+/// How a function binds `self`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function or associated function without `self`.
+    Free,
+    /// `self` / `mut self` by value.
+    Owned,
+    /// `&self`.
+    Ref,
+    /// `&mut self`.
+    RefMut,
+}
+
+/// One `fn` item (including fns nested in impl blocks or other fns).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub receiver: Receiver,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body *between* the braces:
+    /// `tokens[body.0..body.1]` excludes both `{` and `}`. `None` for
+    /// body-less trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// First and last source line of the body (brace lines included).
+    pub body_lines: (u32, u32),
+}
+
+/// One `struct` item with its named fields (tuple/unit structs keep an
+/// empty field list).
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<String>,
+}
+
+/// One `assert!`-family macro invocation.
+#[derive(Clone, Debug)]
+pub struct AssertSpan {
+    /// Macro name (`assert`, `debug_assert_eq`, `prop_assert`, ...).
+    pub name: String,
+    /// `debug_assert*` — compiled out of release builds.
+    pub debug: bool,
+    /// Token-index range of the arguments between the parens (exclusive
+    /// of both parens).
+    pub args: (usize, usize),
+    pub line: u32,
+}
+
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "prop_assert",
+    "prop_assert_eq",
+    "prop_assert_ne",
+];
+
+/// Parser output for one file.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub asserts: Vec<AssertSpan>,
+    /// Token ranges gated by `#[cfg(test)]` (test modules).
+    pub cfg_test: Vec<(usize, usize)>,
+    /// Token ranges gated by `#[cfg(debug_assertions)]` attributes or
+    /// `if cfg!(debug_assertions)` blocks.
+    pub cfg_debug: Vec<(usize, usize)>,
+}
+
+impl Parsed {
+    /// Innermost function whose body contains token index `i`.
+    pub fn fn_containing(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| (a..b).contains(&i)))
+            .max_by_key(|f| f.body.unwrap().0)
+    }
+
+    pub fn in_cfg_test(&self, i: usize) -> bool {
+        self.cfg_test.iter().any(|&(a, b)| (a..b).contains(&i))
+    }
+
+    pub fn in_cfg_debug(&self, i: usize) -> bool {
+        self.cfg_debug.iter().any(|&(a, b)| (a..b).contains(&i))
+    }
+
+    /// Is token `i` inside the argument list of a `debug_assert*` (or any
+    /// assert nested in a `cfg(debug_assertions)` region)?
+    pub fn in_debug_assert(&self, i: usize) -> bool {
+        self.asserts
+            .iter()
+            .any(|a| (a.args.0..a.args.1).contains(&i) && (a.debug || self.in_cfg_debug(i)))
+    }
+
+    /// Is token `i` inside any assert-macro argument list?
+    pub fn in_any_assert(&self, i: usize) -> bool {
+        self.asserts
+            .iter()
+            .any(|a| (a.args.0..a.args.1).contains(&i))
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t, Some(t) if t.kind == TokKind::Punct(c))
+}
+
+fn ident_text(t: Option<&Token>) -> Option<&str> {
+    match t {
+        Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+        _ => None,
+    }
+}
+
+/// Index of the token matching the opener at `open` (`toks[open]` must be
+/// the opening delimiter). Returns `None` on unbalanced input.
+pub fn match_delim(toks: &[Token], open: usize, oc: char, cc: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct(c) if c == oc => depth += 1,
+            TokKind::Punct(c) if c == cc => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Skip a generic parameter list starting at `toks[i] == '<'`; returns the
+/// index just past the matching `>`. `->` inside (e.g. `Fn(u32) -> bool`
+/// bounds) does not close the list.
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                if j > 0 && toks[j - 1].kind == TokKind::Punct('-') {
+                    // `->` return-type arrow inside a bound.
+                } else {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Receiver of the parameter list `toks[open+1..close]`.
+fn receiver_of(toks: &[Token], open: usize, close: usize) -> Receiver {
+    let mut j = open + 1;
+    if j >= close {
+        return Receiver::Free;
+    }
+    let mut borrowed = false;
+    if is_punct(toks.get(j), '&') {
+        borrowed = true;
+        j += 1;
+        if matches!(toks.get(j), Some(t) if t.kind == TokKind::Lifetime) {
+            j += 1;
+        }
+    }
+    let mutable = ident_text(toks.get(j)) == Some("mut");
+    if mutable {
+        j += 1;
+    }
+    if ident_text(toks.get(j)) != Some("self") {
+        return Receiver::Free;
+    }
+    // `self: Type` (e.g. `self: Pin<&mut Self>`) is out of scope: treat
+    // the plain forms only.
+    match (borrowed, mutable) {
+        (true, true) => Receiver::RefMut,
+        (true, false) => Receiver::Ref,
+        (false, _) => Receiver::Owned,
+    }
+}
+
+/// Parse one token stream. Single linear pass; nested items are found
+/// because the pass simply continues inside bodies.
+pub fn parse(toks: &[Token]) -> Parsed {
+    let mut out = Parsed::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            // `#[cfg(test)]` / `#[cfg(debug_assertions)]` attributes.
+            TokKind::Punct('#') if is_punct(toks.get(i + 1), '[') => {
+                let Some(close) = match_delim(toks, i + 1, '[', ']') else {
+                    i += 1;
+                    continue;
+                };
+                let attr = &toks[i + 2..close];
+                let gates = |what: &str| {
+                    ident_text(attr.first()) == Some("cfg") && attr.iter().any(|a| a.text == what)
+                };
+                if gates("test") || gates("debug_assertions") {
+                    if let Some(range) = gated_range(toks, close + 1) {
+                        if gates("test") {
+                            out.cfg_test.push(range);
+                        } else {
+                            out.cfg_debug.push(range);
+                        }
+                    }
+                }
+                i = close + 1;
+            }
+            // `if cfg!(debug_assertions) { ... }` runtime gate.
+            TokKind::Ident if t.text == "cfg" && is_punct(toks.get(i + 1), '!') => {
+                if is_punct(toks.get(i + 2), '(')
+                    && ident_text(toks.get(i + 3)) == Some("debug_assertions")
+                {
+                    if let Some(range) = gated_range(toks, i + 2) {
+                        out.cfg_debug.push(range);
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                if let Some((item, next)) = parse_fn(toks, i) {
+                    out.fns.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident if t.text == "struct" => {
+                if let Some((item, next)) = parse_struct(toks, i) {
+                    out.structs.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident
+                if ASSERT_MACROS.contains(&t.text.as_str())
+                    && is_punct(toks.get(i + 1), '!')
+                    && is_punct(toks.get(i + 2), '(') =>
+            {
+                if let Some(close) = match_delim(toks, i + 2, '(', ')') {
+                    out.asserts.push(AssertSpan {
+                        name: t.text.clone(),
+                        debug: t.text.starts_with("debug_"),
+                        args: (i + 3, close),
+                        line: t.line,
+                    });
+                }
+                // Continue *inside* the args: nested fns/asserts still
+                // get parsed by the linear pass.
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Token range gated by an attribute ending just before `start`: up to the
+/// end of the next balanced `{...}` block, or the next `;` if one appears
+/// first at depth 0 (a gated `use`/expression statement).
+fn gated_range(toks: &[Token], start: usize) -> Option<(usize, usize)> {
+    let mut j = start;
+    // Skip any further attributes (`#[cfg(test)] #[allow(...)] mod t {`).
+    while is_punct(toks.get(j), '#') && is_punct(toks.get(j + 1), '[') {
+        j = match_delim(toks, j + 1, '[', ']')? + 1;
+    }
+    let mut depth_paren = 0i32;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth_paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth_paren -= 1,
+            TokKind::Punct(';') if depth_paren == 0 => return Some((start, j)),
+            TokKind::Punct('{') if depth_paren == 0 => {
+                let close = match_delim(toks, j, '{', '}')?;
+                return Some((start, close + 1));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn parse_fn(toks: &[Token], at: usize) -> Option<(FnItem, usize)> {
+    let name = ident_text(toks.get(at + 1))?.to_string();
+    let mut j = at + 2;
+    if is_punct(toks.get(j), '<') {
+        j = skip_generics(toks, j);
+    }
+    if !is_punct(toks.get(j), '(') {
+        return None;
+    }
+    let params_close = match_delim(toks, j, '(', ')')?;
+    let receiver = receiver_of(toks, j, params_close);
+    // Scan past return type / where clause to the body `{` or a `;`.
+    let mut k = params_close + 1;
+    let mut depth = 0i32;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct(';') if depth == 0 => {
+                // Trait method declaration without a body.
+                return Some((
+                    FnItem {
+                        name,
+                        receiver,
+                        line: toks[at].line,
+                        body: None,
+                        body_lines: (toks[at].line, toks[at].line),
+                    },
+                    k + 1,
+                ));
+            }
+            TokKind::Punct('{') if depth == 0 => {
+                let close = match_delim(toks, k, '{', '}')?;
+                return Some((
+                    FnItem {
+                        name,
+                        receiver,
+                        line: toks[at].line,
+                        body: Some((k + 1, close)),
+                        body_lines: (toks[k].line, toks[close].line),
+                    },
+                    // Descend into the body so nested items are parsed.
+                    k + 1,
+                ));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+fn parse_struct(toks: &[Token], at: usize) -> Option<(StructItem, usize)> {
+    let name = ident_text(toks.get(at + 1))?.to_string();
+    let line = toks[at].line;
+    let mut j = at + 2;
+    if is_punct(toks.get(j), '<') {
+        j = skip_generics(toks, j);
+    }
+    // Skip a where clause up to `{`, `;`, or `(`.
+    while j < toks.len()
+        && !matches!(
+            toks[j].kind,
+            TokKind::Punct('{') | TokKind::Punct(';') | TokKind::Punct('(')
+        )
+    {
+        j += 1;
+    }
+    if !is_punct(toks.get(j), '{') {
+        // Unit or tuple struct: no named fields.
+        return Some((
+            StructItem {
+                name,
+                line,
+                fields: Vec::new(),
+            },
+            j,
+        ));
+    }
+    let close = match_delim(toks, j, '{', '}')?;
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    // Fields are comma-separated at depth 0 within the braces; each one is
+    // `[attrs] [pub[(..)]] name : Type`.
+    while k < close {
+        // Skip attributes and visibility.
+        loop {
+            if is_punct(toks.get(k), '#') && is_punct(toks.get(k + 1), '[') {
+                match match_delim(toks, k + 1, '[', ']') {
+                    Some(c) if c < close => k = c + 1,
+                    _ => break,
+                }
+            } else if ident_text(toks.get(k)) == Some("pub") {
+                k += 1;
+                if is_punct(toks.get(k), '(') {
+                    match match_delim(toks, k, '(', ')') {
+                        Some(c) if c < close => k = c + 1,
+                        _ => break,
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if let (Some(name), true) = (ident_text(toks.get(k)), is_punct(toks.get(k + 1), ':')) {
+            fields.push(name.to_string());
+        }
+        // Advance to the comma ending this field (depth-aware: types
+        // contain `(`/`[`/`<` groups with their own commas).
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        while k < close {
+            match toks[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if !(k > 0 && toks[k - 1].kind == TokKind::Punct('-')) => {
+                    angle -= 1;
+                }
+                TokKind::Punct(',') if depth == 0 && angle <= 0 => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    Some((StructItem { name, line, fields }, j + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Parsed {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn fn_boundaries_receivers_and_nesting() {
+        let src = "impl Foo {\n\
+                   fn a(&self) -> u32 { 1 }\n\
+                   fn b(&mut self, x: u32) { if x > 0 { self.n = x; } }\n\
+                   fn c(mut self) {}\n\
+                   }\n\
+                   fn free<T: Fn(u32) -> bool>(f: T) { fn inner() { 0 } }\n";
+        let p = parsed(src);
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "free", "inner"]);
+        assert_eq!(p.fns[0].receiver, Receiver::Ref);
+        assert_eq!(p.fns[1].receiver, Receiver::RefMut);
+        assert_eq!(p.fns[2].receiver, Receiver::Owned);
+        assert_eq!(p.fns[3].receiver, Receiver::Free);
+        // `inner` is innermost at its own body.
+        let (a, _) = p.fns[4].body.unwrap();
+        assert_eq!(p.fn_containing(a).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn struct_fields_are_collected_depth_aware() {
+        let src = "pub struct S {\n\
+                   pub a: Vec<(u32, u64)>,\n\
+                   #[allow(dead_code)] b: BTreeMap<K, V>,\n\
+                   c: [u64; 4],\n\
+                   }\n\
+                   struct Unit;\n\
+                   struct Tup(u32);";
+        let p = parsed(src);
+        assert_eq!(p.structs[0].fields, ["a", "b", "c"]);
+        assert!(p.structs[1].fields.is_empty());
+        assert!(p.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn assert_spans_and_cfg_ranges() {
+        let src = "fn f(&self) {\n\
+                   debug_assert!(self.check(), \"boom\");\n\
+                   #[cfg(debug_assertions)]\n\
+                   { self.check2(); }\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn t() { assert_eq!(1, 1); } }\n";
+        let p = parsed(src);
+        assert_eq!(p.asserts.len(), 2);
+        assert!(p.asserts[0].debug);
+        let check2 = lex(src)
+            .tokens
+            .iter()
+            .position(|t| t.text == "check2")
+            .unwrap();
+        assert!(p.in_cfg_debug(check2));
+        let eq_args = p.asserts[1].args;
+        assert!(p.in_cfg_test(eq_args.0));
+        assert!(!p.asserts[1].debug);
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        for src in [
+            "fn f( {",
+            "struct S { a: (",
+            "#[cfg(test)]",
+            "fn f<T(",
+            "} } )",
+        ] {
+            let _ = parsed(src);
+        }
+    }
+}

@@ -1,11 +1,14 @@
-//! The determinism rules (D1-D5) and the waiver machinery.
+//! The determinism rules (D1-D5), rule scoping, and the waiver machinery.
 //!
-//! Every rule is a pure function over the token stream of one file. The
-//! file's *crate* decides which rules apply (see [`rule_applies`]): e.g.
-//! `dagon-bench` measures wall time on purpose, so `ambient-time` is not
-//! enforced there.
+//! Every D-rule is a pure function over the token stream of one file. The
+//! file's *scope* — its crate plus its top-level directory kind — decides
+//! which rules apply (see [`rule_applies`]): e.g. `dagon-bench` measures
+//! wall time on purpose, so `ambient-time` is not enforced there, and
+//! seeded test helpers under `tests/` are exempt from the crate-only
+//! rules. The flow-aware S-rules live in [`crate::srules`].
 
 use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::Parsed;
 
 /// Rule identifiers. These are the names waivers reference, so they are
 /// part of the tool's stable interface.
@@ -14,10 +17,36 @@ pub const AMBIENT_TIME: &str = "ambient-time"; // D2
 pub const UNSEEDED_RNG: &str = "unseeded-rng"; // D3
 pub const FLOAT_ORD: &str = "float-ord"; // D4
 pub const NARROW_CAST: &str = "narrow-cast"; // D5
+/// S1 — a registered incremental field is mutated outside its mutators.
+pub const MUTATION_ESCAPE: &str = "mutation-escape";
+/// S2 — a registered mutator lacks its paired capture/commit calls.
+pub const DELTA_PAIRING: &str = "delta-pairing";
+/// S3 — a registered oracle is never `debug_assert!`-checked, or a
+/// debug-assert-only function is not registered as an oracle.
+pub const ORACLE_COVERAGE: &str = "oracle-coverage";
+/// S4 — an assert argument calls a mutating function.
+pub const ASSERT_PURITY: &str = "assert-purity";
+/// S5 — `unwrap`/`expect`/direct indexing in a registered hot-path fn.
+pub const PANIC_SURFACE: &str = "panic-surface";
 /// Meta-rule: a waiver comment missing its `: <reason>` tail.
 pub const BAD_WAIVER: &str = "bad-waiver";
 /// Meta-rule: a waiver that suppressed nothing (stale after a refactor).
 pub const UNUSED_WAIVER: &str = "unused-waiver";
+/// Meta-rule: a malformed/duplicate registration, or one naming unknown
+/// fields/functions.
+pub const BAD_REGISTRATION: &str = "bad-registration";
+/// Meta-rule: a registration whose field is never accessed in the file.
+pub const UNUSED_REGISTRATION: &str = "unused-registration";
+
+/// The meta-rules: problems with the annotations themselves rather than
+/// the code. The CLI reports them with exit code 2 so CI can distinguish
+/// "the tree violates an invariant" from "the allowlist/manifest rotted".
+pub const META_RULES: &[&str] = &[
+    BAD_WAIVER,
+    UNUSED_WAIVER,
+    BAD_REGISTRATION,
+    UNUSED_REGISTRATION,
+];
 
 /// Crates whose *logic runs inside the simulation clock* — the set D1/D2
 /// guard. `repro` is the workspace root (integration tests + examples).
@@ -33,17 +62,63 @@ const SIM_CRATES: &[&str] = &[
     "repro",
 ];
 
-/// Does `rule` apply to files of `crate_name`?
-pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
+/// Which top-level directory kind a file lives in. Distinguishes library
+/// code from test/example/bench harnesses so per-directory rule scoping
+/// can exempt the latter from crate-only rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `crates/<name>/src/...` (including `src/bin`).
+    CrateSrc,
+    /// Workspace-root `src/`.
+    RootSrc,
+    /// Any `tests/` directory (root or per-crate).
+    Tests,
+    /// Any `examples/` directory.
+    Examples,
+    /// Any `benches/` directory.
+    Benches,
+}
+
+/// Where a file sits: its crate plus its directory kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scope {
+    pub crate_name: String,
+    pub dir: Dir,
+}
+
+impl Scope {
+    pub fn new(crate_name: &str, dir: Dir) -> Self {
+        Scope {
+            crate_name: crate_name.to_string(),
+            dir,
+        }
+    }
+
+    /// Library code compiled into the shipped crates (as opposed to test,
+    /// example, or bench harness code).
+    pub fn is_lib(&self) -> bool {
+        matches!(self.dir, Dir::CrateSrc | Dir::RootSrc)
+    }
+}
+
+/// Does `rule` apply to files of `scope`?
+pub fn rule_applies(rule: &str, scope: &Scope) -> bool {
+    let sim = SIM_CRATES.contains(&scope.crate_name.as_str());
     match rule {
-        HASH_ORDERED | AMBIENT_TIME => SIM_CRATES.contains(&crate_name),
+        // Iteration order leaks through tests too (golden comparisons are
+        // built from iterated state), so D1 covers every directory.
+        HASH_ORDERED => sim,
+        // Crate-only: a test helper timing its own harness, or a seeded
+        // test fixture, must not false-positive.
+        AMBIENT_TIME => sim && scope.is_lib(),
+        UNSEEDED_RNG => scope.is_lib(),
         // Tick/size truncation matters where SimTime and MiB feed
         // scheduling and eviction decisions.
-        NARROW_CAST => matches!(crate_name, "cluster" | "sched"),
-        // Entropy and float-comparator hazards are banned everywhere,
-        // including the bench harness (a nondeterministic bench seed would
-        // make BENCH_N.json diffs meaningless).
-        UNSEEDED_RNG | FLOAT_ORD => true,
+        NARROW_CAST => matches!(scope.crate_name.as_str(), "cluster" | "sched"),
+        // Float-comparator hazards are banned everywhere, including the
+        // bench harness (a NaN-dependent sort would make BENCH_N.json
+        // diffs meaningless).
+        FLOAT_ORD => true,
         _ => true,
     }
 }
@@ -81,8 +156,40 @@ pub fn help_for(rule: &str) -> &'static str {
             "an `as` cast can silently truncate a tick/size value; use \
              `u64`/`f64` end-to-end or `try_into` with an explicit bound"
         }
+        MUTATION_ESCAPE => {
+            "route the mutation through one of the field's registered \
+             mutators so its delta stream (and oracle) stay in sync"
+        }
+        DELTA_PAIRING => {
+            "a registered mutator must emit its deltas: call the \
+             registered pre/post pair (e.g. capture before the flip, \
+             commit after) or the memos silently drift"
+        }
+        ORACLE_COVERAGE => {
+            "debug-assert the oracle on the hot path (the from-scratch \
+             rebuild check is the only thing standing between an \
+             incremental-state bug and a silently wrong schedule)"
+        }
+        ASSERT_PURITY => {
+            "an assert argument must be pure: a side-effecting \
+             `debug_assert!` changes release-build schedules when the \
+             assert is compiled out"
+        }
+        PANIC_SURFACE => {
+            "hot-path panics take down the scheduler: bound the index or \
+             waive the whole fn with \
+             `// lint: allow(panic-surface): <why the indices are bounded>`"
+        }
         BAD_WAIVER => "write `// lint: allow(<rule>): <reason>` — the reason is mandatory",
         UNUSED_WAIVER => "this waiver suppresses nothing; delete it",
+        BAD_REGISTRATION => {
+            "registration grammar: `// lint: incremental(<field>, \
+             mutators = [..], init = [..], via = [..], pairs = [pre, \
+             post], oracle = <fn>)`; every name must resolve in this file"
+        }
+        UNUSED_REGISTRATION => {
+            "the registered field is never accessed here; delete the registration"
+        }
         _ => "",
     }
 }
@@ -115,9 +222,10 @@ fn is_tick_or_size_ident(name: &str) -> bool {
         || n.ends_with("_mb")
 }
 
-/// Check one lexed file. `crate_name` scopes the rules; `file` is the
-/// path recorded in findings (workspace-relative).
-pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
+/// Run the token-stream determinism rules (D1-D5) over one lexed file.
+/// Returns *raw* findings: waivers are applied by [`apply_waivers`] after
+/// the crate-level passes have contributed theirs.
+pub fn check_dtokens(file: &str, scope: &Scope, lexed: &Lexed) -> Vec<Finding> {
     let toks = &lexed.tokens;
     let mut raw: Vec<Finding> = Vec::new();
 
@@ -135,7 +243,7 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
         }
         match t.text.as_str() {
             // D1 — iteration-order-nondeterministic containers.
-            "HashMap" | "HashSet" if rule_applies(HASH_ORDERED, crate_name) => {
+            "HashMap" | "HashSet" if rule_applies(HASH_ORDERED, scope) => {
                 raw.push(finding(
                     t,
                     HASH_ORDERED,
@@ -143,7 +251,7 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
                 ));
             }
             // D2 — ambient wall-clock time in sim logic.
-            "Instant" | "SystemTime" if rule_applies(AMBIENT_TIME, crate_name) => {
+            "Instant" | "SystemTime" if rule_applies(AMBIENT_TIME, scope) => {
                 raw.push(finding(
                     t,
                     AMBIENT_TIME,
@@ -153,7 +261,7 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
             // `std :: time` path segment (covers `std::time::Duration`
             // misuse for tick math without naming Instant directly).
             "std"
-                if rule_applies(AMBIENT_TIME, crate_name)
+                if rule_applies(AMBIENT_TIME, scope)
                     && matches!(toks.get(i + 1), Some(c) if c.kind == TokKind::Punct(':'))
                     && matches!(toks.get(i + 2), Some(c) if c.kind == TokKind::Punct(':'))
                     && matches!(toks.get(i + 3), Some(c) if c.kind == TokKind::Ident && c.text == "time") =>
@@ -165,7 +273,7 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
                 ));
             }
             // D3 — entropy-seeded randomness.
-            "thread_rng" | "from_entropy" | "OsRng" => {
+            "thread_rng" | "from_entropy" | "OsRng" if rule_applies(UNSEEDED_RNG, scope) => {
                 raw.push(finding(
                     t,
                     UNSEEDED_RNG,
@@ -198,7 +306,7 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
                 }
             }
             // D5 — narrowing `as` cast fed by a tick/size identifier.
-            "as" if rule_applies(NARROW_CAST, crate_name) => {
+            "as" if rule_applies(NARROW_CAST, scope) => {
                 let target = toks.get(i + 1);
                 let narrow = matches!(
                     target,
@@ -236,15 +344,46 @@ pub fn check_file(file: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
             _ => {}
         }
     }
+    raw
+}
 
-    apply_waivers(file, lexed, raw)
+const KNOWN_RULES: &[&str] = &[
+    HASH_ORDERED,
+    AMBIENT_TIME,
+    UNSEEDED_RNG,
+    FLOAT_ORD,
+    NARROW_CAST,
+    MUTATION_ESCAPE,
+    DELTA_PAIRING,
+    ORACLE_COVERAGE,
+    ASSERT_PURITY,
+    PANIC_SURFACE,
+];
+
+/// Waiver bookkeeping for one file, reported in the JSON `waivers`
+/// section.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WaiverStats {
+    /// Waivers that suppressed at least one finding.
+    pub active: usize,
+    /// Stale waivers (reported as `unused-waiver` findings).
+    pub stale: usize,
 }
 
 /// Suppress findings covered by a waiver; report malformed and stale
 /// waivers as findings of their own.
-fn apply_waivers(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
-    // A waiver on line L covers L itself (trailing comment) and the next
-    // line carrying any token (standalone comment above the statement).
+///
+/// A waiver on line L covers L itself (trailing comment) and the next
+/// line carrying any token (standalone comment above the statement).
+/// `panic-surface` waivers additionally cover a whole function body when
+/// placed on (or directly above) its `fn` line — the S5 audit is
+/// per-function, not per-line.
+pub fn apply_waivers(
+    file: &str,
+    lexed: &Lexed,
+    parsed: &Parsed,
+    raw: Vec<Finding>,
+) -> (Vec<Finding>, WaiverStats) {
     let covered_lines = |wline: u32| -> (u32, u32) {
         let next = lexed
             .tokens
@@ -260,27 +399,29 @@ fn apply_waivers(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
     for f in raw {
         let mut waived = false;
         for (wi, w) in lexed.waivers.iter().enumerate() {
-            if w.rule == f.rule {
-                let (a, b) = covered_lines(w.line);
-                if f.line == a || f.line == b {
-                    used[wi] = true;
-                    waived = true;
-                }
+            if w.rule != f.rule {
+                continue;
+            }
+            let (a, b) = covered_lines(w.line);
+            let mut covers = f.line == a || f.line == b;
+            if !covers && w.rule == PANIC_SURFACE {
+                covers = parsed.fns.iter().any(|g| {
+                    (g.line == a || g.line == b)
+                        && (g.body_lines.0..=g.body_lines.1).contains(&f.line)
+                });
+            }
+            if covers {
+                used[wi] = true;
+                waived = true;
             }
         }
         if !waived {
             out.push(f);
         }
     }
-    const KNOWN: &[&str] = &[
-        HASH_ORDERED,
-        AMBIENT_TIME,
-        UNSEEDED_RNG,
-        FLOAT_ORD,
-        NARROW_CAST,
-    ];
+    let mut stats = WaiverStats::default();
     for (wi, w) in lexed.waivers.iter().enumerate() {
-        if !KNOWN.contains(&w.rule.as_str()) {
+        if !KNOWN_RULES.contains(&w.rule.as_str()) {
             out.push(Finding {
                 file: file.to_string(),
                 line: w.line,
@@ -297,6 +438,7 @@ fn apply_waivers(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
                 message: format!("waiver for `{}` has no reason", w.rule),
             });
         } else if !used[wi] {
+            stats.stale += 1;
             out.push(Finding {
                 file: file.to_string(),
                 line: w.line,
@@ -304,19 +446,34 @@ fn apply_waivers(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
                 rule: UNUSED_WAIVER,
                 message: format!("waiver for `{}` suppresses nothing", w.rule),
             });
+        } else {
+            stats.active += 1;
         }
     }
     out.sort();
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::lex;
+    use crate::parser::parse;
 
+    /// Full single-file pipeline at `CrateSrc` scope: D-rules + S-rules +
+    /// waivers (mirrors what `analyze` does per file, minus cross-file
+    /// passes).
     fn check(crate_name: &str, src: &str) -> Vec<Finding> {
-        check_file("mem.rs", crate_name, &lex(src))
+        check_in(crate_name, Dir::CrateSrc, src)
+    }
+
+    fn check_in(crate_name: &str, dir: Dir, src: &str) -> Vec<Finding> {
+        let scope = Scope::new(crate_name, dir);
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        let mut raw = check_dtokens("mem.rs", &scope, &lexed);
+        raw.extend(crate::srules::check_file("mem.rs", &scope, &lexed, &parsed));
+        apply_waivers("mem.rs", &lexed, &parsed, raw).0
     }
 
     #[test]
@@ -350,7 +507,23 @@ mod tests {
     }
 
     #[test]
-    fn d3_flags_entropy_everywhere() {
+    fn d2_d3_are_crate_only_scoped() {
+        // The same source is a finding in library code but not in a test
+        // or example harness (seeded helpers there are fine).
+        let time = "let t = Instant::now();";
+        assert_eq!(check_in("sched", Dir::CrateSrc, time).len(), 1);
+        assert!(check_in("sched", Dir::Tests, time).is_empty());
+        assert!(check_in("repro", Dir::Examples, time).is_empty());
+        let rng = "let mut r = rand::thread_rng();";
+        assert_eq!(check_in("cluster", Dir::CrateSrc, rng).len(), 1);
+        assert!(check_in("cluster", Dir::Tests, rng).is_empty());
+        // D1 stays on in tests: iteration order leaks into goldens.
+        let hash = "use std::collections::HashMap;";
+        assert_eq!(check_in("cluster", Dir::Tests, hash).len(), 1);
+    }
+
+    #[test]
+    fn d3_flags_entropy_in_lib_code() {
         for c in ["cluster", "bench", "lint"] {
             assert_eq!(check(c, "let mut r = rand::thread_rng();").len(), 1, "{c}");
             assert_eq!(check(c, "let r = SmallRng::from_entropy();").len(), 1);

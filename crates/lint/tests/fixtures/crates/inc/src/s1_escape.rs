@@ -1,0 +1,20 @@
+// Fixture for S1 (mutation-escape): `ledger` may only be mutated by
+// `apply`; `rogue` assigns to it directly (finding on line 15).
+#![allow(dead_code)]
+
+// lint: incremental(ledger, mutators = [apply])
+pub struct Book {
+    ledger: Vec<u64>,
+}
+
+impl Book {
+    fn apply(&mut self, i: usize) {
+        self.ledger[i] += 1;
+    }
+    fn rogue(&mut self, i: usize) {
+        self.ledger[i] = 0;
+    }
+    fn total(&self) -> u64 {
+        self.ledger.iter().sum()
+    }
+}

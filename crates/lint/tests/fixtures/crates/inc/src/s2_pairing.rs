@@ -1,0 +1,22 @@
+// Fixture for S2 (delta-pairing): every mutator of `mirror` must call
+// `cap` then `com`; `sneak` skips the capture half (finding on line 18).
+#![allow(dead_code)]
+
+// lint: incremental(mirror, mutators = [grow, sneak], pairs = [cap, com])
+pub struct Mirror {
+    mirror: u64,
+}
+
+impl Mirror {
+    fn cap(&mut self) {}
+    fn com(&mut self) {}
+    fn grow(&mut self) {
+        self.cap();
+        self.mirror += 1;
+        self.com();
+    }
+    fn sneak(&mut self) {
+        self.mirror += 1;
+        self.com();
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture for S3 (oracle-coverage), both directions: `check_ring` is a
+// registered oracle no debug_assert! ever runs (finding on line 6), and
+// `ring_sane` is debug_assert-only without being registered (line 19).
+#![allow(dead_code)]
+
+// lint: incremental(ring, mutators = [turn], oracle = check_ring)
+pub struct Ring {
+    ring: Vec<u32>,
+}
+
+impl Ring {
+    fn turn(&mut self) {
+        self.ring.rotate_left(1);
+        debug_assert!(self.ring_sane());
+    }
+    fn check_ring(&self) -> bool {
+        !self.ring.is_empty()
+    }
+    fn ring_sane(&self) -> bool {
+        self.ring.len() < 1000
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture for S4 (assert-purity): the debug_assert! argument calls
+// `advance`, a `&mut self` method, so the bump vanishes in release
+// builds (finding on line 17). The plain call on line 18 keeps
+// `advance` off the S3 debug-only-oracle radar.
+#![allow(dead_code)]
+
+pub struct Gauge {
+    level: u32,
+}
+
+impl Gauge {
+    fn advance(&mut self) -> bool {
+        self.level += 1;
+        true
+    }
+    fn run_gauge(&mut self) {
+        debug_assert!(self.advance());
+        let _ = self.advance();
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture for S5 (panic-surface): `probe` is hot-path, so its direct
+// index and unwrap are both flagged (two findings on line 13); the
+// waiver above `lookup` shows the reasoned escape hatch.
+#![allow(dead_code)]
+
+// lint: hotpath(probe, lookup)
+pub struct Table {
+    slots: Vec<u32>,
+}
+
+impl Table {
+    fn probe(&self, i: usize) -> u32 {
+        self.slots[i] + self.slots.first().unwrap()
+    }
+    // lint: allow(panic-surface): fixture for a reasoned fn-level waiver
+    fn lookup(&self, i: usize) -> u32 {
+        self.slots[i]
+    }
+}

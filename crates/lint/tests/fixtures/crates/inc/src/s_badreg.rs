@@ -1,0 +1,17 @@
+// Fixture for registration meta-findings: `phantom` names a mutator
+// that does not exist (finding on line 6), and `idle` is registered but
+// never accessed in the file (line 7).
+#![allow(dead_code)]
+
+// lint: incremental(phantom, mutators = [touch, ghost])
+// lint: incremental(idle, mutators = [touch])
+pub struct Meta {
+    phantom: u32,
+    idle: u32,
+}
+
+impl Meta {
+    fn touch(&mut self) {
+        self.phantom = 1;
+    }
+}

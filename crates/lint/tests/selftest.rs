@@ -40,6 +40,15 @@ fn fixtures_report_exactly_the_seeded_violations() {
         (rules::BAD_WAIVER, "crates/cluster/src/waivers.rs", 9),
         (rules::UNUSED_WAIVER, "crates/cluster/src/waivers.rs", 12),
         (rules::FLOAT_ORD, "crates/core/src/d4_float.rs", 5),
+        (rules::MUTATION_ESCAPE, "crates/inc/src/s1_escape.rs", 15),
+        (rules::DELTA_PAIRING, "crates/inc/src/s2_pairing.rs", 18),
+        (rules::ORACLE_COVERAGE, "crates/inc/src/s3_oracle.rs", 6),
+        (rules::ORACLE_COVERAGE, "crates/inc/src/s3_oracle.rs", 19),
+        (rules::ASSERT_PURITY, "crates/inc/src/s4_purity.rs", 17),
+        (rules::PANIC_SURFACE, "crates/inc/src/s5_panic.rs", 13),
+        (rules::PANIC_SURFACE, "crates/inc/src/s5_panic.rs", 13),
+        (rules::BAD_REGISTRATION, "crates/inc/src/s_badreg.rs", 6),
+        (rules::UNUSED_REGISTRATION, "crates/inc/src/s_badreg.rs", 7),
         (rules::AMBIENT_TIME, "crates/sched/src/d2_time.rs", 5),
         (rules::UNSEEDED_RNG, "crates/workloads/src/d3_rng.rs", 5),
     ]
@@ -60,6 +69,13 @@ fn every_rule_id_has_a_seeded_fixture_violation() {
         rules::NARROW_CAST,
         rules::BAD_WAIVER,
         rules::UNUSED_WAIVER,
+        rules::MUTATION_ESCAPE,
+        rules::DELTA_PAIRING,
+        rules::ORACLE_COVERAGE,
+        rules::ASSERT_PURITY,
+        rules::PANIC_SURFACE,
+        rules::BAD_REGISTRATION,
+        rules::UNUSED_REGISTRATION,
     ] {
         assert!(
             report.findings.iter().any(|f| f.rule == rule),
@@ -86,5 +102,23 @@ fn json_report_is_machine_readable() {
     assert!(json.contains("\"rule\": \"hash-ordered\""));
     assert!(json.contains("\"file\": \"crates/cluster/src/d1_hash.rs\""));
     assert!(json.contains("\"line\": 4"));
-    assert!(json.contains("\"total_findings\": 7"));
+    assert!(json.contains("\"rule\": \"mutation-escape\""));
+    assert!(json.contains("\"file\": \"crates/inc/src/s1_escape.rs\""));
+    assert!(json.contains("\"total_findings\": 16"));
+    // The waiver ledger: the clean HashSet waiver plus the S5 fn-level
+    // waiver are active; the narrow-cast waiver suppresses nothing.
+    assert!(json.contains("\"waivers\": {\"active\": 2, \"stale\": 1}"));
+    assert!(json.contains("\"registrations\": 5"));
+}
+
+#[test]
+fn fixture_meta_findings_drive_exit_code_2() {
+    let report = analyze(&fixture_root()).expect("analyze fixtures");
+    // bad-waiver, unused-waiver, bad-registration, unused-registration are
+    // all seeded: the CLI must take the manifest-integrity exit path.
+    assert!(report.has_meta_findings());
+    assert_eq!(
+        report.waivers_stale, 1,
+        "only the narrow-cast waiver is stale"
+    );
 }

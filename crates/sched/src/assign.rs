@@ -66,6 +66,12 @@ pub trait OrderPolicy {
 /// block residency changed mid-application (a cache insert/evict at launch
 /// time). An internal `reconcile` pass then rolls placement
 /// state back to the last confirmed assignment before the next round.
+// lint: incremental(emitted, mutators = [reconcile, schedule])
+// lint: incremental(marks, mutators = [reconcile, schedule])
+// lint: incremental(confirmed, mutators = [reconcile, on_task_launched])
+// lint: incremental(cap, mutators = [schedule])
+// lint: incremental(feedback, mutators = [reconcile, schedule])
+// lint: hotpath(reconcile, on_task_launched)
 pub struct OrderedScheduler {
     order: Box<dyn OrderPolicy>,
     placement: Box<dyn Placement>,
@@ -126,6 +132,7 @@ impl OrderedScheduler {
     /// replays it identically against the same state). Batch-survival
     /// feedback is recorded for the next `schedule` call's cap adaptation
     /// (which needs the view's residency generation, unavailable here).
+    // lint: allow(panic-surface): `confirmed` is a prefix length of `emitted`, and `marks` grows in lockstep with it
     fn reconcile(&mut self) {
         let keep = if self.emitted.is_empty() {
             // No assignments were produced: the round's wait-clock
@@ -240,6 +247,7 @@ impl Scheduler for OrderedScheduler {
         self.order.on_stage_complete(s);
     }
 
+    // lint: allow(panic-surface): the index is short-circuit-guarded by `confirmed < emitted.len()`
     fn on_task_launched(&mut self, t: TaskId, work: u64, _now: SimTime) {
         if self.confirmed < self.emitted.len() && self.emitted[self.confirmed] == (t.stage, t.index)
         {

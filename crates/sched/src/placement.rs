@@ -88,6 +88,11 @@ pub trait Placement {
 /// `spark.locality.wait = 0` this scatters tasks — an executor with free
 /// cores takes any pending task even when another executor could have run
 /// it process-locally — exactly the behaviour the paper's Fig. 3 measures.
+// lint: incremental(clocks, mutators = [allowed, on_launch, on_stage_ready, reconcile_journal], oracle = check_journal_settled)
+// lint: incremental(journal, mutators = [allowed, pick, on_launch, reconcile_journal], oracle = check_journal_settled)
+// lint: incremental(offer_start, mutators = [pick, reconcile_journal])
+// lint: incremental(note, mutators = [pick, note_pick, set_tracing, take_note])
+// lint: hotpath(pick)
 pub struct NativeDelay {
     clocks: BTreeMap<StageId, WaitClock>,
     offer_start: usize,
@@ -130,6 +135,13 @@ impl NativeDelay {
         let allowed = clock.allowed(view.now, &view.locality_wait, &valid);
         (allowed, valid)
     }
+
+    /// Between-batch oracle: every speculative clock/offer mutation has
+    /// been committed or rolled back — an un-reconciled journal entry
+    /// means some batch's placement state would leak into the next one.
+    fn check_journal_settled(&self) -> bool {
+        self.journal.is_empty()
+    }
 }
 
 impl Default for NativeDelay {
@@ -143,6 +155,7 @@ impl Placement for NativeDelay {
         "delay"
     }
 
+    // lint: allow(panic-surface): free-list split indices come from partition_point on that list
     fn pick(
         &mut self,
         stage: StageId,
@@ -200,7 +213,7 @@ impl Placement for NativeDelay {
 
     fn on_stage_ready(&mut self, stage: StageId, now: SimTime) {
         debug_assert!(
-            self.journal.is_empty(),
+            self.check_journal_settled(),
             "stage-ready with an open batch journal"
         );
         self.clocks.insert(stage, WaitClock::new(now));
@@ -309,6 +322,7 @@ impl Placement for SensitivityAware {
         "sensitivity"
     }
 
+    // lint: allow(panic-surface): `valid` is non-empty by construction; level indices are < 4; list splits come from partition_point
     fn pick(
         &mut self,
         stage: StageId,

@@ -14,6 +14,9 @@ use dagon_dag::SimTime;
 
 /// Per-stage delay-scheduling state.
 #[derive(Clone, Debug)]
+// lint: incremental(current, mutators = [allowed, on_launch])
+// lint: incremental(last_launch, mutators = [allowed, on_launch])
+// lint: hotpath(allowed)
 pub struct WaitClock {
     current: Locality,
     last_launch: SimTime,
@@ -31,6 +34,7 @@ impl WaitClock {
     /// levels (must be sorted ascending and non-empty; `Any` is always
     /// valid). Mutates the clock exactly like Spark: each expired wait
     /// advances one level and pushes `last_launch` forward by that wait.
+    // lint: allow(panic-surface): `idx` always snaps to a position inside the non-empty `valid` ladder
     pub fn allowed(&mut self, now: SimTime, waits: &LocalityWait, valid: &[Locality]) -> Locality {
         debug_assert!(!valid.is_empty());
         // Snap current onto the valid ladder (levels can appear/disappear as
