@@ -1,12 +1,18 @@
 //! `bench_snapshot` — one-shot scheduler-overhead snapshot.
 //!
 //! Runs the same workloads as the `sim_throughput` Criterion bench and
-//! writes `BENCH_6.json` at the repo root: per-workload wall-clock
+//! writes `BENCH_7.json` at the repo root: per-workload wall-clock
 //! milliseconds, a per-scheduling-decision cost (`ns_per_decision`), and
 //! the scheduling fast-path counters (`schedule_invocations`,
 //! `view_deltas`, `score_cache_*`, `inv_index_*`, …). Unlike Criterion
 //! this is cheap enough for CI and produces a single machine-readable
 //! file to diff across commits.
+//!
+//! The `tenant_stream_200` row drives the seeded 3-tenant / 55-job
+//! arrival stream from `fig_tenant_sweep` (load 1.0) through dynamic
+//! admission on the 200-executor sweep cluster; it adds `p99_jct_ms` and
+//! `jain_fairness` columns on top of the usual counters, so the online
+//! multi-tenant path is held to the same O(1)-rebuild gates as batch.
 //!
 //! Usage:
 //!
@@ -24,9 +30,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dagon_cluster::{ClusterConfig, FaultPlan};
+use dagon_cluster::{AdmissionConfig, ClusterConfig, FaultPlan};
 use dagon_core::experiments::ExpConfig;
+use dagon_core::tenancy::{run_tenant_stream, sweep_cluster, sweep_tenants, TenantPolicy};
 use dagon_core::{run_system, System};
+use dagon_tenancy::{StreamOptions, TenantStream};
 use dagon_workloads::{Scale, Workload};
 
 struct Row {
@@ -39,6 +47,10 @@ struct Row {
     /// `wall_ms / decisions`, in nanoseconds — the headline scheduler
     /// hot-path cost, comparable across cluster sizes.
     ns_per_decision: f64,
+    /// Tail JCT over the stream's completed jobs — multi-tenant rows only.
+    p99_jct_ms: Option<u64>,
+    /// Jain's index over per-tenant mean JCT — multi-tenant rows only.
+    jain_fairness: Option<f64>,
     sched: dagon_cluster::SchedulerStats,
     faults: dagon_cluster::FaultStats,
 }
@@ -131,6 +143,64 @@ fn measure(
         jct_ms: warm.result.jct,
         decisions,
         ns_per_decision: wall_ms * 1e6 / decisions.max(1) as f64,
+        p99_jct_ms: None,
+        jain_fairness: None,
+        sched: warm.result.metrics.sched,
+        faults: warm.result.metrics.faults,
+    }
+}
+
+/// The online multi-tenant row: the `fig_tenant_sweep` stream (3 tenants,
+/// 55 jobs, load 1.0, seed 7) under WFair+Dagon with dynamic admission on
+/// the 200-executor sweep cluster. Same warm-up + median-of-samples
+/// protocol as [`measure`], with the stream's tail JCT and fairness index
+/// carried into the snapshot alongside the scheduler counters.
+fn measure_tenant(name: &str, samples: usize) -> Row {
+    let seed = 7;
+    let base = Scale {
+        tasks: 8,
+        block_mb: 64.0,
+        iterations: 3,
+    };
+    let stream =
+        TenantStream::generate(&sweep_tenants(1.0), seed, &base, &StreamOptions::default());
+    let cluster = sweep_cluster(seed);
+    let run = || {
+        run_tenant_stream(
+            &stream,
+            &cluster,
+            TenantPolicy::WeightedFairDagon,
+            AdmissionConfig::default(),
+        )
+    };
+    let warm = run();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let out = run();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            out.result.jct, warm.result.jct,
+            "nondeterministic run for {name}"
+        );
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let wall_ms = times[samples / 2];
+    let decisions = warm
+        .result
+        .metrics
+        .task_runs
+        .iter()
+        .filter(|t| !t.speculative)
+        .count() as u64;
+    Row {
+        name: name.to_string(),
+        wall_ms,
+        jct_ms: warm.result.jct,
+        decisions,
+        ns_per_decision: wall_ms * 1e6 / decisions.max(1) as f64,
+        p99_jct_ms: Some(warm.report.p99_jct_ms),
+        jain_fairness: Some(warm.report.jain_fairness),
         sched: warm.result.metrics.sched,
         faults: warm.result.metrics.faults,
     }
@@ -162,7 +232,7 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_6.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_7.json".into());
     let wanted = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
     // `--repeat N` pins every row to the median of N timed runs.
     let samples_for = |default: usize| repeat.unwrap_or(default);
@@ -208,6 +278,13 @@ fn main() {
         ));
     }
 
+    // Online multi-tenant stream at the 200-executor scale point: dynamic
+    // admission, fair-share scheduling and the shared-input cache path all
+    // exercised under the same counter gates as the batch rows.
+    if wanted("tenant_stream_200") {
+        rows.push(measure_tenant("tenant_stream_200", samples_for(3)));
+    }
+
     if scale_sweep {
         for p in SWEEP {
             let name = format!("run_CC_scale_{}_dagon", p.execs);
@@ -248,7 +325,7 @@ fn main() {
              \"inv_index_hits\": {}, \"inv_index_updates\": {}, \
              \"inv_index_rebuilds\": {}, \
              \"exec_crashes\": {}, \"tasks_recomputed\": {}, \
-             \"stage_resubmissions\": {}, \"task_failures\": {}}}",
+             \"stage_resubmissions\": {}, \"task_failures\": {}",
             r.name,
             r.wall_ms,
             r.jct_ms,
@@ -279,6 +356,13 @@ fn main() {
             r.faults.stage_resubmissions,
             r.faults.task_failures,
         );
+        if let (Some(p99), Some(jain)) = (r.p99_jct_ms, r.jain_fairness) {
+            let _ = write!(
+                json,
+                ", \"p99_jct_ms\": {p99}, \"jain_fairness\": {jain:.6}"
+            );
+        }
+        json.push('}');
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

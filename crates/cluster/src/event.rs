@@ -52,9 +52,15 @@ pub enum Event {
     },
     /// A prefetched block arrives in an executor's cache.
     PrefetchArrive { block: BlockId, exec: ExecId },
-    /// A stage's release time (job arrival in multi-tenant runs) passed:
-    /// re-examine its readiness.
+    /// A stage's release time (job arrival in *pre-merged* multi-tenant
+    /// runs) passed: re-examine its readiness.
     StageRelease { stage: dagon_dag::StageId },
+    /// Dynamic job admission (online multi-tenant runs): job `job` of the
+    /// installed [`crate::jobs::JobsRuntime`] arrives and asks to enter
+    /// the live DAG. Admission control decides whether its root stages
+    /// become ready now, it queues behind its tenant's cap, or it is
+    /// rejected outright.
+    JobArrival { job: u32 },
     /// Periodic scheduler wake-up (delay-scheduling timeouts, speculation
     /// checks, prefetch scans).
     Tick,

@@ -1,0 +1,508 @@
+//! Dynamic multi-job state for online multi-tenant runs.
+//!
+//! A batch [`crate::sim::Simulation`] runs one pre-built DAG to completion.
+//! The tenancy layer (`dagon-tenancy`) instead merges a whole *stream* of
+//! jobs into one DAG up front (per-stage vectors and the locality index
+//! cannot grow mid-run) and keeps the not-yet-arrived jobs *gated*: their
+//! stages exist but start un-ready, entering the live DAG only when their
+//! [`crate::event::Event::JobArrival`] fires and admission control lets
+//! them through. [`JobsRuntime`] is the bookkeeping for that: per-job
+//! lifecycle, per-tenant admission queues with deterministic backpressure,
+//! and the per-tenant running-cores ledger the hierarchical fair-share
+//! order reads through [`crate::view::SimView`].
+//!
+//! Everything here is incremental state on the scheduling hot path, so it
+//! follows the same discipline as the cluster view and the locality index:
+//! every ledger is registered with `dagon-lint` and debug-asserted against
+//! a from-scratch rebuild at every scheduling opportunity.
+
+// Job/tenant counts are bounded far below u32 (dense ids over one merged
+// DAG), so index ↔ id casts cannot truncate in practice.
+#![allow(clippy::cast_possible_truncation)]
+
+use dagon_dag::{SimTime, StageId};
+
+/// When a job enters the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalSpec {
+    /// Open-loop: arrives at an absolute time, regardless of cluster state.
+    Open { at: SimTime },
+    /// Closed-loop: arrives `think_ms` after job `prev` leaves the system
+    /// (completes or is rejected) — a think-time client issuing its next
+    /// request.
+    AfterJob { prev: u32, think_ms: SimTime },
+}
+
+/// One job of a tenant stream, described against the *merged* DAG.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub name: String,
+    /// Owning tenant (dense ids, `0..num_tenants`).
+    pub tenant: u32,
+    pub arrival: ArrivalSpec,
+    /// The job's stages in the merged DAG (ascending).
+    pub stages: Vec<StageId>,
+}
+
+/// Admission-control knobs. Defaults admit everything immediately.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Cluster-wide cap on concurrently running jobs.
+    pub max_concurrent_jobs: u32,
+    /// Per-tenant cap on concurrently running jobs.
+    pub max_per_tenant: u32,
+    /// Per-tenant admission-queue capacity; an arrival finding the queue
+    /// full is rejected (deterministic backpressure).
+    pub queue_cap: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent_jobs: u32::MAX,
+            max_per_tenant: u32::MAX,
+            queue_cap: u32::MAX,
+        }
+    }
+}
+
+/// Job lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Not yet arrived (gated).
+    Pending,
+    /// Arrived, waiting in its tenant's admission queue.
+    Queued,
+    /// Admitted; stages live in the scheduler's ready set.
+    Running,
+    /// All stages complete.
+    Done,
+    /// Bounced by a full admission queue.
+    Rejected,
+}
+
+/// What [`JobsRuntime::on_arrival`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    Admitted,
+    Queued,
+    Rejected,
+}
+
+/// Per-job outcome surfaced on [`crate::metrics::SimResult::jobs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    pub job: u32,
+    pub name: String,
+    pub tenant: u32,
+    pub arrival_ms: SimTime,
+    /// When admission let the job start (= arrival unless it queued);
+    /// `None` for rejected jobs.
+    pub admitted_ms: Option<SimTime>,
+    /// When the job's last stage completed; `None` if rejected.
+    pub completed_ms: Option<SimTime>,
+    pub rejected: bool,
+}
+
+/// Incremental multi-job bookkeeping. The counters (`running_jobs`,
+/// `running_per_tenant`, `tenant_cores`, `remaining_stages`) are mutated in
+/// O(1) at job/task lifecycle events instead of being recomputed by
+/// scanning the job table or the running-attempt map per scheduling
+/// opportunity; [`Self::check_consistency`] is the from-scratch oracle the
+/// simulator debug-asserts them against.
+// lint: incremental(state, mutators = [on_arrival, start_running, on_stage_complete, on_stage_reopened], oracle = check_consistency)
+// lint: incremental(queues, mutators = [on_arrival, admit_queued], oracle = check_consistency)
+// lint: incremental(running_jobs, mutators = [start_running, on_stage_complete, on_stage_reopened], oracle = check_consistency)
+// lint: incremental(running_per_tenant, mutators = [start_running, on_stage_complete, on_stage_reopened], oracle = check_consistency)
+// lint: incremental(remaining_stages, mutators = [on_stage_complete, on_stage_reopened], oracle = check_consistency)
+// lint: incremental(tenant_cores, mutators = [on_cores_consumed, on_cores_released], oracle = check_consistency)
+#[derive(Clone, Debug)]
+pub struct JobsRuntime {
+    specs: Vec<JobSpec>,
+    admission: AdmissionConfig,
+    /// Per-job lifecycle state.
+    state: Vec<JobState>,
+    /// Per-tenant FIFO admission queues (job ids in arrival order).
+    queues: Vec<Vec<u32>>,
+    /// Jobs in `Running` state.
+    running_jobs: u32,
+    /// `Running` jobs per tenant.
+    running_per_tenant: Vec<u32>,
+    /// Per-job incomplete-stage count; hitting 0 completes the job.
+    remaining_stages: Vec<u32>,
+    /// Per-tenant vCPUs currently consumed by running task attempts
+    /// (including speculative copies) — the fair-share signal.
+    tenant_cores: Vec<u64>,
+    /// stage → owning tenant (dense, one entry per merged-DAG stage).
+    tenant_of_stage: Vec<u32>,
+    /// stage → owning job.
+    job_of_stage: Vec<u32>,
+    /// Closed-loop successors: `successors[j]` lists `(job, think_ms)`
+    /// arrivals triggered when job `j` leaves the system.
+    successors: Vec<Vec<(u32, SimTime)>>,
+    /// Per-job outcome rows (arrival/admission/completion stamps).
+    outcomes: Vec<JobOutcome>,
+}
+
+impl JobsRuntime {
+    /// Build from the merged-DAG job specs. Every one of `num_stages`
+    /// stages must belong to exactly one job.
+    pub fn new(specs: Vec<JobSpec>, admission: AdmissionConfig, num_stages: usize) -> Self {
+        assert!(!specs.is_empty(), "JobsRuntime over an empty job set");
+        assert!(
+            admission.max_concurrent_jobs >= 1 && admission.max_per_tenant >= 1,
+            "admission caps must admit at least one job"
+        );
+        let num_tenants = specs.iter().map(|j| j.tenant + 1).max().unwrap() as usize;
+        let mut tenant_of_stage = vec![u32::MAX; num_stages];
+        let mut job_of_stage = vec![u32::MAX; num_stages];
+        let mut successors = vec![Vec::new(); specs.len()];
+        for (j, spec) in specs.iter().enumerate() {
+            for s in &spec.stages {
+                assert_eq!(
+                    job_of_stage[s.index()],
+                    u32::MAX,
+                    "stage {s} claimed by two jobs"
+                );
+                tenant_of_stage[s.index()] = spec.tenant;
+                job_of_stage[s.index()] = j as u32;
+            }
+            if let ArrivalSpec::AfterJob { prev, think_ms } = spec.arrival {
+                assert!(
+                    (prev as usize) < specs.len() && prev as usize != j,
+                    "job {j} waits on invalid predecessor {prev}"
+                );
+                successors[prev as usize].push((j as u32, think_ms));
+            }
+        }
+        assert!(
+            tenant_of_stage.iter().all(|&t| t != u32::MAX),
+            "every merged-DAG stage must belong to a job"
+        );
+        let remaining_stages = specs.iter().map(|j| j.stages.len() as u32).collect();
+        let outcomes = specs
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| JobOutcome {
+                job: j as u32,
+                name: spec.name.clone(),
+                tenant: spec.tenant,
+                arrival_ms: 0,
+                admitted_ms: None,
+                completed_ms: None,
+                rejected: false,
+            })
+            .collect();
+        Self {
+            state: vec![JobState::Pending; specs.len()],
+            queues: vec![Vec::new(); num_tenants],
+            running_jobs: 0,
+            running_per_tenant: vec![0; num_tenants],
+            remaining_stages,
+            tenant_cores: vec![0; num_tenants],
+            tenant_of_stage,
+            job_of_stage,
+            successors,
+            outcomes,
+            specs,
+            admission,
+        }
+    }
+
+    pub fn num_jobs(&self) -> usize {
+        self.specs.len()
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.tenant_cores.len()
+    }
+
+    pub fn spec(&self, job: u32) -> &JobSpec {
+        &self.specs[job as usize]
+    }
+
+    pub fn state(&self, job: u32) -> JobState {
+        self.state[job as usize]
+    }
+
+    pub fn tenant_of_stage(&self, s: StageId) -> u32 {
+        self.tenant_of_stage[s.index()]
+    }
+
+    pub fn job_of_stage(&self, s: StageId) -> u32 {
+        self.job_of_stage[s.index()]
+    }
+
+    /// Per-tenant running vCPUs, for the view.
+    pub fn tenant_cores(&self) -> &[u64] {
+        &self.tenant_cores
+    }
+
+    /// stage → tenant slice, for the view.
+    pub fn stage_tenants(&self) -> &[u32] {
+        &self.tenant_of_stage
+    }
+
+    /// Arrivals triggered when `job` leaves the system (completion or
+    /// rejection): `(successor, think_ms)` pairs.
+    pub fn successors_of(&self, job: u32) -> &[(u32, SimTime)] {
+        &self.successors[job as usize]
+    }
+
+    fn caps_allow(&self, tenant: u32) -> bool {
+        self.running_jobs < self.admission.max_concurrent_jobs
+            && self.running_per_tenant[tenant as usize] < self.admission.max_per_tenant
+    }
+
+    fn start_running(&mut self, job: u32, now: SimTime) {
+        self.state[job as usize] = JobState::Running;
+        self.running_jobs += 1;
+        self.running_per_tenant[self.specs[job as usize].tenant as usize] += 1;
+        self.outcomes[job as usize].admitted_ms = Some(now);
+    }
+
+    /// Job `job` arrives at `now`: admit, queue, or reject it.
+    pub fn on_arrival(&mut self, job: u32, now: SimTime) -> AdmissionDecision {
+        let ji = job as usize;
+        debug_assert_eq!(self.state[ji], JobState::Pending, "job {job} arrived twice");
+        let tenant = self.specs[ji].tenant;
+        self.outcomes[ji].arrival_ms = now;
+        if self.caps_allow(tenant) {
+            self.start_running(job, now);
+            AdmissionDecision::Admitted
+        } else if (self.queues[tenant as usize].len() as u32) < self.admission.queue_cap {
+            self.state[ji] = JobState::Queued;
+            self.queues[tenant as usize].push(job);
+            AdmissionDecision::Queued
+        } else {
+            self.state[ji] = JobState::Rejected;
+            self.outcomes[ji].rejected = true;
+            AdmissionDecision::Rejected
+        }
+    }
+
+    /// Admit queued jobs freed up by a departure, deterministically: while
+    /// some queue head passes the caps, admit the head with the smallest
+    /// `(arrival_ms, job)` key across tenants. Returns the admitted jobs in
+    /// admission order.
+    pub fn admit_queued(&mut self, now: SimTime) -> Vec<u32> {
+        let mut admitted = Vec::new();
+        loop {
+            let mut best: Option<(SimTime, u32)> = None;
+            for q in &self.queues {
+                let Some(&head) = q.first() else { continue };
+                if !self.caps_allow(self.specs[head as usize].tenant) {
+                    continue;
+                }
+                let key = (self.outcomes[head as usize].arrival_ms, head);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, job)) = best else { break };
+            let tenant = self.specs[job as usize].tenant as usize;
+            self.queues[tenant].remove(0);
+            self.start_running(job, now);
+            admitted.push(job);
+        }
+        admitted
+    }
+
+    /// One of `job`'s stages completed. Returns `true` when this was the
+    /// last one (the job is now `Done`).
+    pub fn on_stage_complete(&mut self, job: u32, now: SimTime) -> bool {
+        let ji = job as usize;
+        self.remaining_stages[ji] -= 1;
+        if self.remaining_stages[ji] > 0 {
+            return false;
+        }
+        debug_assert_eq!(self.state[ji], JobState::Running);
+        self.state[ji] = JobState::Done;
+        self.running_jobs -= 1;
+        self.running_per_tenant[self.specs[ji].tenant as usize] -= 1;
+        self.outcomes[ji].completed_ms = Some(now);
+        true
+    }
+
+    /// Lineage recovery reopened a completed stage of `job`. A `Done` job
+    /// cannot be reopened (cross-job sharing is source-RDD-only and
+    /// sources are never lost), but stay correct if it ever is.
+    pub fn on_stage_reopened(&mut self, job: u32) {
+        let ji = job as usize;
+        self.remaining_stages[ji] += 1;
+        if self.state[ji] == JobState::Done {
+            debug_assert!(false, "Done job {job} reopened by lineage recovery");
+            self.state[ji] = JobState::Running;
+            self.running_jobs += 1;
+            self.running_per_tenant[self.specs[ji].tenant as usize] += 1;
+            self.outcomes[ji].completed_ms = None;
+        }
+    }
+
+    /// A task attempt of `stage` consumed `cpus` vCPUs.
+    #[inline]
+    pub fn on_cores_consumed(&mut self, stage: StageId, cpus: u32) {
+        self.tenant_cores[self.tenant_of_stage[stage.index()] as usize] += u64::from(cpus);
+    }
+
+    /// A task attempt of `stage` released `cpus` vCPUs.
+    #[inline]
+    pub fn on_cores_released(&mut self, stage: StageId, cpus: u32) {
+        self.tenant_cores[self.tenant_of_stage[stage.index()] as usize] -= u64::from(cpus);
+    }
+
+    /// From-scratch oracle for every incremental ledger here, debug-asserted
+    /// per scheduling opportunity. `expect_tenant_cores` is the rebuild of
+    /// the cores ledger from the simulator's authoritative running-attempt
+    /// map; the job/queue counters are rebuilt from the state table.
+    pub fn check_consistency(&self, expect_tenant_cores: &[u64]) -> bool {
+        if self.tenant_cores != expect_tenant_cores {
+            return false;
+        }
+        let running = self
+            .state
+            .iter()
+            .filter(|s| **s == JobState::Running)
+            .count() as u32;
+        if running != self.running_jobs {
+            return false;
+        }
+        for t in 0..self.num_tenants() {
+            let rt = self
+                .specs
+                .iter()
+                .zip(&self.state)
+                .filter(|(j, s)| j.tenant as usize == t && **s == JobState::Running)
+                .count() as u32;
+            if rt != self.running_per_tenant[t] {
+                return false;
+            }
+            let queued: Vec<u32> = self
+                .specs
+                .iter()
+                .enumerate()
+                .filter(|(j, spec)| spec.tenant as usize == t && self.state[*j] == JobState::Queued)
+                .map(|(j, _)| j as u32)
+                .collect();
+            let mut in_queue = self.queues[t].clone();
+            in_queue.sort_unstable();
+            if in_queue != queued {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Surrender the per-job outcome rows at end of run.
+    pub fn into_outcomes(self) -> Vec<JobOutcome> {
+        self.outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tenant: u32, arrival: ArrivalSpec, stages: &[u32]) -> JobSpec {
+        JobSpec {
+            name: format!("j{tenant}"),
+            tenant,
+            arrival,
+            stages: stages.iter().map(|&s| StageId(s)).collect(),
+        }
+    }
+
+    #[test]
+    fn admission_respects_caps_and_queues_fifo() {
+        let specs = vec![
+            spec(0, ArrivalSpec::Open { at: 0 }, &[0]),
+            spec(0, ArrivalSpec::Open { at: 5 }, &[1]),
+            spec(1, ArrivalSpec::Open { at: 7 }, &[2]),
+        ];
+        let adm = AdmissionConfig {
+            max_concurrent_jobs: 1,
+            ..Default::default()
+        };
+        let mut jr = JobsRuntime::new(specs, adm, 3);
+        assert_eq!(jr.on_arrival(0, 0), AdmissionDecision::Admitted);
+        assert_eq!(jr.on_arrival(1, 5), AdmissionDecision::Queued);
+        assert_eq!(jr.on_arrival(2, 7), AdmissionDecision::Queued);
+        assert!(jr.check_consistency(&[0, 0]));
+        // Job 0 completes: the earliest-arrived queued job (1) goes first.
+        assert!(jr.on_stage_complete(0, 10));
+        assert_eq!(jr.admit_queued(10), vec![1]);
+        assert_eq!(jr.state(2), JobState::Queued);
+        assert!(jr.on_stage_complete(1, 20));
+        assert_eq!(jr.admit_queued(20), vec![2]);
+        assert!(jr.on_stage_complete(2, 30));
+        let out = jr.into_outcomes();
+        assert_eq!(out[1].admitted_ms, Some(10));
+        assert_eq!(out[2].admitted_ms, Some(20));
+        assert_eq!(out[2].completed_ms, Some(30));
+    }
+
+    #[test]
+    fn full_queue_rejects_deterministically() {
+        let specs = vec![
+            spec(0, ArrivalSpec::Open { at: 0 }, &[0]),
+            spec(0, ArrivalSpec::Open { at: 1 }, &[1]),
+            spec(0, ArrivalSpec::Open { at: 2 }, &[2]),
+        ];
+        let adm = AdmissionConfig {
+            max_concurrent_jobs: 1,
+            queue_cap: 1,
+            ..Default::default()
+        };
+        let mut jr = JobsRuntime::new(specs, adm, 3);
+        assert_eq!(jr.on_arrival(0, 0), AdmissionDecision::Admitted);
+        assert_eq!(jr.on_arrival(1, 1), AdmissionDecision::Queued);
+        assert_eq!(jr.on_arrival(2, 2), AdmissionDecision::Rejected);
+        assert_eq!(jr.state(2), JobState::Rejected);
+        assert!(jr.check_consistency(&[0]));
+    }
+
+    #[test]
+    fn cores_ledger_tracks_stage_tenants() {
+        let specs = vec![
+            spec(0, ArrivalSpec::Open { at: 0 }, &[0]),
+            spec(1, ArrivalSpec::Open { at: 0 }, &[1]),
+        ];
+        let mut jr = JobsRuntime::new(specs, AdmissionConfig::default(), 2);
+        jr.on_cores_consumed(StageId(0), 4);
+        jr.on_cores_consumed(StageId(1), 2);
+        jr.on_cores_consumed(StageId(1), 2);
+        assert_eq!(jr.tenant_cores(), &[4, 4]);
+        jr.on_cores_released(StageId(1), 2);
+        assert_eq!(jr.tenant_cores(), &[4, 2]);
+        assert!(jr.check_consistency(&[4, 2]));
+        assert!(!jr.check_consistency(&[4, 4]));
+    }
+
+    #[test]
+    fn closed_loop_successors_index_by_predecessor() {
+        let specs = vec![
+            spec(0, ArrivalSpec::Open { at: 0 }, &[0]),
+            spec(
+                0,
+                ArrivalSpec::AfterJob {
+                    prev: 0,
+                    think_ms: 500,
+                },
+                &[1],
+            ),
+        ];
+        let jr = JobsRuntime::new(specs, AdmissionConfig::default(), 2);
+        assert_eq!(jr.successors_of(0), &[(1, 500)]);
+        assert!(jr.successors_of(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by two jobs")]
+    fn overlapping_jobs_panic() {
+        let specs = vec![
+            spec(0, ArrivalSpec::Open { at: 0 }, &[0]),
+            spec(1, ArrivalSpec::Open { at: 0 }, &[0]),
+        ];
+        let _ = JobsRuntime::new(specs, AdmissionConfig::default(), 1);
+    }
+}

@@ -30,6 +30,7 @@ pub mod config;
 pub mod event;
 pub mod fault;
 pub mod hdfs;
+pub mod jobs;
 pub mod locality;
 pub mod locality_index;
 pub mod metrics;
@@ -44,6 +45,9 @@ pub use blockmanager::{BlockManager, CachePolicy, NoCache};
 pub use config::{ClusterConfig, CostModel, LocalityWait, SpeculationConfig};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use jobs::{
+    AdmissionConfig, AdmissionDecision, ArrivalSpec, JobOutcome, JobSpec, JobState, JobsRuntime,
+};
 pub use locality::Locality;
 pub use locality_index::{IndexStats, LocalityIndex};
 pub use metrics::{CacheStats, FaultStats, Metrics, SchedulerStats, SimResult, TaskRun, TimePoint};

@@ -89,6 +89,12 @@ pub struct StageMetrics {
     /// as the average duration of the finished tasks with the same locality
     /// level").
     pub finished_by_locality: [(u32, u64); 4],
+    /// Cache hits charged to this stage's launches (per-tenant cache
+    /// accounting aggregates these through the stage → tenant map). Not
+    /// part of [`SimResult::fingerprint`].
+    pub cache_hits: u64,
+    /// Cache misses charged to this stage's launches.
+    pub cache_misses: u64,
 }
 
 impl StageMetrics {
@@ -317,6 +323,10 @@ pub struct SimResult {
     /// Structured event log surrendered by the run's trace sink (empty
     /// under the default null sink). Never part of [`Self::fingerprint`].
     pub trace: dagon_obs::TraceLog,
+    /// Per-job outcomes of an online multi-tenant run (empty in classic
+    /// batch mode). Never part of [`Self::fingerprint`] — tenancy suites
+    /// compare the outcome rows directly instead.
+    pub jobs: Vec<crate::jobs::JobOutcome>,
 }
 
 impl SimResult {
@@ -465,6 +475,34 @@ impl SimResult {
         r.gauge("run/high_locality_fraction", self.high_locality_fraction());
         for run in self.metrics.task_runs.iter().filter(|t| t.winner) {
             r.observe("run/task_duration_ms", (run.end - run.start) as f64);
+        }
+        // Tenancy keys only exist for online multi-tenant runs, keeping
+        // the single-job registry key set (pinned by `obs_artifacts`)
+        // unchanged.
+        if !self.jobs.is_empty() {
+            let completed: Vec<_> = self
+                .jobs
+                .iter()
+                .filter(|j| j.completed_ms.is_some())
+                .collect();
+            r.counter("tenancy/jobs", self.jobs.len() as u64);
+            r.counter(
+                "tenancy/rejected",
+                self.jobs.iter().filter(|j| j.rejected).count() as u64,
+            );
+            if !completed.is_empty() {
+                let n = completed.len() as f64;
+                let jct: f64 = completed
+                    .iter()
+                    .map(|j| (j.completed_ms.unwrap() - j.arrival_ms) as f64)
+                    .sum();
+                let queue: f64 = completed
+                    .iter()
+                    .map(|j| (j.admitted_ms.unwrap_or(j.arrival_ms) - j.arrival_ms) as f64)
+                    .sum();
+                r.gauge("tenancy/mean_jct_ms", jct / n);
+                r.gauge("tenancy/mean_queue_ms", queue / n);
+            }
         }
         r
     }

@@ -25,6 +25,7 @@ use crate::config::{ClusterConfig, ReadTier};
 use crate::event::{Event, EventQueue, ViewDelta};
 use crate::fault::{FaultKind, FaultRuntime};
 use crate::hdfs::DataMap;
+use crate::jobs::{AdmissionDecision, ArrivalSpec, JobsRuntime};
 use crate::locality::Locality;
 use crate::locality_index::LocalityIndex;
 use crate::metrics::{Metrics, SimResult, TaskRun, TimePoint};
@@ -63,8 +64,9 @@ struct RunningAttempt {
 }
 
 /// One simulation run in progress.
-// lint: incremental(cview, mutators = [handle, launch, do_schedule, teardown_attempt, complete_stage, fail_attempt, requeue_task, exec_crash, exec_restart, resubmit_task], via = [apply, init_ready_list, set_stage_schedulable, compact_free_execs], oracle = check_consistency)
-// lint: incremental(data, mutators = [launch, finish_task, complete_stage, proactive_sweeps, prefetch_arrive, exec_crash, block_loss, requeue_task, resubmit_task], via = [add_disk, add_cached, remove_cached, remove_disk, on_pending_removed, on_pending_inserted, release_stage], oracle = check_inv_consistency)
+// lint: incremental(cview, mutators = [handle, launch, do_schedule, teardown_attempt, complete_stage, fail_attempt, requeue_task, exec_crash, exec_restart, resubmit_task, with_jobs, admit_job, reject_job], via = [apply, init_ready_list, set_stage_schedulable, compact_free_execs], oracle = check_consistency)
+// lint: incremental(data, mutators = [launch, finish_task, complete_stage, proactive_sweeps, prefetch_arrive, exec_crash, block_loss, requeue_task, resubmit_task, reject_job], via = [add_disk, add_cached, remove_cached, remove_disk, on_pending_removed, on_pending_inserted, release_stage], oracle = check_inv_consistency)
+// lint: incremental(jobs, mutators = [with_jobs, run, job_arrival, admit_job, reject_job, complete_stage, resubmit_task, launch, teardown_attempt], via = [on_arrival, admit_queued, on_stage_complete, on_stage_reopened, on_cores_consumed, on_cores_released], oracle = check_consistency)
 pub struct Simulation {
     dag: JobDag,
     cfg: ClusterConfig,
@@ -111,6 +113,9 @@ pub struct Simulation {
     rng: SmallRng,
     /// Fault-injection state (liveness, blacklist, dedicated fault RNG).
     faults: FaultRuntime,
+    /// Dynamic multi-job state (online multi-tenant runs); `None` for the
+    /// classic batch mode, where the whole DAG is live from t=0.
+    jobs: Option<JobsRuntime>,
     /// stage → task → next attempt id. Monotone per task, so a retried
     /// task's fresh attempt can never collide with a stale `cancelled`
     /// entry from a dead one. Fault-free runs only ever see 0 (primary)
@@ -267,6 +272,7 @@ impl Simulation {
             completed_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xd1ce_5eed),
             faults,
+            jobs: None,
             attempt_seq,
             retries,
             outputs_by_exec: vec![Vec::new(); n_exec],
@@ -287,6 +293,44 @@ impl Simulation {
     pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace_on = sink.enabled();
         self.sink = sink;
+        self
+    }
+
+    /// Switch to online multi-tenant mode (builder-style; call before
+    /// [`Self::run`]). Every stage of the merged DAG is *gated* — un-ready
+    /// until its job's [`Event::JobArrival`] fires and admission control
+    /// lets it through. Gating happens via `set_stage_schedulable` flips on
+    /// the already-initialized ready list, never a second
+    /// `init_ready_list`, so `ready_list_rebuilds == 1` holds for the whole
+    /// stream.
+    pub fn with_jobs(mut self, jobs: JobsRuntime) -> Self {
+        assert_eq!(
+            self.stages.len(),
+            jobs.stage_tenants().len(),
+            "JobsRuntime built for a different DAG"
+        );
+        for si in 0..self.stages.len() {
+            assert_eq!(
+                self.dag.stage(StageId(si as u32)).release_ms,
+                0,
+                "dynamic admission replaces static release_ms gating; \
+                 build the stream with release_ms = 0"
+            );
+            if self.stages[si].ready {
+                self.stages[si].ready = false;
+                sync_ready(&mut self.cview, &self.stages, si);
+            }
+        }
+        // Open-loop arrivals become first-class events up front (job-id
+        // order keeps same-time arrivals deterministic); closed-loop
+        // (`AfterJob`) arrivals are scheduled when their predecessor
+        // leaves the system.
+        for j in 0..jobs.num_jobs() as u32 {
+            if let ArrivalSpec::Open { at } = jobs.spec(j).arrival {
+                self.queue.push(at, Event::JobArrival { job: j });
+            }
+        }
+        self.jobs = Some(jobs);
         self
     }
 
@@ -425,6 +469,11 @@ impl Simulation {
             metrics: self.metrics,
             total_cores: self.cfg.total_cores(),
             trace: self.sink.take_log(),
+            jobs: self
+                .jobs
+                .take()
+                .map(JobsRuntime::into_outcomes)
+                .unwrap_or_default(),
         }
     }
 
@@ -457,6 +506,7 @@ impl Simulation {
                 }
             }
             Event::PrefetchArrive { block, exec } => self.prefetch_arrive(block, exec),
+            Event::JobArrival { job } => self.job_arrival(job, sched),
             Event::StageRelease { stage } => {
                 let srt = &mut self.stages[stage.index()];
                 if !srt.ready
@@ -550,6 +600,20 @@ impl Simulation {
                 "inverted locality index drifted from from-scratch rebuild (stage {s})"
             );
         }
+        #[cfg(debug_assertions)]
+        if let Some(jobs) = self.jobs.as_ref() {
+            // Rebuild the per-tenant cores ledger from the authoritative
+            // running-attempt map; the job/queue counters are rebuilt from
+            // the state table inside `check_consistency`.
+            let mut expect = vec![0u64; jobs.num_tenants()];
+            for ((task, _), ra) in &self.running {
+                expect[jobs.tenant_of_stage(task.stage) as usize] += u64::from(ra.demand.cpus);
+            }
+            debug_assert!(
+                jobs.check_consistency(&expect),
+                "incremental tenancy ledgers drifted from from-scratch rebuild"
+            );
+        }
         loop {
             self.metrics.sched.schedule_invocations += 1;
             self.cview.compact_free_execs();
@@ -575,6 +639,8 @@ impl Simulation {
                     ready: self.cview.ready_stages(),
                     free_execs: self.cview.free_execs(),
                     slot_memo: &self.slot_memo,
+                    tenant_cores: self.jobs.as_ref().map_or(&[], |j| j.tenant_cores()),
+                    tenant_of_stage: self.jobs.as_ref().map_or(&[], |j| j.stage_tenants()),
                 };
                 sched.schedule(&view)
             };
@@ -686,6 +752,7 @@ impl Simulation {
             if hit {
                 self.metrics.cache.hits += 1;
                 self.metrics.cache.hit_kb += (mb * 1024.0) as u64;
+                self.metrics.per_stage[a.stage.index()].cache_hits += 1;
                 self.bms[exec.index()].pin(b);
                 pinned.push(b);
                 if self.prefetched[exec.index()].remove(&b) {
@@ -707,6 +774,7 @@ impl Simulation {
             if eligible {
                 self.metrics.cache.misses += 1;
                 self.metrics.cache.miss_kb += (mb * 1024.0) as u64;
+                self.metrics.per_stage[a.stage.index()].cache_misses += 1;
                 if self.trace_on {
                     let refcount = self.profile.lrc_count(b);
                     self.trace(TraceEvent::CacheMiss {
@@ -802,6 +870,11 @@ impl Simulation {
             },
         );
         self.cview.apply(ViewDelta::Consume { exec, demand });
+        if let Some(jobs) = self.jobs.as_mut() {
+            // Every attempt — speculative copies included — occupies real
+            // cores; the fair-share ledger mirrors the cview's occupancy.
+            jobs.on_cores_consumed(task.stage, demand.cpus);
+        }
         self.metrics.running_tasks.add(self.now, 1.0);
         if io_phase_ms == 0 {
             self.enter_cpu_phase(exec, demand.cpus);
@@ -872,7 +945,7 @@ impl Simulation {
             .running
             .remove(&(task, attempt))
             .expect("finish event for unknown attempt");
-        self.teardown_attempt(&ra, exec);
+        self.teardown_attempt(task, &ra, exec);
         let dur = self.now - ra.start;
         self.metrics.task_runs.push(TaskRun {
             task,
@@ -914,7 +987,7 @@ impl Simulation {
         for other in losers {
             let loser = self.running.remove(&(task, other)).unwrap();
             let lexec = loser.exec;
-            self.teardown_attempt(&loser, lexec);
+            self.teardown_attempt(task, &loser, lexec);
             self.cancelled.insert((task, other));
             self.metrics.task_runs.push(TaskRun {
                 task,
@@ -1022,11 +1095,14 @@ impl Simulation {
         }
     }
 
-    fn teardown_attempt(&mut self, ra: &RunningAttempt, exec: ExecId) {
+    fn teardown_attempt(&mut self, task: TaskId, ra: &RunningAttempt, exec: ExecId) {
         self.cview.apply(ViewDelta::Release {
             exec,
             demand: ra.demand,
         });
+        if let Some(jobs) = self.jobs.as_mut() {
+            jobs.on_cores_released(task.stage, ra.demand.cpus);
+        }
         if ra.cpu_phase {
             self.exec_busy_cores[exec.index()] -= ra.demand.cpus;
             self.metrics
@@ -1101,6 +1177,106 @@ impl Simulation {
             });
         }
         self.proactive_sweeps();
+        // Online mode: the stage's job may be finished, which frees
+        // admission slots and triggers closed-loop successors.
+        if self.jobs.is_some() {
+            let job = self.jobs.as_ref().unwrap().job_of_stage(s);
+            if self.jobs.as_mut().unwrap().on_stage_complete(job, self.now) {
+                self.schedule_departure_successors(job);
+                let admitted = self.jobs.as_mut().unwrap().admit_queued(self.now);
+                for j in admitted {
+                    self.admit_job(j, sched);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Online multi-tenant mode (dynamic job admission)
+    // ------------------------------------------------------------------
+
+    /// A job's arrival event fired: run admission control and act on the
+    /// decision.
+    fn job_arrival(&mut self, job: u32, sched: &mut dyn Scheduler) {
+        let decision = self
+            .jobs
+            .as_mut()
+            .expect("JobArrival event without an installed JobsRuntime")
+            .on_arrival(job, self.now);
+        match decision {
+            AdmissionDecision::Admitted => self.admit_job(job, sched),
+            AdmissionDecision::Queued => {}
+            AdmissionDecision::Rejected => self.reject_job(job),
+        }
+    }
+
+    /// Un-gate an admitted job: its root stages (parents already complete
+    /// — shared parents can pre-exist in the merged DAG) become ready and
+    /// are offered to the scheduler.
+    fn admit_job(&mut self, job: u32, sched: &mut dyn Scheduler) {
+        let stages = self.jobs.as_ref().unwrap().spec(job).stages.clone();
+        for s in stages {
+            let si = s.index();
+            if self.stages[si].ready || self.stages[si].completed {
+                continue;
+            }
+            if self
+                .dag
+                .parents(s)
+                .iter()
+                .all(|p| self.stages[p.index()].completed)
+            {
+                self.stages[si].ready = true;
+                sync_ready(&mut self.cview, &self.stages, si);
+                if self.trace_on {
+                    let num_tasks = self.dag.stage(s).num_tasks;
+                    self.trace(TraceEvent::StageReady {
+                        stage: s,
+                        num_tasks,
+                    });
+                }
+                sched.on_stage_ready(s, self.now);
+            }
+        }
+    }
+
+    /// Admission bounced the job (full queue): retire its stages without
+    /// running them — completed-without-timestamp, reference profile
+    /// cleaned up — so the run-loop's completion count still converges.
+    /// Closed-loop successors still fire (a think-time client retries
+    /// after a rejection; otherwise its whole chain would deadlock).
+    fn reject_job(&mut self, job: u32) {
+        let stages = self.jobs.as_ref().unwrap().spec(job).stages.clone();
+        for s in stages {
+            let si = s.index();
+            debug_assert!(!self.stages[si].ready && !self.stages[si].completed);
+            self.stages[si].completed = true;
+            sync_ready(&mut self.cview, &self.stages, si);
+            self.completed_count += 1;
+            self.data.release_stage(si);
+            for k in 0..self.dag.stage(s).num_tasks {
+                for &(b, _) in self.task_inputs[si][k as usize].iter() {
+                    self.profile.remove_use(b, s);
+                }
+            }
+        }
+        self.profile.frontier = self
+            .dag
+            .stage_ids()
+            .find(|x| !self.stages[x.index()].completed)
+            .map(|x| x.0)
+            .unwrap_or(self.dag.num_stages() as u32);
+        self.schedule_departure_successors(job);
+    }
+
+    /// Schedule the closed-loop arrivals waiting on `job` leaving the
+    /// system (completion or rejection), each after its think time.
+    fn schedule_departure_successors(&mut self, job: u32) {
+        let succs = self.jobs.as_ref().unwrap().successors_of(job).to_vec();
+        for (next, think_ms) in succs {
+            self.queue
+                .push(self.now + think_ms, Event::JobArrival { job: next });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1352,7 +1528,7 @@ impl Simulation {
         let Some(ra) = self.running.remove(&(task, attempt)) else {
             return;
         };
-        self.teardown_attempt(&ra, exec);
+        self.teardown_attempt(task, &ra, exec);
         self.metrics.task_runs.push(TaskRun {
             task,
             exec,
@@ -1623,6 +1799,10 @@ impl Simulation {
         }
         let was_completed = self.stages[si].completed;
         if was_completed {
+            if let Some(jobs) = self.jobs.as_mut() {
+                let job = jobs.job_of_stage(ps);
+                jobs.on_stage_reopened(job);
+            }
             self.stages[si].completed = false;
             self.completed_count -= 1;
             self.metrics.per_stage[si].completed_at = None;

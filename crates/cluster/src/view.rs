@@ -602,6 +602,12 @@ pub struct SimView<'a> {
     pub free_execs: &'a [u32],
     /// Run-lifetime `stage_slots` memo (see [`SlotMemo`]).
     pub slot_memo: &'a SlotMemo,
+    /// Per-tenant vCPUs currently consumed by running attempts — the
+    /// hierarchical fair-share signal. Empty outside online multi-tenant
+    /// mode (no [`crate::jobs::JobsRuntime`] installed).
+    pub tenant_cores: &'a [u64],
+    /// stage → owning tenant (dense). Empty outside multi-tenant mode.
+    pub tenant_of_stage: &'a [u32],
 }
 
 /// Build the once-per-run table behind [`SimView::narrow_input_mb`]: total
@@ -916,6 +922,8 @@ mod tests {
             ready: &f.ready,
             free_execs: &f.free_execs,
             slot_memo: &f.slot_memo,
+            tenant_cores: &[],
+            tenant_of_stage: &[],
         }
     }
 

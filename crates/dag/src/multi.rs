@@ -9,6 +9,16 @@
 //! handle inter-job contention with no special casing: FIFO degenerates to
 //! arrival order, Fair to per-stage round-robin, and Dagon's Eq. (6)
 //! priorities rank stages *across* jobs by remaining dependent work.
+//!
+//! This is the **static** multi-tenant path: the whole job set and every
+//! arrival time must be known up front, baked into stage release times.
+//! The **dynamic** alternative lives in `dagon-tenancy`: the same merged
+//! DAG, but jobs are admitted live by `JobArrival` events (per-tenant
+//! queues, admission control, closed-loop clients whose next arrival
+//! depends on the previous completion — inexpressible statically). The two
+//! are cross-tested: for a fixed open-loop job set under FIFO, the static
+//! pre-merge and dynamic admission must produce identical per-job JCTs
+//! (`tests/tenancy.rs::static_premerge_and_dynamic_admission_agree_under_fifo`).
 
 use crate::dag::{DagBuilder, JobDag};
 use crate::ids::{RddId, StageId};

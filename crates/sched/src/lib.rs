@@ -25,11 +25,11 @@ pub mod graphene;
 pub mod placement;
 pub mod waits;
 
-pub use assign::OrderedScheduler;
+pub use assign::{OrderPolicy, OrderedScheduler};
 pub use critical_path::CriticalPathScheduler;
-pub use dagon::DagonScheduler;
-pub use fair::FairScheduler;
-pub use fifo::FifoScheduler;
+pub use dagon::{DagonOrder, DagonScheduler};
+pub use fair::{FairOrder, FairScheduler, TenantFairOrder};
+pub use fifo::{FifoOrder, FifoScheduler};
 pub use graphene::GrapheneScheduler;
 pub use placement::{NativeDelay, Placement, PlacementNote, SensitivityAware};
 pub use waits::WaitClock;

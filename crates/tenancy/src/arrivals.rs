@@ -1,0 +1,297 @@
+//! Seeded job-arrival generators.
+//!
+//! Each tenant runs either an **open-loop Poisson** client (jobs arrive at
+//! exponentially-spaced instants regardless of cluster state — the classic
+//! load-sweep driver) or a **closed-loop think-time** client population
+//! (each client submits its next job a think time after its previous job
+//! left the system, which self-throttles under overload). Job *sizes* are
+//! drawn from a bounded-Pareto distribution over the task count, giving
+//! the heavy-tailed "mice and elephants" mix production traces show.
+//!
+//! Determinism: every draw comes from a per-tenant `SmallRng` seeded as
+//! `stream_seed ⊕ splitmix(tenant_index)`, so the generated stream is a
+//! pure function of `(tenant specs, seed, base scale)` — same seed, same
+//! stream, bit for bit — and inserting a tenant never perturbs the others.
+
+use dagon_cluster::ArrivalSpec;
+use dagon_dag::SimTime;
+use dagon_workloads::{Scale, Workload};
+use rand::{Rng, SeedableRng, SmallRng};
+
+/// Bounded Pareto distribution on `[lo, hi]` with tail index `alpha`.
+///
+/// Small `alpha` (≈ 1) makes the tail heavy: most draws sit near `lo` with
+/// occasional draws spanning up to `hi`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedPareto {
+    pub alpha: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl BoundedPareto {
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> Self {
+        assert!(alpha > 0.0, "pareto tail index must be positive");
+        assert!(0.0 < lo && lo <= hi, "need 0 < lo <= hi");
+        Self { alpha, lo, hi }
+    }
+
+    /// Degenerate point mass: every draw returns `x`.
+    pub fn fixed(x: f64) -> Self {
+        Self::new(1.0, x, x)
+    }
+
+    /// Inverse-CDF transform of a uniform `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> f64 {
+        if self.lo >= self.hi {
+            return self.lo;
+        }
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Standard bounded-Pareto inverse CDF.
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha);
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+/// How a tenant's jobs enter the system.
+#[derive(Clone, Copy, Debug)]
+pub enum ClientKind {
+    /// Open loop: `jobs` arrivals with exponential inter-arrival times of
+    /// the given mean (a Poisson process), indifferent to cluster state.
+    OpenPoisson {
+        jobs: u32,
+        mean_interarrival_ms: SimTime,
+    },
+    /// Closed loop: `clients` independent clients each submit
+    /// `jobs_per_client` jobs; after a job leaves the system (completes or
+    /// is rejected) its client thinks for an exponential time of mean
+    /// `mean_think_ms` before submitting the next.
+    ClosedLoop {
+        clients: u32,
+        jobs_per_client: u32,
+        mean_think_ms: SimTime,
+    },
+}
+
+/// One tenant's stream description.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Fair-share weight (≥ 1), consumed by `TenantFairOrder`.
+    pub weight: u64,
+    /// Workload mix, drawn uniformly per job. Must be non-empty.
+    pub mix: Vec<Workload>,
+    /// Job-size distribution over the task count of data-parallel stages.
+    pub tasks: BoundedPareto,
+    pub client: ClientKind,
+}
+
+/// One generated job, pre-merge: its own private DAG plus arrival spec
+/// against the global job index space (jobs are indexed in generation
+/// order across tenants).
+#[derive(Clone, Debug)]
+pub struct StreamJob {
+    pub tenant: u32,
+    pub name: String,
+    pub arrival: ArrivalSpec,
+    pub dag: dagon_dag::JobDag,
+}
+
+/// Exponential draw of the given mean via inverse CDF. `u ∈ [0, 1)` keeps
+/// `1 - u ∈ (0, 1]`, so the log never sees zero.
+fn exp_ms(rng: &mut SmallRng, mean: SimTime) -> SimTime {
+    let u: f64 = rng.gen();
+    let x = -(1.0 - u).ln() * mean as f64;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // x >= 0, rounded
+    {
+        x.round() as SimTime
+    }
+}
+
+/// Draw a job for `spec`: pick a workload from the mix, size it from the
+/// bounded-Pareto task distribution, build its DAG.
+fn draw_job(
+    spec: &TenantSpec,
+    base: &Scale,
+    rng: &mut SmallRng,
+    idx: u32,
+) -> (String, dagon_dag::JobDag) {
+    let w = spec.mix[rng.gen_range(0..spec.mix.len())];
+    let u: f64 = rng.gen();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // clamped >= 1
+    let tasks = spec.tasks.sample(u).round().max(1.0) as u32;
+    let scale = Scale { tasks, ..*base };
+    (
+        format!("{}/{}#{idx}", spec.name, w.abbrev()),
+        w.build(&scale),
+    )
+}
+
+/// Generate the full interleaved stream: tenants in order, each tenant's
+/// jobs in arrival order (open loop) or client-major order (closed loop).
+/// `base` supplies the non-task scale knobs (block size, iterations).
+///
+/// Closed-loop chains reference predecessors by *global* job index, which
+/// is exactly what [`dagon_cluster::ArrivalSpec::AfterJob`] wants.
+pub fn generate_stream(tenants: &[TenantSpec], seed: u64, base: &Scale) -> Vec<StreamJob> {
+    assert!(!tenants.is_empty(), "generate_stream with no tenants");
+    let mut jobs = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        assert!(
+            !spec.mix.is_empty(),
+            "tenant {} has an empty mix",
+            spec.name
+        );
+        assert!(spec.weight >= 1, "tenant {} weight must be >= 1", spec.name);
+        let tenant = u32::try_from(t).expect("tenant count fits u32");
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ (u64::from(tenant) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        match spec.client {
+            ClientKind::OpenPoisson {
+                jobs: n,
+                mean_interarrival_ms,
+            } => {
+                let mut at: SimTime = 0;
+                for i in 0..n {
+                    at += exp_ms(&mut rng, mean_interarrival_ms);
+                    let (name, dag) = draw_job(spec, base, &mut rng, i);
+                    jobs.push(StreamJob {
+                        tenant,
+                        name,
+                        arrival: ArrivalSpec::Open { at },
+                        dag,
+                    });
+                }
+            }
+            ClientKind::ClosedLoop {
+                clients,
+                jobs_per_client,
+                mean_think_ms,
+            } => {
+                for c in 0..clients {
+                    let mut prev: Option<u32> = None;
+                    for i in 0..jobs_per_client {
+                        let arrival = match prev {
+                            // First request per client: an initial think
+                            // time staggers the clients deterministically.
+                            None => ArrivalSpec::Open {
+                                at: exp_ms(&mut rng, mean_think_ms),
+                            },
+                            Some(p) => ArrivalSpec::AfterJob {
+                                prev: p,
+                                think_ms: exp_ms(&mut rng, mean_think_ms),
+                            },
+                        };
+                        let (name, dag) = draw_job(spec, base, &mut rng, c * jobs_per_client + i);
+                        prev = Some(u32::try_from(jobs.len()).expect("job count fits u32"));
+                        jobs.push(StreamJob {
+                            tenant,
+                            name,
+                            arrival,
+                            dag,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(client: ClientKind) -> TenantSpec {
+        TenantSpec {
+            name: "t".into(),
+            weight: 1,
+            mix: vec![Workload::KMeans, Workload::ConnectedComponent],
+            tasks: BoundedPareto::new(1.5, 4.0, 32.0),
+            client,
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_is_heavy_tailed() {
+        let d = BoundedPareto::new(1.2, 4.0, 64.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lo_half = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            let x = d.sample(rng.gen());
+            assert!((4.0..=64.0).contains(&x));
+            if x < 34.0 {
+                lo_half += 1;
+            }
+        }
+        // Heavy tail: the mass concentrates near the lower bound.
+        assert!(
+            lo_half > n * 3 / 4,
+            "only {lo_half}/{n} draws below midpoint"
+        );
+        // Point mass.
+        assert!((BoundedPareto::fixed(8.0).sample(0.73) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_seeded() {
+        let t = [spec(ClientKind::OpenPoisson {
+            jobs: 20,
+            mean_interarrival_ms: 10_000,
+        })];
+        let a = generate_stream(&t, 42, &Scale::tiny());
+        let b = generate_stream(&t, 42, &Scale::tiny());
+        assert_eq!(a.len(), 20);
+        let mut prev = 0;
+        for (ja, jb) in a.iter().zip(&b) {
+            let (ArrivalSpec::Open { at: aa }, ArrivalSpec::Open { at: ab }) =
+                (ja.arrival, jb.arrival)
+            else {
+                panic!("open loop produced non-open arrival");
+            };
+            assert_eq!(aa, ab, "same seed must reproduce the stream");
+            assert_eq!(ja.name, jb.name);
+            assert_eq!(ja.dag.num_stages(), jb.dag.num_stages());
+            assert!(aa >= prev, "arrivals must be non-decreasing");
+            prev = aa;
+        }
+        let c = generate_stream(&t, 43, &Scale::tiny());
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.arrival != y.arrival),
+            "different seed should produce a different stream"
+        );
+    }
+
+    #[test]
+    fn closed_loop_chains_reference_global_indices() {
+        let t = [
+            spec(ClientKind::OpenPoisson {
+                jobs: 3,
+                mean_interarrival_ms: 1_000,
+            }),
+            spec(ClientKind::ClosedLoop {
+                clients: 2,
+                jobs_per_client: 3,
+                mean_think_ms: 500,
+            }),
+        ];
+        let jobs = generate_stream(&t, 7, &Scale::tiny());
+        assert_eq!(jobs.len(), 3 + 6);
+        // Tenant 1's jobs occupy global indices 3..9; each client chain is
+        // Open, AfterJob(prev = chain head), AfterJob(...).
+        for c in 0..2u32 {
+            let base = 3 + (c as usize) * 3;
+            assert!(matches!(jobs[base].arrival, ArrivalSpec::Open { .. }));
+            for k in 1..3 {
+                let ArrivalSpec::AfterJob { prev, .. } = jobs[base + k].arrival else {
+                    panic!("chain tail must be AfterJob");
+                };
+                assert_eq!(prev as usize, base + k - 1);
+            }
+        }
+        assert!(jobs.iter().skip(3).all(|j| j.tenant == 1));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-tenant reporting over a finished multi-tenant run.
+//!
+//! Consumes the per-job outcome rows (`SimResult::jobs`) plus the
+//! per-stage cache counters, and reduces them per tenant: JCT p50/p99
+//! (nearest-rank over completed jobs), mean queueing delay (admission −
+//! arrival), makespan, cache hits/misses, and across tenants Jain's
+//! fairness index over the per-tenant mean JCT —
+//! `J = (Σx)² / (n·Σx²)`, 1.0 when every tenant sees the same mean JCT,
+//! `1/n` when one tenant gets everything.
+
+use std::fmt;
+
+use dagon_cluster::SimResult;
+use dagon_dag::SimTime;
+
+use crate::stream::TenantStream;
+
+/// One tenant's reduced metrics.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    pub tenant: u32,
+    pub name: String,
+    pub weight: u64,
+    /// Jobs in the stream (including rejected ones).
+    pub jobs: u32,
+    pub completed: u32,
+    pub rejected: u32,
+    /// Nearest-rank percentiles over completed jobs' JCTs; 0 if none.
+    pub p50_jct_ms: SimTime,
+    pub p99_jct_ms: SimTime,
+    pub mean_jct_ms: f64,
+    /// Mean admission-queue wait of non-rejected jobs.
+    pub mean_queue_ms: f64,
+    /// Earliest arrival → latest completion among the tenant's jobs.
+    pub makespan_ms: SimTime,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// The full per-tenant report.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    pub tenants: Vec<TenantStats>,
+    /// Jain's index over per-tenant mean JCT (tenants with ≥ 1 completed
+    /// job); 1.0 when fewer than two tenants qualify.
+    pub jain_fairness: f64,
+    /// Global nearest-rank percentiles over all completed jobs.
+    pub p50_jct_ms: SimTime,
+    pub p99_jct_ms: SimTime,
+    /// End-to-end makespan of the whole stream.
+    pub makespan_ms: SimTime,
+}
+
+/// Nearest-rank percentile of a **sorted** sample; 0 on empty input.
+fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // rank <= len
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Jain's fairness index over a positive sample.
+fn jain(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq < f64::MIN_POSITIVE {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+impl TenantReport {
+    /// Reduce a finished run. `stream` must be the same lowering the run
+    /// executed (it supplies tenant metadata and the stage → tenant map
+    /// for cache accounting).
+    pub fn new(stream: &TenantStream, result: &SimResult) -> Self {
+        assert!(
+            !result.jobs.is_empty(),
+            "no per-job outcomes: was the run started via with_jobs?"
+        );
+        let n = stream.num_tenants();
+        let mut per_tenant_jcts: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+        let mut per_tenant_queue: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut jobs = vec![0u32; n];
+        let mut rejected = vec![0u32; n];
+        let mut first_arrival = vec![SimTime::MAX; n];
+        let mut last_completion: Vec<SimTime> = vec![0; n];
+        for o in &result.jobs {
+            let t = o.tenant as usize;
+            jobs[t] += 1;
+            if o.rejected {
+                rejected[t] += 1;
+                continue;
+            }
+            first_arrival[t] = first_arrival[t].min(o.arrival_ms);
+            if let Some(adm) = o.admitted_ms {
+                per_tenant_queue[t].push(adm.saturating_sub(o.arrival_ms) as f64);
+            }
+            if let Some(done) = o.completed_ms {
+                per_tenant_jcts[t].push(done.saturating_sub(o.arrival_ms));
+                last_completion[t] = last_completion[t].max(done);
+            }
+        }
+
+        let mut cache_hits = vec![0u64; n];
+        let mut cache_misses = vec![0u64; n];
+        for spec in &stream.specs {
+            for s in &spec.stages {
+                let sm = &result.metrics.per_stage[s.index()];
+                cache_hits[spec.tenant as usize] += sm.cache_hits;
+                cache_misses[spec.tenant as usize] += sm.cache_misses;
+            }
+        }
+
+        let mut tenants = Vec::with_capacity(n);
+        for t in 0..n {
+            per_tenant_jcts[t].sort_unstable();
+            let jcts = &per_tenant_jcts[t];
+            let jcts_f: Vec<f64> = jcts.iter().map(|&x| x as f64).collect();
+            tenants.push(TenantStats {
+                tenant: u32::try_from(t).expect("tenant count fits u32"),
+                name: stream.tenants[t].name.clone(),
+                weight: stream.tenants[t].weight,
+                jobs: jobs[t],
+                completed: u32::try_from(jcts.len()).expect("job count fits u32"),
+                rejected: rejected[t],
+                p50_jct_ms: percentile(jcts, 0.50),
+                p99_jct_ms: percentile(jcts, 0.99),
+                mean_jct_ms: mean(&jcts_f),
+                mean_queue_ms: mean(&per_tenant_queue[t]),
+                makespan_ms: last_completion[t].saturating_sub(
+                    if first_arrival[t] == SimTime::MAX {
+                        0
+                    } else {
+                        first_arrival[t]
+                    },
+                ),
+                cache_hits: cache_hits[t],
+                cache_misses: cache_misses[t],
+            });
+        }
+
+        let mut all: Vec<SimTime> = per_tenant_jcts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let means: Vec<f64> = tenants
+            .iter()
+            .filter(|t| t.completed > 0)
+            .map(|t| t.mean_jct_ms)
+            .collect();
+        Self {
+            tenants,
+            jain_fairness: jain(&means),
+            p50_jct_ms: percentile(&all, 0.50),
+            p99_jct_ms: percentile(&all, 0.99),
+            makespan_ms: result.jct,
+        }
+    }
+}
+
+impl fmt::Display for TenantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>2} {:>5} {:>4} {:>4} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "tenant", "w", "jobs", "done", "rej", "p50 jct", "p99 jct", "queue", "hits", "misses"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{:<12} {:>2} {:>5} {:>4} {:>4} {:>8}ms {:>8}ms {:>8.0}ms {:>9} {:>9}",
+                t.name,
+                t.weight,
+                t.jobs,
+                t.completed,
+                t.rejected,
+                t.p50_jct_ms,
+                t.p99_jct_ms,
+                t.mean_queue_ms,
+                t.cache_hits,
+                t.cache_misses
+            )?;
+        }
+        write!(
+            f,
+            "overall: p50 {}ms  p99 {}ms  makespan {}ms  Jain {:.4}",
+            self.p50_jct_ms, self.p99_jct_ms, self.makespan_ms, self.jain_fairness
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&xs, 0.50), 50);
+        assert_eq!(percentile(&xs, 0.99), 100);
+        assert_eq!(percentile(&xs[..1], 0.99), 10);
+        assert_eq!(percentile(&[], 0.50), 0);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        // Perfect fairness.
+        assert!((jain(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant gets everything → 1/n.
+        assert!((jain(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // Degenerate samples count as fair.
+        assert!((jain(&[7.0]) - 1.0).abs() < 1e-12);
+        assert!((jain(&[]) - 1.0).abs() < 1e-12);
+    }
+}

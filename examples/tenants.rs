@@ -1,0 +1,75 @@
+//! Online multi-tenant cluster: three tenants with distinct workload
+//! mixes, client behaviours and fair-share weights submit a seeded job
+//! stream, and every cross-tenant policy arbitrates it live — dynamic
+//! admission, per-tenant queues, and the shared BlockManager serving one
+//! tenant's cached scans to another.
+//!
+//! ```text
+//! cargo run --example tenants --release
+//! ```
+
+use dagon_cluster::{AdmissionConfig, ClusterConfig};
+use dagon_core::run_tenant_stream;
+use dagon_core::tenancy::TenantPolicy;
+use dagon_tenancy::{BoundedPareto, ClientKind, StreamOptions, TenantSpec, TenantStream};
+use dagon_workloads::{Scale, Workload};
+
+fn main() {
+    // Three tenants, deliberately asymmetric:
+    //  * `batch`      — weight 1, open-loop Poisson, elephant-prone graph jobs;
+    //  * `interactive`— weight 3, closed-loop clients, small ML fits;
+    //  * `adhoc`      — weight 2, open-loop Poisson, mixed exploratory jobs.
+    let tenants = vec![
+        TenantSpec {
+            name: "batch".into(),
+            weight: 1,
+            mix: vec![Workload::ConnectedComponent, Workload::PageRank],
+            tasks: BoundedPareto::new(1.2, 8.0, 48.0),
+            client: ClientKind::OpenPoisson {
+                jobs: 6,
+                mean_interarrival_ms: 30_000,
+            },
+        },
+        TenantSpec {
+            name: "interactive".into(),
+            weight: 3,
+            mix: vec![Workload::LinearRegression, Workload::LogisticRegression],
+            tasks: BoundedPareto::new(2.0, 4.0, 12.0),
+            client: ClientKind::ClosedLoop {
+                clients: 2,
+                jobs_per_client: 3,
+                mean_think_ms: 10_000,
+            },
+        },
+        TenantSpec {
+            name: "adhoc".into(),
+            weight: 2,
+            mix: vec![Workload::KMeans, Workload::TriangleCount],
+            tasks: BoundedPareto::new(1.5, 4.0, 24.0),
+            client: ClientKind::OpenPoisson {
+                jobs: 5,
+                mean_interarrival_ms: 45_000,
+            },
+        },
+    ];
+    let base = Scale {
+        tasks: 8,
+        block_mb: 64.0,
+        iterations: 3,
+    };
+    let stream = TenantStream::generate(&tenants, 42, &base, &StreamOptions::default());
+    let cluster = ClusterConfig::tiny(8, 4);
+    println!(
+        "seeded stream: {} jobs from 3 tenants on {} executors\n",
+        stream.specs.len(),
+        cluster.total_execs()
+    );
+    for policy in TenantPolicy::LINEUP {
+        let out = run_tenant_stream(&stream, &cluster, policy, AdmissionConfig::default());
+        println!("=== {} ===", out.policy);
+        println!("{}\n", out.report);
+    }
+    println!("The weighted policies trade batch tail latency for interactive");
+    println!("p99 and a higher Jain index; shared HDFS scans cached by one");
+    println!("tenant show up as cross-tenant cache hits in the hits column.");
+}

@@ -47,6 +47,42 @@ fn repeated_runs_are_bit_identical() {
     }
 }
 
+/// The 200-executor tenant load sweep is bit-for-bit reproducible from its
+/// seed: every percentile, fairness index and rejection count replays.
+/// Release-only — the sweep runs 3 policies × 55-job streams with the
+/// per-opportunity incremental oracles active in debug builds.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: 200-executor sweep")]
+fn tenant_sweep_is_bit_reproducible() {
+    use dagon_core::tenancy::fig_tenant_sweep;
+    let a = fig_tenant_sweep(7, &[1.0]);
+    let b = fig_tenant_sweep(7, &[1.0]);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+            assert_eq!(ca.policy, cb.policy);
+            assert_eq!(ca.p50_jct_ms, cb.p50_jct_ms, "{}: p50 drifted", ca.policy);
+            assert_eq!(ca.p99_jct_ms, cb.p99_jct_ms, "{}: p99 drifted", ca.policy);
+            assert_eq!(
+                ca.makespan_ms, cb.makespan_ms,
+                "{}: makespan drifted",
+                ca.policy
+            );
+            assert_eq!(
+                ca.rejected, cb.rejected,
+                "{}: rejections drifted",
+                ca.policy
+            );
+            assert_eq!(
+                ca.jain_fairness.to_bits(),
+                cb.jain_fairness.to_bits(),
+                "{}: fairness index drifted",
+                ca.policy
+            );
+        }
+    }
+}
+
 #[test]
 fn repeated_faulty_runs_are_bit_identical() {
     for (wname, dag, cluster) in scenarios() {
